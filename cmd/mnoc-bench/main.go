@@ -1,0 +1,137 @@
+// Command mnoc-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mnoc-bench [-exp all|table1|fig2|...] [-scale paper|quick] [-seed N]
+//
+// At paper scale the full run performs the 256-core QAP searches and
+// multicore simulations and takes a few minutes; quick scale (radix 64)
+// finishes in seconds and preserves the relative results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mnoc/internal/exp"
+)
+
+func main() {
+	var (
+		which    = flag.String("exp", "all", "experiment id, 'all' (paper artefacts), 'ext' (extensions), or 'everything' (ids: "+idList()+")")
+		scale    = flag.String("scale", "paper", "paper (radix-256) or quick (radix-64)")
+		seed     = flag.Int64("seed", 1, "random seed for workloads and heuristics")
+		asJSON   = flag.Bool("json", false, "emit results as a JSON array instead of text tables")
+		parallel = flag.Int("parallel", 4, "worker goroutines for the per-benchmark precomputation")
+		csvDir   = flag.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	var opt exp.Options
+	switch *scale {
+	case "paper":
+		opt = exp.Paper()
+	case "quick":
+		opt = exp.Quick()
+	default:
+		fmt.Fprintf(os.Stderr, "mnoc-bench: unknown scale %q (want paper or quick)\n", *scale)
+		os.Exit(2)
+	}
+	opt.Seed = *seed
+
+	ctx, err := exp.NewContext(opt)
+	if err != nil {
+		fail(err)
+	}
+	if err := ctx.Precompute(*parallel); err != nil {
+		fail(err)
+	}
+
+	var entries []exp.Entry
+	switch *which {
+	case "all":
+		entries = exp.Registry()
+	case "ext":
+		entries = exp.Extensions()
+	case "everything":
+		entries = append(exp.Registry(), exp.Extensions()...)
+	default:
+		e, err := exp.ByID(*which)
+		if err != nil {
+			if e, err = exp.ExtensionByID(*which); err != nil {
+				fail(err)
+			}
+		}
+		entries = []exp.Entry{e}
+	}
+	if *asJSON {
+		fmt.Println("[")
+		for i, e := range entries {
+			tbl, err := e.Run(ctx)
+			if err != nil {
+				fail(fmt.Errorf("%s: %w", e.ID, err))
+			}
+			blob, err := tbl.JSON()
+			if err != nil {
+				fail(err)
+			}
+			sep := ","
+			if i == len(entries)-1 {
+				sep = ""
+			}
+			fmt.Printf("%s%s\n", blob, sep)
+		}
+		fmt.Println("]")
+		return
+	}
+	fmt.Printf("mnoc-bench: scale=%s radix=%d seed=%d experiments=%d\n\n",
+		*scale, opt.N, opt.Seed, len(entries))
+	for _, e := range entries {
+		tbl, err := e.Run(ctx)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		if err := tbl.Fprint(os.Stdout); err != nil {
+			fail(err)
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, tbl); err != nil {
+				fail(err)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, tbl *exp.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, tbl.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := tbl.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func idList() string {
+	var ids []string
+	for _, e := range exp.Registry() {
+		ids = append(ids, e.ID)
+	}
+	for _, e := range exp.Extensions() {
+		ids = append(ids, e.ID)
+	}
+	return strings.Join(ids, ",")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mnoc-bench:", err)
+	os.Exit(1)
+}

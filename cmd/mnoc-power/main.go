@@ -1,0 +1,180 @@
+// Command mnoc-power evaluates the power of a packet trace (from
+// mnoc-trace or mnoc-sim) under a chosen power topology and thread
+// mapping, and compares against the rNoC and clustered baselines.
+//
+// Usage:
+//
+//	mnoc-power -i fft.trc [-kind comm4|comm2|dist2|dist4|broadcast] [-qap]
+//	mnoc-power -matrix profile.csv -cycles 1e6 [-kind ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mnoc/internal/core"
+	"mnoc/internal/phys"
+	"mnoc/internal/power"
+	"mnoc/internal/trace"
+)
+
+func main() {
+	var (
+		in     = flag.String("i", "", "input trace file (this or -matrix is required)")
+		matrix = flag.String("matrix", "", "input CSV traffic matrix (flits; alternative to -i)")
+		cyc    = flag.Float64("cycles", 1e6, "evaluation window in cycles when using -matrix")
+		kind   = flag.String("kind", "comm4", "design kind: comm2, comm4, dist2, dist4, broadcast")
+		qap    = flag.Bool("qap", true, "apply QAP thread mapping")
+		seed   = flag.Int64("seed", 1, "random seed for the QAP search")
+	)
+	flag.Parse()
+
+	var profile *trace.Matrix
+	var cycles float64
+	var source string
+	switch {
+	case *in != "" && *matrix != "":
+		fail(fmt.Errorf("-i and -matrix are mutually exclusive"))
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		tr, err := trace.Read(f)
+		if err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		profile = tr.Matrix()
+		cycles = float64(tr.Cycles)
+		source = fmt.Sprintf("%s (n=%d, %d packets, %d cycles)", *in, tr.N, len(tr.Packets), tr.Cycles)
+	case *matrix != "":
+		f, err := os.Open(*matrix)
+		if err != nil {
+			fail(err)
+		}
+		m, err := trace.ReadCSV(f)
+		if err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		profile = m
+		cycles = *cyc
+		source = fmt.Sprintf("%s (n=%d CSV matrix, %.0f cycles)", *matrix, m.N, cycles)
+	default:
+		fail(fmt.Errorf("-i or -matrix is required"))
+	}
+
+	sys, err := core.NewSystem(profile.N)
+	if err != nil {
+		fail(err)
+	}
+
+	base, err := sys.BroadcastDesign()
+	if err != nil {
+		fail(err)
+	}
+	design := base
+	if *qap {
+		if design, err = design.WithQAPMapping(profile, core.QAPOptions{Seed: *seed}); err != nil {
+			fail(err)
+		}
+	}
+	mapped, err := design.MappedTraffic(profile)
+	if err != nil {
+		fail(err)
+	}
+	switch *kind {
+	case "comm2", "comm4":
+		modes := 2
+		if *kind == "comm4" {
+			modes = 4
+		}
+		pt, err := sys.CommAwareDesign(mapped, modes)
+		if err != nil {
+			fail(err)
+		}
+		design, err = pt.WithMapping(design.Mapping)
+		if err != nil {
+			fail(err)
+		}
+	case "dist2":
+		d, err := sys.DistanceDesign([]int{profile.N / 2, profile.N - 1 - profile.N/2}, power.UniformWeighting(2))
+		if err != nil {
+			fail(err)
+		}
+		design, err = d.WithMapping(design.Mapping)
+		if err != nil {
+			fail(err)
+		}
+	case "dist4":
+		q := profile.N / 4
+		d, err := sys.DistanceDesign([]int{q, q, q, profile.N - 1 - 3*q}, power.UniformWeighting(4))
+		if err != nil {
+			fail(err)
+		}
+		design, err = d.WithMapping(design.Mapping)
+		if err != nil {
+			fail(err)
+		}
+	case "broadcast":
+		// keep the base design (with optional mapping)
+	default:
+		fail(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	bd, err := design.Power(profile, cycles)
+	if err != nil {
+		fail(err)
+	}
+	baseBd, err := base.Network.Evaluate(profile, cycles)
+	if err != nil {
+		fail(err)
+	}
+
+	// The clustered baselines need at least two 4-node clusters.
+	var rb, cb power.Breakdown
+	haveClustered := profile.N >= 8 && profile.N%4 == 0
+	if haveClustered {
+		rnoc, err := power.NewRNoC(profile.N, 4)
+		if err != nil {
+			fail(err)
+		}
+		if rb, err = rnoc.Evaluate(profile, cycles); err != nil {
+			fail(err)
+		}
+		cm, err := power.NewCMNoC(profile.N, 4)
+		if err != nil {
+			fail(err)
+		}
+		if cb, err = cm.Evaluate(profile, cycles); err != nil {
+			fail(err)
+		}
+	}
+
+	fmt.Printf("input:     %s\n", source)
+	fmt.Printf("design:    %s  qap=%v\n", design.Topology.Name, *qap)
+	row := func(name string, b power.Breakdown) {
+		fmt.Printf("%-10s total=%-10s source=%-10s oe=%-10s elec=%-10s ring=%-10s laser=%s\n",
+			name, phys.FormatPower(b.TotalUW()), phys.FormatPower(b.SourceUW),
+			phys.FormatPower(b.OEUW), phys.FormatPower(b.ElectricalUW),
+			phys.FormatPower(b.RingTrimUW), phys.FormatPower(b.LaserUW))
+	}
+	row("design", bd)
+	row("base mNoC", baseBd)
+	if haveClustered {
+		row("rNoC", rb)
+		row("c_mNoC", cb)
+	}
+	fmt.Printf("reduction vs base mNoC: %.1f%%\n", 100*(1-bd.TotalUW()/baseBd.TotalUW()))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mnoc-power:", err)
+	os.Exit(1)
+}

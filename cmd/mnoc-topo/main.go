@@ -1,0 +1,131 @@
+// Command mnoc-topo designs a power topology for a workload and prints
+// its adjacency-matrix view (the style of the paper's Figure 5) plus
+// the per-source mode power summary.
+//
+// Usage:
+//
+//	mnoc-topo [-n 64] [-bench water_s] [-kind comm2|comm4|dist2|dist4|cluster|broadcast]
+//	          [-qap] [-render 16] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mnoc/internal/core"
+	"mnoc/internal/drivetable"
+	"mnoc/internal/phys"
+	"mnoc/internal/power"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 64, "crossbar radix")
+		bench  = flag.String("bench", "water_s", "workload to profile (one of: "+fmt.Sprint(core.Benchmarks())+")")
+		kind   = flag.String("kind", "comm2", "design kind: comm2, comm4, dist2, dist4, cluster, broadcast")
+		qap    = flag.Bool("qap", false, "apply QAP thread mapping before profiling-driven design")
+		render = flag.Int("render", 16, "how many nodes of the adjacency matrix to print (0 = none)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		export = flag.String("export", "", "write the drive/fabrication table (splitter ratios, mode powers, thread maps) to this file")
+	)
+	flag.Parse()
+
+	sys, err := core.NewSystem(*n)
+	if err != nil {
+		fail(err)
+	}
+	profile, err := sys.Profile(*bench, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	// Optionally map threads first so the design sees core-indexed
+	// traffic the way the paper's T variants do.
+	design, err := sys.BroadcastDesign()
+	if err != nil {
+		fail(err)
+	}
+	if *qap {
+		design, err = design.WithQAPMapping(profile, core.QAPOptions{Seed: *seed})
+		if err != nil {
+			fail(err)
+		}
+		if profile, err = design.MappedTraffic(profile); err != nil {
+			fail(err)
+		}
+	}
+
+	switch *kind {
+	case "comm2":
+		design, err = sys.CommAwareDesign(profile, 2)
+	case "comm4":
+		design, err = sys.CommAwareDesign(profile, 4)
+	case "dist2":
+		design, err = sys.DistanceDesign([]int{*n / 2, *n - 1 - *n/2}, power.UniformWeighting(2))
+	case "dist4":
+		q := *n / 4
+		design, err = sys.DistanceDesign([]int{q, q, q, *n - 1 - 3*q}, power.UniformWeighting(4))
+	case "cluster":
+		design, err = sys.ClusteredDesign(4)
+	case "broadcast":
+		design, err = sys.BroadcastDesign()
+	default:
+		fail(fmt.Errorf("unknown kind %q", *kind))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	bd, err := design.Network.Evaluate(profile, core.ProfileCycles)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("design %s on %s (n=%d, qap=%v)\n", design.Topology.Name, *bench, *n, *qap)
+	fmt.Printf("modes: %d  total power: %s (source %s, O/E %s, electrical %s)\n",
+		design.Topology.Modes,
+		phys.FormatPower(bd.TotalUW()), phys.FormatPower(bd.SourceUW),
+		phys.FormatPower(bd.OEUW), phys.FormatPower(bd.ElectricalUW))
+
+	src := *n / 2
+	d := design.Network.Designs[src]
+	fmt.Printf("source %d mode powers (QD LED optical): ", src)
+	for m, p := range d.ModePowerUW {
+		fmt.Printf("mode%d=%s ", m+1, phys.FormatPower(p))
+	}
+	fmt.Println()
+
+	if *render > 0 {
+		hi := *render
+		if hi > *n {
+			hi = *n
+		}
+		fmt.Printf("\nadjacency matrix (nodes 0..%d):\n", hi-1)
+		if err := design.Topology.Render(os.Stdout, 0, hi); err != nil {
+			fail(err)
+		}
+	}
+
+	if *export != "" {
+		tbl, err := drivetable.Build(design.Network, design.Mapping)
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*export)
+		if err != nil {
+			fail(err)
+		}
+		if err := tbl.Write(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("drive table written: %s (%d nodes, %d modes)\n", *export, tbl.N, tbl.Modes)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mnoc-topo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// Command mnoc-trace generates synthetic SPLASH-2 packet traces and
+// inspects existing trace files.
+//
+// Usage:
+//
+//	mnoc-trace gen  -bench fft -n 64 -cycles 100000 -flits 50000 -o fft.trc
+//	mnoc-trace info -i fft.trc [-heatmap] [-replay mnoc|rnoc|cmnoc|mwsr]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mnoc/internal/noc"
+	"mnoc/internal/stats"
+	"mnoc/internal/trace"
+	"mnoc/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mnoc-trace gen|info [flags]")
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		bench  = fs.String("bench", "fft", "benchmark name")
+		n      = fs.Int("n", 64, "node count")
+		cycles = fs.Uint64("cycles", 100000, "trace duration in cycles")
+		flits  = fs.Int("flits", 50000, "total flits to sample")
+		seed   = fs.Int64("seed", 1, "random seed")
+		out    = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		fail(err)
+	}
+	b, err := workload.Resolve(*bench)
+	if err != nil {
+		fail(err)
+	}
+	tr, err := b.Trace(*n, *cycles, *flits, *seed)
+	if err != nil {
+		fail(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		w = f
+	}
+	if err := tr.Write(w); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "mnoc-trace: wrote %d packets (%s, n=%d, %d cycles)\n",
+		len(tr.Packets), *bench, *n, *cycles)
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	var (
+		in      = fs.String("i", "", "input trace file (required)")
+		heatmap = fs.Bool("heatmap", false, "print the traffic matrix as an ASCII heatmap")
+		replay  = fs.String("replay", "", "replay the trace on a timing model (mnoc, rnoc, cmnoc, mwsr) and print latency stats")
+	)
+	if err := fs.Parse(args); err != nil {
+		fail(err)
+	}
+	if *in == "" {
+		fail(fmt.Errorf("info: -i is required"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fail(err)
+	}
+	m := tr.Matrix()
+	fmt.Printf("nodes:        %d\n", tr.N)
+	fmt.Printf("cycles:       %d\n", tr.Cycles)
+	fmt.Printf("packets:      %d\n", len(tr.Packets))
+	fmt.Printf("flits:        %.0f\n", tr.TotalFlits())
+	fmt.Printf("flits/cycle:  %.4f\n", tr.TotalFlits()/float64(tr.Cycles))
+	fmt.Printf("avg distance: %.1f\n", m.AvgDistance())
+	if *heatmap {
+		fmt.Println("traffic matrix (dark = heavy):")
+		if err := stats.Heatmap(os.Stdout, m.Counts, 32); err != nil {
+			fail(err)
+		}
+	}
+	if *replay != "" {
+		var net noc.Network
+		var err error
+		switch *replay {
+		case "mnoc":
+			net, err = noc.NewMNoC(tr.N)
+		case "rnoc":
+			net, err = noc.NewRNoC(tr.N, 4)
+		case "cmnoc":
+			net, err = noc.NewCMNoC(tr.N, 4)
+		case "mwsr":
+			net, err = noc.NewMWSR(tr.N)
+		default:
+			err = fmt.Errorf("unknown timing model %q", *replay)
+		}
+		if err != nil {
+			fail(err)
+		}
+		st, err := noc.Replay(net, tr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("replay on %s:\n", st.NetworkName)
+		fmt.Printf("  avg latency: %.2f cycles\n", st.AvgLatency)
+		fmt.Printf("  p50/p99/max: %d / %d / %d cycles\n", st.P50Latency, st.P99Latency, st.MaxLatency)
+		fmt.Printf("  finish:      cycle %d\n", st.FinishCycle)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mnoc-trace:", err)
+	os.Exit(1)
+}

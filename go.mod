@@ -1,0 +1,3 @@
+module mnoc
+
+go 1.22

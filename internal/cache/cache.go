@@ -1,0 +1,205 @@
+// Package cache implements the set-associative, write-back caches of the
+// simulated cores (Table 2: private 32KB L1D, 32KB L1I, 512KB L2), with
+// the line states of the MOSI protocol the paper's Graphite setup uses.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// State is a MOSI coherence state.
+type State uint8
+
+// MOSI states. Owned holds dirty data that other caches may share.
+const (
+	Invalid State = iota
+	Shared
+	Owned
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Dirty reports whether the state holds data newer than memory.
+func (s State) Dirty() bool { return s == Owned || s == Modified }
+
+// Readable reports whether a load can be served from this state.
+func (s State) Readable() bool { return s != Invalid }
+
+// Writable reports whether a store can be performed without an upgrade.
+func (s State) Writable() bool { return s == Modified }
+
+// Line is one cache line.
+type Line struct {
+	Tag   uint64
+	State State
+	lru   uint64
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits, Misses, Evictions, Invalidations uint64
+}
+
+// Cache is a set-associative write-back cache.
+type Cache struct {
+	sets, ways int
+	lineBits   uint
+	setMask    uint64
+	lines      [][]Line
+	tick       uint64
+	Stats      Stats
+}
+
+// New builds a cache of sizeBytes with the given associativity and line
+// size; all three must be powers of two.
+func New(sizeBytes, ways, lineBytes int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry %d/%d/%d", sizeBytes, ways, lineBytes)
+	}
+	for _, v := range []int{sizeBytes, ways, lineBytes} {
+		if v&(v-1) != 0 {
+			return nil, fmt.Errorf("cache: %d is not a power of two", v)
+		}
+	}
+	lines := sizeBytes / lineBytes
+	if lines < ways {
+		return nil, fmt.Errorf("cache: %dB/%dB lines gives %d lines for %d ways", sizeBytes, lineBytes, lines, ways)
+	}
+	sets := lines / ways
+	c := &Cache{
+		sets:     sets,
+		ways:     ways,
+		lineBits: uint(bits.TrailingZeros(uint(lineBytes))),
+		setMask:  uint64(sets - 1),
+		lines:    make([][]Line, sets),
+	}
+	flat := make([]Line, sets*ways)
+	for i := range c.lines {
+		c.lines[i], flat = flat[:ways], flat[ways:]
+	}
+	return c, nil
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return 1 << c.lineBits }
+
+// BlockAddr strips the line offset from an address.
+func (c *Cache) BlockAddr(addr uint64) uint64 { return addr >> c.lineBits << c.lineBits }
+
+func (c *Cache) set(addr uint64) []Line { return c.lines[(addr>>c.lineBits)&c.setMask] }
+
+func (c *Cache) tag(addr uint64) uint64 { return addr >> c.lineBits }
+
+// Lookup finds the line holding addr; it returns nil if absent or
+// Invalid. A hit refreshes LRU and counts in Stats.
+func (c *Cache) Lookup(addr uint64) *Line {
+	set := c.set(addr)
+	tag := c.tag(addr)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Tag == tag {
+			c.tick++
+			set[i].lru = c.tick
+			c.Stats.Hits++
+			return &set[i]
+		}
+	}
+	c.Stats.Misses++
+	return nil
+}
+
+// Peek is Lookup without statistics or LRU effects.
+func (c *Cache) Peek(addr uint64) *Line {
+	set := c.set(addr)
+	tag := c.tag(addr)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Victim holds an evicted line's identity.
+type Victim struct {
+	Addr  uint64
+	State State
+}
+
+// Insert places addr in state st, evicting the LRU line of the set if
+// necessary. It returns the victim if a valid line was displaced.
+// Inserting an address that is already present just updates its state.
+func (c *Cache) Insert(addr uint64, st State) (Victim, bool) {
+	if st == Invalid {
+		return Victim{}, false
+	}
+	if l := c.Peek(addr); l != nil {
+		l.State = st
+		c.tick++
+		l.lru = c.tick
+		return Victim{}, false
+	}
+	set := c.set(addr)
+	victim := 0
+	for i := range set {
+		if set[i].State == Invalid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	out := Victim{}
+	had := false
+	if set[victim].State != Invalid {
+		out = Victim{Addr: set[victim].Tag << c.lineBits, State: set[victim].State}
+		had = true
+		c.Stats.Evictions++
+	}
+	c.tick++
+	set[victim] = Line{Tag: c.tag(addr), State: st, lru: c.tick}
+	return out, had
+}
+
+// Invalidate drops addr if present, returning its previous state.
+func (c *Cache) Invalidate(addr uint64) (State, bool) {
+	if l := c.Peek(addr); l != nil {
+		st := l.State
+		l.State = Invalid
+		c.Stats.Invalidations++
+		return st, true
+	}
+	return Invalid, false
+}
+
+// SetState changes the state of a resident line; it reports whether the
+// line was present.
+func (c *Cache) SetState(addr uint64, st State) bool {
+	if l := c.Peek(addr); l != nil {
+		l.State = st
+		return true
+	}
+	return false
+}

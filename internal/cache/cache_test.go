@@ -1,0 +1,192 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, size, ways, line int) *Cache {
+	t.Helper()
+	c, err := New(size, ways, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGeometry(t *testing.T) {
+	c := mustNew(t, 32*1024, 4, 64)
+	if c.Sets() != 128 || c.Ways() != 4 || c.LineBytes() != 64 {
+		t.Fatalf("geometry: sets=%d ways=%d line=%d", c.Sets(), c.Ways(), c.LineBytes())
+	}
+}
+
+func TestNewRejections(t *testing.T) {
+	cases := [][3]int{
+		{0, 4, 64}, {1024, 0, 64}, {1024, 4, 0},
+		{1000, 4, 64}, {1024, 3, 64}, {1024, 4, 60},
+		{128, 4, 64}, // fewer lines than ways
+	}
+	for _, c := range cases {
+		if _, err := New(c[0], c[1], c[2]); err == nil {
+			t.Errorf("New(%v) accepted", c)
+		}
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	c := mustNew(t, 1024, 2, 64)
+	if l := c.Lookup(0x1000); l != nil {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(0x1000, Shared)
+	l := c.Lookup(0x1000)
+	if l == nil || l.State != Shared {
+		t.Fatalf("lookup after insert: %+v", l)
+	}
+	// Same line, different offset.
+	if l := c.Lookup(0x103F); l == nil {
+		t.Fatal("offset within line missed")
+	}
+	if c.Stats.Hits != 2 || c.Stats.Misses != 1 {
+		t.Fatalf("stats: %+v", c.Stats)
+	}
+}
+
+func TestInsertUpdatesExisting(t *testing.T) {
+	c := mustNew(t, 1024, 2, 64)
+	c.Insert(0x40, Shared)
+	if _, had := c.Insert(0x40, Modified); had {
+		t.Fatal("re-insert reported a victim")
+	}
+	if l := c.Peek(0x40); l == nil || l.State != Modified {
+		t.Fatalf("state not updated: %+v", l)
+	}
+	if c.Stats.Evictions != 0 {
+		t.Fatal("phantom eviction")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustNew(t, 2*64, 2, 64) // one set, two ways
+	c.Insert(0x0, Shared)
+	c.Insert(0x1000, Shared)
+	c.Lookup(0x0) // make 0x0 most recent
+	v, had := c.Insert(0x2000, Modified)
+	if !had {
+		t.Fatal("no victim on full set")
+	}
+	if v.Addr != 0x1000 || v.State != Shared {
+		t.Fatalf("wrong victim: %+v", v)
+	}
+	if c.Peek(0x0) == nil || c.Peek(0x2000) == nil {
+		t.Fatal("survivors missing")
+	}
+}
+
+func TestInvalidSlotPreferredOverEviction(t *testing.T) {
+	c := mustNew(t, 2*64, 2, 64)
+	c.Insert(0x0, Shared)
+	c.Insert(0x1000, Shared)
+	c.Invalidate(0x0)
+	if _, had := c.Insert(0x2000, Shared); had {
+		t.Fatal("evicted despite invalid slot")
+	}
+	if c.Peek(0x1000) == nil {
+		t.Fatal("valid line displaced")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := mustNew(t, 1024, 2, 64)
+	c.Insert(0x80, Owned)
+	st, ok := c.Invalidate(0x80)
+	if !ok || st != Owned {
+		t.Fatalf("Invalidate = %v,%v", st, ok)
+	}
+	if c.Peek(0x80) != nil {
+		t.Fatal("line still present")
+	}
+	if _, ok := c.Invalidate(0x80); ok {
+		t.Fatal("double invalidate reported present")
+	}
+}
+
+func TestSetState(t *testing.T) {
+	c := mustNew(t, 1024, 2, 64)
+	c.Insert(0xC0, Shared)
+	if !c.SetState(0xC0, Owned) {
+		t.Fatal("SetState missed resident line")
+	}
+	if l := c.Peek(0xC0); l.State != Owned {
+		t.Fatalf("state = %v", l.State)
+	}
+	if c.SetState(0xF000, Modified) {
+		t.Fatal("SetState hit absent line")
+	}
+}
+
+func TestInsertInvalidIsNoop(t *testing.T) {
+	c := mustNew(t, 1024, 2, 64)
+	if _, had := c.Insert(0x40, Invalid); had {
+		t.Fatal("inserting Invalid produced a victim")
+	}
+	if c.Peek(0x40) != nil {
+		t.Fatal("Invalid line materialised")
+	}
+}
+
+func TestBlockAddr(t *testing.T) {
+	c := mustNew(t, 1024, 2, 64)
+	if got := c.BlockAddr(0x12345); got != 0x12340 {
+		t.Errorf("BlockAddr = %#x, want 0x12340", got)
+	}
+}
+
+func TestStateStringAndPredicates(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Owned.String() != "O" || Modified.String() != "M" {
+		t.Error("state names wrong")
+	}
+	if State(9).String() == "" {
+		t.Error("unknown state unprintable")
+	}
+	if Invalid.Readable() || !Shared.Readable() {
+		t.Error("Readable wrong")
+	}
+	if !Modified.Writable() || Owned.Writable() {
+		t.Error("Writable wrong")
+	}
+	if !Owned.Dirty() || !Modified.Dirty() || Shared.Dirty() {
+		t.Error("Dirty wrong")
+	}
+}
+
+// TestNoTwoLinesShareTag: inserting many random addresses never produces
+// duplicate (set, tag) pairs — a uniqueness invariant checked by
+// re-looking-up every inserted block.
+func TestNoTwoLinesShareTag(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c, err := New(4096, 4, 64)
+		if err != nil {
+			return false
+		}
+		for _, a := range addrs {
+			c.Insert(uint64(a), Shared)
+			// After every insert the block must be found exactly once.
+			set := c.set(uint64(a))
+			count := 0
+			for i := range set {
+				if set[i].State != Invalid && set[i].Tag == c.tag(uint64(a)) {
+					count++
+				}
+			}
+			if count != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,376 @@
+// Package coherence implements the MOSI directory-based cache-coherence
+// protocol the paper's evaluation runs over Graphite ("We use the MOSI
+// directory-based cache coherence protocol provided in Graphite").
+//
+// The directory is distributed: each block's home node is determined by
+// address interleaving, so directory traffic spreads across the whole
+// machine. Like Graphite's default model, transactions are atomic at
+// the directory — there are no transient states; the caller (package
+// sim) serialises requests per block and derives timing by replaying the
+// generated messages on a NoC model.
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mnoc/internal/cache"
+	"mnoc/internal/phys"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	GetS    MsgType = iota // read request to home
+	GetM                   // write/upgrade request to home
+	PutM                   // dirty writeback to home
+	FwdGetS                // home forwards a read to the owner
+	FwdGetM                // home forwards a write to the owner
+	Inv                    // home tells a sharer to invalidate
+	InvAck                 // sharer acknowledges to the requestor
+	Data                   // cache-line data
+	Ack                    // control acknowledgement
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	names := [...]string{"GetS", "GetM", "PutM", "FwdGetS", "FwdGetM", "Inv", "InvAck", "Data", "Ack"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Msg is one protocol message. Messages with equal Stage travel in
+// parallel; a stage begins when the previous stage's slowest message has
+// arrived.
+type Msg struct {
+	Type  MsgType
+	Src   int
+	Dst   int
+	Flits int
+	Stage int
+	// MemAccess marks messages the home can only send after a DRAM
+	// fetch; the timing model charges memory latency before them.
+	MemAccess bool
+	// Coalesce groups messages that one SWMR broadcast can deliver
+	// together (same source, same stage): the timing model sends the
+	// group as a single waveguide transmission. 0 means unicast. This
+	// is the paper's Section 7 extension — "exploring mNoC's ability to
+	// multicast/broadcast when used in coherence protocol design".
+	Coalesce int
+}
+
+// Transaction is the outcome of a directory request: the messages it
+// put on the network and the cache-state changes the requesting and
+// remote cores must apply.
+type Transaction struct {
+	Msgs []Msg
+	// NewState is the state the requestor installs (Invalid for
+	// evictions).
+	NewState cache.State
+	// DowngradeOwner, if >= 0, is a core whose copy changes state on a
+	// remote read of its dirty line; DowngradeTo gives the new state
+	// (Owned under MOSI, Shared under MSI).
+	DowngradeOwner int
+	DowngradeTo    cache.State
+	// InvalidateAt lists cores that must drop their copy.
+	InvalidateAt []int
+}
+
+// Stats counts directory activity.
+type Stats struct {
+	Reads, Writes, Evictions    uint64
+	Forwards, InvalidationsSent uint64
+	MemReads, MemWrites         uint64
+	DataFromOwner, DataFromHome uint64
+	// BroadcastInvs counts invalidation groups delivered as a single
+	// SWMR broadcast instead of per-sharer unicasts.
+	BroadcastInvs uint64
+}
+
+// Protocol selects the coherence protocol variant.
+type Protocol uint8
+
+// Protocol variants. MOSI is the paper's Graphite default; MSI drops
+// the Owned state, forcing a memory writeback whenever a dirty line is
+// read remotely — the ablation quantifies what O is worth.
+const (
+	MOSI Protocol = iota
+	MSI
+)
+
+// Directory is the distributed MOSI directory for an n-node system.
+type Directory struct {
+	n         int
+	lineBytes int
+	dataFlits int
+	entries   map[uint64]*entry
+	Stats     Stats
+
+	// Protocol selects MOSI (default) or MSI behaviour.
+	Protocol Protocol
+
+	// BroadcastInv enables the Section 7 extension: when a write must
+	// invalidate two or more sharers, the home delivers every Inv with
+	// one broadcast on its waveguide instead of per-sharer unicasts
+	// (SWMR crossbars broadcast physically anyway; only the power mode
+	// must reach the farthest sharer).
+	BroadcastInv bool
+
+	coalesceSeq int
+}
+
+type entry struct {
+	owner   int // -1 when no dirty owner exists
+	sharers bitset
+}
+
+// New builds a directory for n nodes and the given cache-line size.
+func New(n, lineBytes int) (*Directory, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("coherence: n = %d", n)
+	}
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("coherence: line size %d not a power of two", lineBytes)
+	}
+	return &Directory{
+		n:         n,
+		lineBytes: lineBytes,
+		dataFlits: 1 + (lineBytes*8+phys.FlitBits-1)/phys.FlitBits,
+		entries:   make(map[uint64]*entry),
+	}, nil
+}
+
+// ControlFlits is the size of a coherence control message.
+const ControlFlits = 1
+
+// DataFlits is the size of a data-carrying message (header + payload).
+func (d *Directory) DataFlits() int { return d.dataFlits }
+
+// HomeOf returns the home node of an address: cache blocks are
+// interleaved across all nodes.
+func (d *Directory) HomeOf(addr uint64) int {
+	return int((addr / uint64(d.lineBytes)) % uint64(d.n))
+}
+
+func (d *Directory) block(addr uint64) uint64 {
+	return addr / uint64(d.lineBytes)
+}
+
+func (d *Directory) entryFor(addr uint64) *entry {
+	b := d.block(addr)
+	e, ok := d.entries[b]
+	if !ok {
+		e = &entry{owner: -1, sharers: newBitset(d.n)}
+		d.entries[b] = e
+	}
+	return e
+}
+
+func (d *Directory) checkCore(core int) error {
+	if core < 0 || core >= d.n {
+		return fmt.Errorf("coherence: core %d out of range [0,%d)", core, d.n)
+	}
+	return nil
+}
+
+// msg appends a message, dropping network self-sends (a requestor that
+// is its own home, or a sharer acking itself, uses no network).
+func appendMsg(msgs []Msg, t MsgType, src, dst, flits, stage int, mem bool) []Msg {
+	if src == dst {
+		return msgs
+	}
+	return append(msgs, Msg{Type: t, Src: src, Dst: dst, Flits: flits, Stage: stage, MemAccess: mem})
+}
+
+// Read handles a read miss by core for addr and returns the resulting
+// transaction. Directory state is updated atomically.
+func (d *Directory) Read(core int, addr uint64) (Transaction, error) {
+	if err := d.checkCore(core); err != nil {
+		return Transaction{}, err
+	}
+	d.Stats.Reads++
+	e := d.entryFor(addr)
+	home := d.HomeOf(addr)
+	tx := Transaction{NewState: cache.Shared, DowngradeOwner: -1}
+	tx.Msgs = appendMsg(tx.Msgs, GetS, core, home, ControlFlits, 0, false)
+
+	if e.owner >= 0 && e.owner != core {
+		// Dirty remote copy: forward; the owner supplies data. Under
+		// MOSI it keeps the line in Owned (no writeback); under MSI it
+		// must also write the dirty data back to the home's memory and
+		// drop to Shared.
+		tx.Msgs = appendMsg(tx.Msgs, FwdGetS, home, e.owner, ControlFlits, 1, false)
+		tx.Msgs = appendMsg(tx.Msgs, Data, e.owner, core, d.dataFlits, 2, false)
+		tx.DowngradeOwner = e.owner
+		tx.DowngradeTo = cache.Owned
+		if d.Protocol == MSI {
+			tx.Msgs = appendMsg(tx.Msgs, PutM, e.owner, home, d.dataFlits, 2, false)
+			tx.DowngradeTo = cache.Shared
+			d.Stats.MemWrites++
+		}
+		e.sharers.set(e.owner)
+		d.Stats.Forwards++
+		d.Stats.DataFromOwner++
+	} else {
+		// Clean (or self-owned re-read): home supplies data from
+		// memory.
+		tx.Msgs = appendMsg(tx.Msgs, Data, home, core, d.dataFlits, 1, true)
+		d.Stats.MemReads++
+		d.Stats.DataFromHome++
+	}
+	e.sharers.set(core)
+	if e.owner == core || (d.Protocol == MSI && tx.DowngradeOwner >= 0) {
+		e.owner = -1 // no dirty owner remains
+	}
+	return tx, nil
+}
+
+// Write handles a write miss or upgrade by core for addr.
+func (d *Directory) Write(core int, addr uint64) (Transaction, error) {
+	if err := d.checkCore(core); err != nil {
+		return Transaction{}, err
+	}
+	d.Stats.Writes++
+	e := d.entryFor(addr)
+	home := d.HomeOf(addr)
+	tx := Transaction{NewState: cache.Modified, DowngradeOwner: -1}
+	tx.Msgs = appendMsg(tx.Msgs, GetM, core, home, ControlFlits, 0, false)
+
+	hadOwner := e.owner >= 0 && e.owner != core
+	if hadOwner {
+		tx.Msgs = appendMsg(tx.Msgs, FwdGetM, home, e.owner, ControlFlits, 1, false)
+		tx.Msgs = appendMsg(tx.Msgs, Data, e.owner, core, d.dataFlits, 2, false)
+		tx.InvalidateAt = append(tx.InvalidateAt, e.owner)
+		d.Stats.Forwards++
+		d.Stats.DataFromOwner++
+	}
+	// Invalidate every other sharer; acks go to the requestor. (An Inv
+	// whose target is the home itself never touches the network —
+	// appendMsg drops self-sends — but its ack and local drop remain.)
+	var invTargets []int
+	for _, s := range e.sharers.members() {
+		if s == core || s == e.owner {
+			continue
+		}
+		invTargets = append(invTargets, s)
+	}
+	coalesce := 0
+	networkInvs := 0
+	for _, s := range invTargets {
+		if s != home {
+			networkInvs++
+		}
+	}
+	if d.BroadcastInv && networkInvs >= 2 {
+		d.coalesceSeq++
+		coalesce = d.coalesceSeq
+		d.Stats.BroadcastInvs++
+	}
+	for _, s := range invTargets {
+		n := len(tx.Msgs)
+		tx.Msgs = appendMsg(tx.Msgs, Inv, home, s, ControlFlits, 1, false)
+		if coalesce != 0 && len(tx.Msgs) > n {
+			tx.Msgs[len(tx.Msgs)-1].Coalesce = coalesce
+		}
+		tx.Msgs = appendMsg(tx.Msgs, InvAck, s, core, ControlFlits, 2, false)
+		tx.InvalidateAt = append(tx.InvalidateAt, s)
+		d.Stats.InvalidationsSent++
+	}
+	if !hadOwner {
+		if e.sharers.has(core) || e.owner == core {
+			// Upgrade: the requestor already holds data.
+			tx.Msgs = appendMsg(tx.Msgs, Ack, home, core, ControlFlits, 1, false)
+		} else {
+			tx.Msgs = appendMsg(tx.Msgs, Data, home, core, d.dataFlits, 1, true)
+			d.Stats.MemReads++
+			d.Stats.DataFromHome++
+		}
+	}
+	e.owner = core
+	e.sharers = newBitset(d.n)
+	e.sharers.set(core)
+	return tx, nil
+}
+
+// Evict handles core dropping addr in the given state. Dirty lines
+// write back to the home's memory; Shared lines drop silently (the
+// directory still updates its precise sharer set, as simulators can).
+func (d *Directory) Evict(core int, addr uint64, st cache.State) (Transaction, error) {
+	if err := d.checkCore(core); err != nil {
+		return Transaction{}, err
+	}
+	d.Stats.Evictions++
+	e := d.entryFor(addr)
+	home := d.HomeOf(addr)
+	tx := Transaction{NewState: cache.Invalid, DowngradeOwner: -1}
+
+	if st.Dirty() {
+		tx.Msgs = appendMsg(tx.Msgs, PutM, core, home, d.dataFlits, 0, false)
+		tx.Msgs = appendMsg(tx.Msgs, Ack, home, core, ControlFlits, 1, false)
+		d.Stats.MemWrites++
+	}
+	if e.owner == core {
+		e.owner = -1
+	}
+	e.sharers.clear(core)
+	if e.owner < 0 && e.sharers.empty() {
+		delete(d.entries, d.block(addr))
+	}
+	return tx, nil
+}
+
+// Sharers returns the current sharer list of addr (diagnostics/tests).
+func (d *Directory) Sharers(addr uint64) []int {
+	b := d.block(addr)
+	if e, ok := d.entries[b]; ok {
+		return e.sharers.members()
+	}
+	return nil
+}
+
+// Owner returns the dirty owner of addr, or -1.
+func (d *Directory) Owner(addr uint64) int {
+	if e, ok := d.entries[d.block(addr)]; ok {
+		return e.owner
+	}
+	return -1
+}
+
+// EntryCount is the number of tracked blocks (diagnostics).
+func (d *Directory) EntryCount() int { return len(d.entries) }
+
+// bitset is a fixed-size bitset over core IDs.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)   { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int) { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool {
+	return b[i/64]&(1<<(i%64)) != 0
+}
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) members() []int {
+	var out []int
+	for wi, w := range b {
+		for w != 0 {
+			idx := wi*64 + bits.TrailingZeros64(w)
+			out = append(out, idx)
+			w &= w - 1
+		}
+	}
+	return out
+}

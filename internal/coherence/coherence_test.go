@@ -1,0 +1,524 @@
+package coherence
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mnoc/internal/cache"
+)
+
+func mustNew(t *testing.T) *Directory {
+	t.Helper()
+	d, err := New(16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func msgTypes(msgs []Msg) []MsgType {
+	out := make([]MsgType, len(msgs))
+	for i, m := range msgs {
+		out[i] = m.Type
+	}
+	return out
+}
+
+func TestNewRejections(t *testing.T) {
+	if _, err := New(1, 64); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := New(16, 60); err == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+	if _, err := New(16, 0); err == nil {
+		t.Error("zero line accepted")
+	}
+}
+
+func TestHomeOfInterleaves(t *testing.T) {
+	d := mustNew(t)
+	// Consecutive blocks have consecutive homes, wrapping mod n.
+	for b := 0; b < 40; b++ {
+		addr := uint64(b * 64)
+		if got := d.HomeOf(addr); got != b%16 {
+			t.Fatalf("HomeOf(block %d) = %d, want %d", b, got, b%16)
+		}
+	}
+	// All offsets within a block share a home.
+	if d.HomeOf(0x40) != d.HomeOf(0x7F) {
+		t.Error("offsets within a block have different homes")
+	}
+}
+
+func TestDataFlits(t *testing.T) {
+	d := mustNew(t)
+	// 64-byte line over 256-bit flits: 2 payload flits + 1 header.
+	if got := d.DataFlits(); got != 3 {
+		t.Errorf("DataFlits = %d, want 3", got)
+	}
+}
+
+func TestColdReadComesFromMemoryAtHome(t *testing.T) {
+	d := mustNew(t)
+	addr := uint64(5 * 64) // home = 5
+	tx, err := d.Read(2, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []MsgType{GetS, Data}
+	if !reflect.DeepEqual(msgTypes(tx.Msgs), want) {
+		t.Fatalf("msgs = %v, want %v", msgTypes(tx.Msgs), want)
+	}
+	if tx.Msgs[0].Src != 2 || tx.Msgs[0].Dst != 5 {
+		t.Errorf("GetS endpoints wrong: %+v", tx.Msgs[0])
+	}
+	if !tx.Msgs[1].MemAccess {
+		t.Error("cold fill did not access memory")
+	}
+	if tx.NewState != cache.Shared {
+		t.Errorf("NewState = %v, want S", tx.NewState)
+	}
+	if got := d.Sharers(addr); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("sharers = %v", got)
+	}
+}
+
+func TestReadFromDirtyOwnerForwards(t *testing.T) {
+	d := mustNew(t)
+	addr := uint64(5 * 64)
+	if _, err := d.Write(7, addr); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := d.Read(2, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []MsgType{GetS, FwdGetS, Data}
+	if !reflect.DeepEqual(msgTypes(tx.Msgs), want) {
+		t.Fatalf("msgs = %v, want %v", msgTypes(tx.Msgs), want)
+	}
+	// Data must come from the owner, not memory (MOSI keeps it dirty).
+	data := tx.Msgs[2]
+	if data.Src != 7 || data.Dst != 2 || data.MemAccess {
+		t.Errorf("data msg wrong: %+v", data)
+	}
+	if tx.DowngradeOwner != 7 {
+		t.Errorf("DowngradeOwner = %d, want 7", tx.DowngradeOwner)
+	}
+	// Owner remains the owner (O state), both are sharers.
+	if d.Owner(addr) != 7 {
+		t.Errorf("owner = %d, want 7", d.Owner(addr))
+	}
+	got := d.Sharers(addr)
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, []int{2, 7}) {
+		t.Errorf("sharers = %v, want [2 7]", got)
+	}
+}
+
+func TestWriteInvalidatesSharersAndOwner(t *testing.T) {
+	d := mustNew(t)
+	addr := uint64(3 * 64)
+	if _, err := d.Write(9, addr); err != nil { // 9 becomes owner
+		t.Fatal(err)
+	}
+	if _, err := d.Read(4, addr); err != nil { // 4 shares
+		t.Fatal(err)
+	}
+	if _, err := d.Read(5, addr); err != nil { // 5 shares
+		t.Fatal(err)
+	}
+	tx, err := d.Write(1, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := append([]int(nil), tx.InvalidateAt...)
+	sort.Ints(inv)
+	if !reflect.DeepEqual(inv, []int{4, 5, 9}) {
+		t.Fatalf("InvalidateAt = %v, want [4 5 9]", inv)
+	}
+	if d.Owner(addr) != 1 {
+		t.Errorf("owner = %d, want 1", d.Owner(addr))
+	}
+	if got := d.Sharers(addr); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("sharers = %v, want [1]", got)
+	}
+	// InvAcks must converge on the requestor.
+	for _, m := range tx.Msgs {
+		if m.Type == InvAck && m.Dst != 1 {
+			t.Errorf("InvAck to %d, want 1", m.Dst)
+		}
+	}
+}
+
+func TestUpgradeFromSharedNeedsNoData(t *testing.T) {
+	d := mustNew(t)
+	addr := uint64(2 * 64)
+	if _, err := d.Read(6, addr); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := d.Write(6, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range tx.Msgs {
+		if m.Type == Data {
+			t.Fatalf("upgrade fetched data: %+v", tx.Msgs)
+		}
+	}
+	if tx.NewState != cache.Modified {
+		t.Errorf("NewState = %v", tx.NewState)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	d := mustNew(t)
+	addr := uint64(8 * 64)
+	if _, err := d.Write(3, addr); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := d.Evict(3, addr, cache.Modified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []MsgType{PutM, Ack}
+	if !reflect.DeepEqual(msgTypes(tx.Msgs), want) {
+		t.Fatalf("msgs = %v, want %v", msgTypes(tx.Msgs), want)
+	}
+	if tx.Msgs[0].Flits != d.DataFlits() {
+		t.Errorf("PutM flits = %d, want %d", tx.Msgs[0].Flits, d.DataFlits())
+	}
+	if d.Owner(addr) != -1 {
+		t.Error("owner survived eviction")
+	}
+	// Entry fully dropped once nobody holds the line.
+	if d.EntryCount() != 0 {
+		t.Errorf("entry leaked: count = %d", d.EntryCount())
+	}
+}
+
+func TestSharedEvictionIsSilent(t *testing.T) {
+	d := mustNew(t)
+	addr := uint64(8 * 64)
+	if _, err := d.Read(3, addr); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := d.Evict(3, addr, cache.Shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.Msgs) != 0 {
+		t.Fatalf("silent drop sent messages: %v", msgTypes(tx.Msgs))
+	}
+	if len(d.Sharers(addr)) != 0 {
+		t.Error("sharer list not cleaned")
+	}
+}
+
+func TestSelfSendsNeverHitTheNetwork(t *testing.T) {
+	d := mustNew(t)
+	// Core 5 accesses a block homed at 5: the GetS/Data exchange is
+	// local and produces no network messages.
+	addr := uint64(5 * 64)
+	tx, err := d.Read(5, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.Msgs) != 0 {
+		t.Fatalf("self-homed read sent %v", msgTypes(tx.Msgs))
+	}
+	for _, m := range tx.Msgs {
+		if m.Src == m.Dst {
+			t.Fatalf("self-send leaked: %+v", m)
+		}
+	}
+}
+
+func TestStagesAreOrdered(t *testing.T) {
+	d := mustNew(t)
+	addr := uint64(3 * 64)
+	if _, err := d.Write(9, addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(4, addr); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := d.Write(1, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requests are stage 0, home fan-out stage 1, responses stage 2.
+	for _, m := range tx.Msgs {
+		switch m.Type {
+		case GetS, GetM, PutM:
+			if m.Stage != 0 {
+				t.Errorf("%v at stage %d", m.Type, m.Stage)
+			}
+		case FwdGetS, FwdGetM, Inv:
+			if m.Stage != 1 {
+				t.Errorf("%v at stage %d", m.Type, m.Stage)
+			}
+		case InvAck:
+			if m.Stage != 2 {
+				t.Errorf("%v at stage %d", m.Type, m.Stage)
+			}
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := mustNew(t)
+	addr := uint64(64)
+	if _, err := d.Read(1, addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Write(2, addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Evict(2, addr, cache.Modified); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats.Reads != 1 || d.Stats.Writes != 1 || d.Stats.Evictions != 1 {
+		t.Errorf("stats: %+v", d.Stats)
+	}
+	if d.Stats.InvalidationsSent == 0 {
+		t.Error("no invalidations counted")
+	}
+	if d.Stats.MemWrites != 1 {
+		t.Errorf("MemWrites = %d, want 1", d.Stats.MemWrites)
+	}
+}
+
+func TestCheckCore(t *testing.T) {
+	d := mustNew(t)
+	if _, err := d.Read(-1, 0); err == nil {
+		t.Error("negative core accepted")
+	}
+	if _, err := d.Write(16, 0); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if _, err := d.Evict(99, 0, cache.Modified); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+}
+
+// TestProtocolInvariantFuzz drives random operations and checks the
+// single-writer invariant: whenever an owner exists, it is the only
+// holder the directory tracks after a write, and sharer sets never
+// contain an invalidated core.
+func TestProtocolInvariantFuzz(t *testing.T) {
+	d := mustNew(t)
+	rng := rand.New(rand.NewSource(11))
+	type holder struct{ states map[int]cache.State }
+	blocks := map[uint64]*holder{}
+	get := func(a uint64) *holder {
+		if h, ok := blocks[a]; ok {
+			return h
+		}
+		h := &holder{states: map[int]cache.State{}}
+		blocks[a] = h
+		return h
+	}
+	for i := 0; i < 5000; i++ {
+		core := rng.Intn(16)
+		addr := uint64(rng.Intn(32)) * 64
+		h := get(addr)
+		switch rng.Intn(3) {
+		case 0:
+			tx, err := d.Read(core, addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.states[core] = tx.NewState
+			if tx.DowngradeOwner >= 0 {
+				h.states[tx.DowngradeOwner] = cache.Owned
+			}
+		case 1:
+			tx, err := d.Write(core, addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range tx.InvalidateAt {
+				delete(h.states, c)
+			}
+			h.states[core] = tx.NewState
+		case 2:
+			st, ok := h.states[core]
+			if !ok {
+				continue
+			}
+			if _, err := d.Evict(core, addr, st); err != nil {
+				t.Fatal(err)
+			}
+			delete(h.states, core)
+		}
+		// Invariant: at most one core holds a dirty state.
+		dirty := 0
+		for _, st := range h.states {
+			if st.Dirty() {
+				dirty++
+			}
+		}
+		if dirty > 1 {
+			t.Fatalf("iteration %d: %d dirty holders of block %#x", i, dirty, addr)
+		}
+		// Invariant: directory owner (if any) holds a dirty state.
+		if o := d.Owner(addr); o >= 0 {
+			if st, ok := h.states[o]; !ok || !st.Dirty() {
+				t.Fatalf("iteration %d: directory owner %d holds %v", i, o, h.states[o])
+			}
+		}
+	}
+}
+
+func TestBroadcastInvalidationCoalesces(t *testing.T) {
+	d := mustNew(t)
+	d.BroadcastInv = true
+	addr := uint64(3 * 64) // home = 3
+	// Four distinct sharers, none of them the home.
+	for _, c := range []int{5, 7, 9, 11} {
+		if _, err := d.Read(c, addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx, err := d.Write(1, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := map[int]int{}
+	acks := 0
+	for _, m := range tx.Msgs {
+		if m.Type == Inv {
+			if m.Coalesce == 0 {
+				t.Fatalf("unicast Inv with broadcast enabled: %+v", m)
+			}
+			groups[m.Coalesce]++
+		}
+		if m.Type == InvAck {
+			if m.Coalesce != 0 {
+				t.Fatalf("InvAck must stay unicast: %+v", m)
+			}
+			acks++
+		}
+	}
+	if len(groups) != 1 {
+		t.Fatalf("expected one broadcast group, got %v", groups)
+	}
+	for _, size := range groups {
+		if size != 4 {
+			t.Fatalf("group size %d, want 4", size)
+		}
+	}
+	if acks != 4 {
+		t.Fatalf("%d InvAcks, want 4", acks)
+	}
+	if d.Stats.BroadcastInvs != 1 {
+		t.Fatalf("BroadcastInvs = %d", d.Stats.BroadcastInvs)
+	}
+}
+
+func TestBroadcastInvNotUsedForSingleSharer(t *testing.T) {
+	d := mustNew(t)
+	d.BroadcastInv = true
+	addr := uint64(3 * 64)
+	if _, err := d.Read(5, addr); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := d.Write(1, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range tx.Msgs {
+		if m.Coalesce != 0 {
+			t.Fatalf("single-sharer invalidation coalesced: %+v", m)
+		}
+	}
+	if d.Stats.BroadcastInvs != 0 {
+		t.Fatalf("BroadcastInvs = %d, want 0", d.Stats.BroadcastInvs)
+	}
+}
+
+func TestMSIReadOfDirtyLineWritesBack(t *testing.T) {
+	d := mustNew(t)
+	d.Protocol = MSI
+	addr := uint64(5 * 64)
+	if _, err := d.Write(7, addr); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := d.Read(2, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MSI forces the owner's writeback alongside the forwarded data.
+	sawPutM := false
+	for _, m := range tx.Msgs {
+		if m.Type == PutM {
+			sawPutM = true
+			if m.Src != 7 || m.Dst != d.HomeOf(addr) {
+				t.Errorf("PutM endpoints wrong: %+v", m)
+			}
+		}
+	}
+	if !sawPutM {
+		t.Fatalf("no writeback under MSI: %v", msgTypes(tx.Msgs))
+	}
+	if tx.DowngradeTo != cache.Shared {
+		t.Errorf("owner downgraded to %v, want S", tx.DowngradeTo)
+	}
+	// The directory no longer tracks a dirty owner.
+	if d.Owner(addr) != -1 {
+		t.Errorf("owner = %d, want none", d.Owner(addr))
+	}
+	if d.Stats.MemWrites != 1 {
+		t.Errorf("MemWrites = %d, want 1", d.Stats.MemWrites)
+	}
+}
+
+func TestMOSIAvoidsWritebackOnRead(t *testing.T) {
+	d := mustNew(t) // default MOSI
+	addr := uint64(5 * 64)
+	if _, err := d.Write(7, addr); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := d.Read(2, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range tx.Msgs {
+		if m.Type == PutM {
+			t.Fatalf("MOSI read forced a writeback: %v", msgTypes(tx.Msgs))
+		}
+	}
+	if tx.DowngradeTo != cache.Owned {
+		t.Errorf("owner downgraded to %v, want O", tx.DowngradeTo)
+	}
+	if d.Stats.MemWrites != 0 {
+		t.Errorf("MemWrites = %d, want 0", d.Stats.MemWrites)
+	}
+}
+
+func TestMSIRepeatedSharingCostsMoreMemoryWrites(t *testing.T) {
+	run := func(p Protocol) uint64 {
+		d := mustNew(t)
+		d.Protocol = p
+		addr := uint64(3 * 64)
+		for round := 0; round < 10; round++ {
+			if _, err := d.Write(1, addr); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.Read(2, addr); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.Read(4, addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d.Stats.MemWrites
+	}
+	if msi, mosi := run(MSI), run(MOSI); msi <= mosi {
+		t.Errorf("MSI memory writes (%d) not above MOSI (%d)", msi, mosi)
+	}
+}

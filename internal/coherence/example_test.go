@@ -1,0 +1,69 @@
+package coherence_test
+
+import (
+	"fmt"
+
+	"mnoc/internal/coherence"
+)
+
+// ExampleDirectory walks the MOSI protocol through a classic
+// producer/consumer exchange: core 7 writes a block, core 2 then reads
+// it — the home forwards the read and the dirty owner supplies the data
+// without a memory writeback (the Owned state at work).
+func ExampleDirectory() {
+	dir, err := coherence.New(16, 64)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	addr := uint64(5 * 64) // homed at node 5
+
+	if _, err := dir.Write(7, addr); err != nil {
+		fmt.Println(err)
+		return
+	}
+	tx, err := dir.Read(2, addr)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, m := range tx.Msgs {
+		fmt.Printf("%-7s %d -> %d (%d flits)\n", m.Type, m.Src, m.Dst, m.Flits)
+	}
+	fmt.Println("owner downgrades to:", tx.DowngradeTo)
+	fmt.Println("memory writes:", dir.Stats.MemWrites)
+	// Output:
+	// GetS    2 -> 5 (1 flits)
+	// FwdGetS 5 -> 7 (1 flits)
+	// Data    7 -> 2 (3 flits)
+	// owner downgrades to: O
+	// memory writes: 0
+}
+
+// ExampleDirectory_msi shows the same exchange under the MSI ablation:
+// without the Owned state the dirty data must also be written back.
+func ExampleDirectory_msi() {
+	dir, err := coherence.New(16, 64)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dir.Protocol = coherence.MSI
+	addr := uint64(5 * 64)
+	if _, err := dir.Write(7, addr); err != nil {
+		fmt.Println(err)
+		return
+	}
+	tx, err := dir.Read(2, addr)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var types []string
+	for _, m := range tx.Msgs {
+		types = append(types, m.Type.String())
+	}
+	fmt.Println(types, "downgrade:", tx.DowngradeTo, "mem writes:", dir.Stats.MemWrites)
+	// Output:
+	// [GetS FwdGetS Data PutM] downgrade: S mem writes: 1
+}

@@ -1,0 +1,132 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"mnoc/internal/phys"
+)
+
+func TestDefaultsValidate(t *testing.T) {
+	if err := DefaultQDLED().Validate(); err != nil {
+		t.Errorf("DefaultQDLED: %v", err)
+	}
+	if err := DefaultPhotodetector().Validate(); err != nil {
+		t.Errorf("DefaultPhotodetector: %v", err)
+	}
+	if err := DefaultChromophore().Validate(); err != nil {
+		t.Errorf("DefaultChromophore: %v", err)
+	}
+	if err := DefaultRingResonator().Validate(); err != nil {
+		t.Errorf("DefaultRingResonator: %v", err)
+	}
+	if err := DefaultLaser().Validate(); err != nil {
+		t.Errorf("DefaultLaser: %v", err)
+	}
+	if err := DefaultElectrical().Validate(); err != nil {
+		t.Errorf("DefaultElectrical: %v", err)
+	}
+}
+
+func TestQDLEDDutyFactor(t *testing.T) {
+	q := DefaultQDLED()
+	// 1-to-0 ratio of 1 => half the bit slots emit light.
+	if got := q.DutyFactor(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("DutyFactor = %v, want 0.5", got)
+	}
+	q.OneToZeroRatio = 3
+	if got := q.DutyFactor(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("DutyFactor(r=3) = %v, want 0.75", got)
+	}
+}
+
+func TestQDLEDElectricalPower(t *testing.T) {
+	q := DefaultQDLED()
+	// 100 µW optical at 10% efficiency and 50% duty = 500 µW electrical.
+	if got := q.ElectricalPower(100); math.Abs(got-500) > 1e-9 {
+		t.Errorf("ElectricalPower(100) = %v, want 500", got)
+	}
+}
+
+func TestQDLEDValidateRejectsBadEfficiency(t *testing.T) {
+	for _, eff := range []float64{0, -0.1, 1.5} {
+		q := QDLED{Efficiency: eff, OneToZeroRatio: 1}
+		if err := q.Validate(); err == nil {
+			t.Errorf("Validate(eff=%v) = nil, want error", eff)
+		}
+	}
+}
+
+func TestPhotodetectorOELinearDecreasing(t *testing.T) {
+	p := DefaultPhotodetector()
+	prev := math.Inf(1)
+	for m := 1.0; m <= 10; m++ {
+		p.MIOPUW = m
+		oe := p.OEPowerUW()
+		if oe < 0 {
+			t.Fatalf("negative O/E power at mIOP=%v", m)
+		}
+		if oe >= prev {
+			t.Fatalf("O/E power not strictly decreasing at mIOP=%v: %v >= %v", m, oe, prev)
+		}
+		prev = oe
+	}
+}
+
+func TestPhotodetectorOEClampsAtZero(t *testing.T) {
+	p := DefaultPhotodetector()
+	p.MIOPUW = 1e6 // absurdly relaxed receiver
+	if got := p.OEPowerUW(); got != 0 {
+		t.Errorf("OEPowerUW at huge mIOP = %v, want 0", got)
+	}
+}
+
+func TestChromophoreLossTable3(t *testing.T) {
+	c := DefaultChromophore()
+	// Table 3: 5 µW loss for 10 µW mIOP.
+	if got := c.LossUW(10); math.Abs(got-5) > 1e-12 {
+		t.Errorf("LossUW(10) = %v, want 5", got)
+	}
+}
+
+func TestRingTrimmingPower(t *testing.T) {
+	r := DefaultRingResonator()
+	// Section 5.7 scale check: ~1.15M rings yields the ~23 W trimming
+	// power the paper reports for the clustered rNoC.
+	got := r.TrimmingPowerUW(1_150_000)
+	if math.Abs(got-23*phys.Watt) > 1e-6*phys.Watt {
+		t.Errorf("TrimmingPowerUW(1.15M) = %v, want 23W", phys.FormatPower(got))
+	}
+}
+
+func TestLaserDefaultIs5W(t *testing.T) {
+	if got := DefaultLaser().PowerUW; got != 5*phys.Watt {
+		t.Errorf("laser power = %v, want 5W", phys.FormatPower(got))
+	}
+}
+
+func TestElectricalValidateRejectsNegative(t *testing.T) {
+	e := DefaultElectrical()
+	e.RouterPJPerFlit = -1
+	if err := e.Validate(); err == nil {
+		t.Error("Validate with negative router energy = nil, want error")
+	}
+}
+
+func TestPhotodetectorValidate(t *testing.T) {
+	p := DefaultPhotodetector()
+	p.MIOPUW = 0
+	if err := p.Validate(); err == nil {
+		t.Error("Validate(mIOP=0) = nil, want error")
+	}
+	p = DefaultPhotodetector()
+	p.OESlopeUWPerUW = -1
+	if err := p.Validate(); err == nil {
+		t.Error("Validate(negative slope) = nil, want error")
+	}
+	p = DefaultPhotodetector()
+	p.InsertionLossDB = -0.5
+	if err := p.Validate(); err == nil {
+		t.Error("Validate(negative insertion loss) = nil, want error")
+	}
+}

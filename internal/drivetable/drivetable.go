@@ -1,0 +1,254 @@
+// Package drivetable implements the runtime control structure of the
+// paper's Section 3.2.2: "Since the required output power (per source-
+// destination pair) is static, software can store a table of constants
+// for each power mode and augment packet transmission with control bits
+// which set the QD LED output power. This same table can also store the
+// mapping of logical thread IDs to physical cores, or vice versa."
+//
+// A DriveTable is exactly that artefact: per-source per-mode LED drive
+// powers, the per-destination mode index, and the thread↔core maps —
+// everything the NIC needs to stamp a packet's control bits. It also
+// carries the fabrication-facing splitter ratios so a design can be
+// exported for tape-out, and (de)serialises to a stable binary format.
+package drivetable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"mnoc/internal/mapping"
+	"mnoc/internal/power"
+)
+
+// Table is the per-chip control/fabrication table.
+type Table struct {
+	N     int
+	Modes int
+	// ModeOf[srcCore][dstCore] is the minimum power mode (control bits)
+	// for that pair; -1 on the diagonal.
+	ModeOf [][]int8
+	// DriveUW[srcCore][mode] is the QD LED optical output for the mode.
+	DriveUW [][]float64
+	// Taps[srcCore][dstCore] is the fabricated splitter ratio on
+	// srcCore's waveguide at dstCore.
+	Taps [][]float64
+	// DirLow[srcCore] is the source splitter's low-index fraction.
+	DirLow []float64
+	// ThreadToCore / CoreToThread are the paper's logical↔physical maps.
+	ThreadToCore []int32
+	CoreToThread []int32
+}
+
+// Build assembles the table from a designed network and a thread
+// mapping.
+func Build(net *power.MNoC, asg mapping.Assignment) (*Table, error) {
+	n := net.Cfg.N
+	if err := asg.Validate(n); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		N:            n,
+		Modes:        net.Topology.Modes,
+		ModeOf:       make([][]int8, n),
+		DriveUW:      make([][]float64, n),
+		Taps:         make([][]float64, n),
+		DirLow:       make([]float64, n),
+		ThreadToCore: make([]int32, n),
+		CoreToThread: make([]int32, n),
+	}
+	if t.Modes > 127 {
+		return nil, fmt.Errorf("drivetable: %d modes exceed the control-bit budget", t.Modes)
+	}
+	for src := 0; src < n; src++ {
+		t.ModeOf[src] = make([]int8, n)
+		for d := 0; d < n; d++ {
+			if d == src {
+				t.ModeOf[src][d] = -1
+			} else {
+				t.ModeOf[src][d] = int8(net.Topology.ModeOf[src][d])
+			}
+		}
+		des := net.Designs[src]
+		t.DriveUW[src] = append([]float64(nil), des.ModePowerUW...)
+		t.Taps[src] = append([]float64(nil), des.Chain.Taps...)
+		t.DirLow[src] = des.Chain.DirLow
+	}
+	for thread, core := range asg {
+		t.ThreadToCore[thread] = int32(core)
+		t.CoreToThread[core] = int32(thread)
+	}
+	return t, nil
+}
+
+// Route is what the NIC needs to launch one packet.
+type Route struct {
+	SrcCore, DstCore int
+	Mode             int // control bits
+	DriveUW          float64
+}
+
+// Lookup resolves a logical thread→thread send into physical cores, the
+// power mode, and the LED drive (the per-packet operation of §3.2.2).
+func (t *Table) Lookup(srcThread, dstThread int) (Route, error) {
+	if srcThread < 0 || srcThread >= t.N || dstThread < 0 || dstThread >= t.N {
+		return Route{}, fmt.Errorf("drivetable: threads (%d,%d) out of range [0,%d)", srcThread, dstThread, t.N)
+	}
+	if srcThread == dstThread {
+		return Route{}, fmt.Errorf("drivetable: self-send for thread %d", srcThread)
+	}
+	s := int(t.ThreadToCore[srcThread])
+	d := int(t.ThreadToCore[dstThread])
+	mode := int(t.ModeOf[s][d])
+	return Route{
+		SrcCore: s, DstCore: d, Mode: mode,
+		DriveUW: t.DriveUW[s][mode],
+	}, nil
+}
+
+// Validate checks structural invariants (used after deserialisation).
+func (t *Table) Validate() error {
+	if t.N < 2 || t.Modes < 1 {
+		return fmt.Errorf("drivetable: shape %d nodes / %d modes", t.N, t.Modes)
+	}
+	if len(t.ModeOf) != t.N || len(t.DriveUW) != t.N || len(t.Taps) != t.N ||
+		len(t.DirLow) != t.N || len(t.ThreadToCore) != t.N || len(t.CoreToThread) != t.N {
+		return fmt.Errorf("drivetable: inconsistent slice lengths")
+	}
+	for s := 0; s < t.N; s++ {
+		if len(t.ModeOf[s]) != t.N || len(t.Taps[s]) != t.N || len(t.DriveUW[s]) != t.Modes {
+			return fmt.Errorf("drivetable: row %d malformed", s)
+		}
+		if t.ModeOf[s][s] != -1 {
+			return fmt.Errorf("drivetable: diagonal of row %d is %d", s, t.ModeOf[s][s])
+		}
+		prev := 0.0
+		for m, p := range t.DriveUW[s] {
+			if p <= prev {
+				return fmt.Errorf("drivetable: source %d mode powers not increasing at mode %d", s, m)
+			}
+			prev = p
+		}
+		for d, v := range t.ModeOf[s] {
+			if d != s && (v < 0 || int(v) >= t.Modes) {
+				return fmt.Errorf("drivetable: ModeOf[%d][%d] = %d", s, d, v)
+			}
+		}
+		for d, tap := range t.Taps[s] {
+			if d == s {
+				continue
+			}
+			if tap < 0 || tap > 1 || math.IsNaN(tap) {
+				return fmt.Errorf("drivetable: tap[%d][%d] = %g", s, d, tap)
+			}
+		}
+	}
+	// Thread maps must be inverse permutations.
+	for th, core := range t.ThreadToCore {
+		if core < 0 || int(core) >= t.N || int(t.CoreToThread[core]) != th {
+			return fmt.Errorf("drivetable: thread maps are not inverse at thread %d", th)
+		}
+	}
+	return nil
+}
+
+const magic = "MNOCDRV1"
+
+// Write serialises the table (little-endian binary, stable format).
+func (t *Table) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := write(uint32(t.N)); err != nil {
+		return err
+	}
+	if err := write(uint32(t.Modes)); err != nil {
+		return err
+	}
+	for s := 0; s < t.N; s++ {
+		if err := write(t.ModeOf[s]); err != nil {
+			return err
+		}
+		if err := write(t.DriveUW[s]); err != nil {
+			return err
+		}
+		if err := write(t.Taps[s]); err != nil {
+			return err
+		}
+	}
+	if err := write(t.DirLow); err != nil {
+		return err
+	}
+	if err := write(t.ThreadToCore); err != nil {
+		return err
+	}
+	if err := write(t.CoreToThread); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a table written by Write and validates it.
+func Read(r io.Reader) (*Table, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("drivetable: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("drivetable: bad magic %q", got)
+	}
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	var n32, m32 uint32
+	if err := read(&n32); err != nil {
+		return nil, err
+	}
+	if err := read(&m32); err != nil {
+		return nil, err
+	}
+	const maxN = 1 << 16
+	if n32 < 2 || n32 > maxN || m32 < 1 || m32 > 127 {
+		return nil, fmt.Errorf("drivetable: implausible shape %d/%d", n32, m32)
+	}
+	n, modes := int(n32), int(m32)
+	t := &Table{
+		N: n, Modes: modes,
+		ModeOf:       make([][]int8, n),
+		DriveUW:      make([][]float64, n),
+		Taps:         make([][]float64, n),
+		DirLow:       make([]float64, n),
+		ThreadToCore: make([]int32, n),
+		CoreToThread: make([]int32, n),
+	}
+	for s := 0; s < n; s++ {
+		t.ModeOf[s] = make([]int8, n)
+		t.DriveUW[s] = make([]float64, modes)
+		t.Taps[s] = make([]float64, n)
+		if err := read(t.ModeOf[s]); err != nil {
+			return nil, err
+		}
+		if err := read(t.DriveUW[s]); err != nil {
+			return nil, err
+		}
+		if err := read(t.Taps[s]); err != nil {
+			return nil, err
+		}
+	}
+	if err := read(t.DirLow); err != nil {
+		return nil, err
+	}
+	if err := read(t.ThreadToCore); err != nil {
+		return nil, err
+	}
+	if err := read(t.CoreToThread); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,147 @@
+package drivetable
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"mnoc/internal/mapping"
+	"mnoc/internal/power"
+	"mnoc/internal/topo"
+)
+
+func builtTable(t *testing.T, n int) (*Table, *power.MNoC, mapping.Assignment) {
+	t.Helper()
+	cfg := power.DefaultConfig(n)
+	tp, err := topo.DistanceBased(n, []int{n / 2, n - 1 - n/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := power.NewMNoC(cfg, tp, power.UniformWeighting(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := mapping.Identity(n)
+	// A non-trivial permutation exercises the thread maps.
+	asg[0], asg[3] = asg[3], asg[0]
+	asg[1], asg[7] = asg[7], asg[1]
+	tbl, err := Build(net, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, net, asg
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	tbl, _, _ := builtTable(t, 16)
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.N != 16 || tbl.Modes != 2 {
+		t.Fatalf("shape %d/%d", tbl.N, tbl.Modes)
+	}
+}
+
+func TestBuildRejectsBadMapping(t *testing.T) {
+	cfg := power.DefaultConfig(8)
+	net, err := power.NewBaseMNoC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(net, mapping.Assignment{0, 0, 1, 2, 3, 4, 5, 6}); err == nil {
+		t.Error("duplicate mapping accepted")
+	}
+}
+
+func TestLookupConsistentWithDesign(t *testing.T) {
+	tbl, net, asg := builtTable(t, 16)
+	for srcTh := 0; srcTh < 16; srcTh++ {
+		for dstTh := 0; dstTh < 16; dstTh++ {
+			if srcTh == dstTh {
+				continue
+			}
+			r, err := tbl.Lookup(srcTh, dstTh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.SrcCore != asg[srcTh] || r.DstCore != asg[dstTh] {
+				t.Fatalf("route cores (%d,%d), want (%d,%d)", r.SrcCore, r.DstCore, asg[srcTh], asg[dstTh])
+			}
+			wantMode := net.Topology.ModeOf[r.SrcCore][r.DstCore]
+			if r.Mode != wantMode {
+				t.Fatalf("mode %d, want %d", r.Mode, wantMode)
+			}
+			wantDrive := net.Designs[r.SrcCore].ModePowerUW[wantMode]
+			if math.Abs(r.DriveUW-wantDrive) > 1e-9 {
+				t.Fatalf("drive %v, want %v", r.DriveUW, wantDrive)
+			}
+		}
+	}
+}
+
+func TestLookupRejections(t *testing.T) {
+	tbl, _, _ := builtTable(t, 8)
+	if _, err := tbl.Lookup(0, 0); err == nil {
+		t.Error("self-send accepted")
+	}
+	if _, err := tbl.Lookup(-1, 2); err == nil {
+		t.Error("negative thread accepted")
+	}
+	if _, err := tbl.Lookup(0, 8); err == nil {
+		t.Error("out-of-range thread accepted")
+	}
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	tbl, _, _ := builtTable(t, 16)
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tbl) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("garbage everywhere here"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader([]byte(magic))); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Corrupt a valid blob: break the thread-map inverse property.
+	tbl, _, _ := builtTable(t, 8)
+	tbl.CoreToThread[0], tbl.CoreToThread[1] = tbl.CoreToThread[1], tbl.CoreToThread[0]
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Error("inconsistent thread maps accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mutations := map[string]func(*Table){
+		"diagonal":   func(tb *Table) { tb.ModeOf[2][2] = 0 },
+		"mode range": func(tb *Table) { tb.ModeOf[1][2] = 9 },
+		"tap range":  func(tb *Table) { tb.Taps[1][2] = 1.5 },
+		"power order": func(tb *Table) {
+			tb.DriveUW[3][1] = tb.DriveUW[3][0] / 2
+		},
+		"thread map": func(tb *Table) { tb.ThreadToCore[0] = 99 },
+	}
+	for name, mutate := range mutations {
+		tbl, _, _ := builtTable(t, 8)
+		mutate(tbl)
+		if err := tbl.Validate(); err == nil {
+			t.Errorf("%s corruption accepted", name)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package drivetable
+
+import (
+	"bytes"
+	"testing"
+
+	"mnoc/internal/mapping"
+	"mnoc/internal/power"
+	"mnoc/internal/topo"
+)
+
+// FuzzRead hammers the drive-table decoder: no panics, and anything
+// accepted must validate and survive a round trip.
+func FuzzRead(f *testing.F) {
+	cfg := power.DefaultConfig(8)
+	tp, err := topo.DistanceBased(8, []int{4, 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	net, err := power.NewMNoC(cfg, tp, power.UniformWeighting(2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	tbl, err := Build(net, mapping.Identity(8))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	blob := buf.Bytes()
+	f.Add(blob)
+	f.Add(blob[:16])
+	f.Add([]byte(magic))
+	mutated := append([]byte(nil), blob...)
+	mutated[len(mutated)/2] ^= 0x5A
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tbl.Validate(); err != nil {
+			t.Fatalf("Read accepted an invalid table: %v", err)
+		}
+		var out bytes.Buffer
+		if err := tbl.Write(&out); err != nil {
+			t.Fatalf("re-encoding failed: %v", err)
+		}
+		if _, err := Read(&out); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+// Package eventsim is a strict discrete-event replay of packet traces
+// on the mNoC crossbar, independent of package noc's reservation-based
+// timing. Each shared resource (a source's waveguide, a destination's
+// ejection port) is a FIFO server driven by a global event queue in
+// exact time order, so packets are serviced in *arrival* order rather
+// than call order.
+//
+// It exists to cross-validate the cheaper reservation model: the two
+// approximate each other from different directions (reservation serves
+// in issue order; the event queue serves in arrival order), and the
+// tests in this package plus noc's bound their disagreement. Use this
+// model when exact FIFO semantics matter; use package noc inside the
+// multicore simulator where speed does.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mnoc/internal/trace"
+	"mnoc/internal/waveguide"
+)
+
+// stage identifies where a packet is in its lifecycle.
+type stage uint8
+
+const (
+	stageInject stage = iota // waiting to enter the source guide
+	stageArrive              // head reached the destination, waiting to eject
+	stageDone
+)
+
+type packet struct {
+	idx    int // index into the trace
+	src    int
+	dst    int
+	flits  uint64
+	inject uint64
+	done   uint64
+}
+
+type event struct {
+	at  uint64
+	seq int // FIFO tie-break: earlier-created events first
+	pkt *packet
+	st  stage
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// server is a FIFO resource with one or more parallel channels; an
+// arriving packet takes the earliest-free channel.
+type server struct {
+	free []uint64
+}
+
+func newServers(n, channels int) []server {
+	out := make([]server, n)
+	for i := range out {
+		out[i].free = make([]uint64, channels)
+	}
+	return out
+}
+
+// take books the earliest-free channel from `at` for `dur` cycles and
+// returns the service start.
+func (s *server) take(at, dur uint64) uint64 {
+	best := 0
+	for i, f := range s.free {
+		if f < s.free[best] {
+			best = i
+		}
+	}
+	start := at
+	if s.free[best] > start {
+		start = s.free[best]
+	}
+	s.free[best] = start + dur
+	return start
+}
+
+// Stats mirrors noc.ReplayStats for the fields both models share.
+type Stats struct {
+	Packets     int
+	AvgLatency  float64
+	MaxLatency  uint64
+	FinishCycle uint64
+}
+
+// ReplayMNoC replays the trace on an n-node SWMR mNoC with exact FIFO
+// event ordering. Latency semantics match noc.MNoC: serialisation on
+// the source guide, E/O+O/E (1 cycle), optical propagation, ejection
+// serialisation at the destination.
+func ReplayMNoC(n int, tr *trace.Trace) (Stats, error) {
+	if tr.N != n {
+		return Stats{}, fmt.Errorf("eventsim: trace for %d nodes, network for %d", tr.N, n)
+	}
+	layout := waveguide.NewSerpentine(n)
+	if err := layout.Validate(); err != nil {
+		return Stats{}, err
+	}
+
+	pkts := make([]packet, len(tr.Packets))
+	var h eventHeap
+	seq := 0
+	for i, p := range tr.Packets {
+		pkts[i] = packet{
+			idx: i, src: int(p.Src), dst: int(p.Dst),
+			flits: uint64(p.Flits), inject: p.Cycle,
+		}
+		h = append(h, event{at: p.Cycle, seq: seq, pkt: &pkts[i], st: stageInject})
+		seq++
+	}
+	heap.Init(&h)
+
+	// Channel counts mirror noc.MNoC: one waveguide per source, four
+	// parallel ejection buffers per destination.
+	srcSrv := newServers(n, 1)
+	dstSrv := newServers(n, 4)
+	const eooe = 1 // E/O + O/E modelled as one cycle (Table 2)
+
+	var st Stats
+	var latSum float64
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		switch ev.st {
+		case stageInject:
+			start := srcSrv[ev.pkt.src].take(ev.at, ev.pkt.flits)
+			headArrive := start + eooe + uint64(layout.LatencyCycles(ev.pkt.src, ev.pkt.dst))
+			heap.Push(&h, event{at: headArrive, seq: seq, pkt: ev.pkt, st: stageArrive})
+			seq++
+		case stageArrive:
+			start := dstSrv[ev.pkt.dst].take(ev.at, ev.pkt.flits)
+			ev.pkt.done = start + ev.pkt.flits
+
+			lat := ev.pkt.done - ev.pkt.inject
+			latSum += float64(lat)
+			if lat > st.MaxLatency {
+				st.MaxLatency = lat
+			}
+			if ev.pkt.done > st.FinishCycle {
+				st.FinishCycle = ev.pkt.done
+			}
+			st.Packets++
+		}
+	}
+	if st.Packets > 0 {
+		st.AvgLatency = latSum / float64(st.Packets)
+	}
+	return st, nil
+}

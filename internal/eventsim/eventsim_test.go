@@ -1,0 +1,116 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+
+	"mnoc/internal/noc"
+	"mnoc/internal/trace"
+	"mnoc/internal/workload"
+)
+
+func TestSinglePacketLatencyMatchesReservationModel(t *testing.T) {
+	tr := &trace.Trace{N: 64, Cycles: 1000, Packets: []trace.Packet{
+		{Cycle: 10, Src: 5, Dst: 40, Flits: 3},
+	}}
+	ev, err := ReplayMNoC(64, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := noc.NewMNoC(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := noc.Replay(net, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.AvgLatency != rs.AvgLatency {
+		t.Errorf("uncontended latency differs: event %v vs reservation %v", ev.AvgLatency, rs.AvgLatency)
+	}
+}
+
+// TestExactMatchOnTimeSortedDisjointTraffic: when packets are
+// time-sorted and each source-destination stream is disjoint, issue
+// order equals arrival order and the two models must agree exactly.
+func TestExactMatchOnTimeSortedDisjointTraffic(t *testing.T) {
+	tr := &trace.Trace{N: 32, Cycles: 100000}
+	for i := 0; i < 500; i++ {
+		s := i % 16
+		tr.Packets = append(tr.Packets, trace.Packet{
+			Cycle: uint64(i * 20), Src: int32(s), Dst: int32(s + 16), Flits: 4,
+		})
+	}
+	ev, err := ReplayMNoC(32, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := noc.NewMNoC(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := noc.Replay(net, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.AvgLatency != rs.AvgLatency || ev.MaxLatency != rs.MaxLatency || ev.FinishCycle != rs.FinishCycle {
+		t.Errorf("models diverged on disjoint traffic: event %+v vs reservation avg=%v max=%v finish=%v",
+			ev, rs.AvgLatency, rs.MaxLatency, rs.FinishCycle)
+	}
+}
+
+// TestCrossValidationOnRealWorkloads bounds the disagreement between
+// the event-driven and reservation models on the actual benchmark
+// traces: the reservation approximation must stay within a few percent
+// of exact FIFO service.
+func TestCrossValidationOnRealWorkloads(t *testing.T) {
+	n := 64
+	for _, name := range []string{"fft", "barnes", "radix"} {
+		b, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := b.Trace(n, 100_000, 30_000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := ReplayMNoC(n, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := noc.NewMNoC(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := noc.Replay(net, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Packets != rs.Packets {
+			t.Fatalf("%s: packet counts differ", name)
+		}
+		rel := math.Abs(ev.AvgLatency-rs.AvgLatency) / ev.AvgLatency
+		if rel > 0.05 {
+			t.Errorf("%s: models disagree by %.1f%% (event %v vs reservation %v)",
+				name, 100*rel, ev.AvgLatency, rs.AvgLatency)
+		}
+	}
+}
+
+func TestReplayRejectsMismatch(t *testing.T) {
+	tr := &trace.Trace{N: 8, Cycles: 10}
+	if _, err := ReplayMNoC(16, tr); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := &trace.Trace{N: 16, Cycles: 10}
+	st, err := ReplayMNoC(16, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Packets != 0 || st.AvgLatency != 0 {
+		t.Errorf("empty trace produced stats: %+v", st)
+	}
+}

@@ -1,0 +1,364 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (Section 5). Each experiment is a function on a shared
+// Context that returns a printable Table; the cmd/mnoc-bench binary and
+// the top-level benchmark suite drive them. DESIGN.md §3 maps each
+// experiment to the paper artefact it reproduces, and EXPERIMENTS.md
+// records paper-vs-measured numbers.
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"mnoc/internal/mapping"
+	"mnoc/internal/power"
+	"mnoc/internal/trace"
+	"mnoc/internal/workload"
+)
+
+// Options sets the scale of an experiment run.
+type Options struct {
+	// N is the crossbar radix (256 reproduces the paper).
+	N int
+	// Seed drives every stochastic component.
+	Seed int64
+	// QAPIters is the taboo-search budget per benchmark.
+	QAPIters int
+	// Cycles is the power-evaluation window in clock cycles.
+	Cycles float64
+	// SimAccesses is the per-core access count for performance
+	// simulations (Table 1 / Fig 10 runtimes).
+	SimAccesses int
+}
+
+// Paper returns the full-scale options matching the paper's setup.
+func Paper() Options {
+	return Options{N: 256, Seed: 1, QAPIters: 2000, Cycles: 1e6, SimAccesses: 1500}
+}
+
+// Quick returns reduced-scale options for tests: a radix-64 crossbar
+// with short QAP runs. Relative results keep the paper's shape at this
+// scale; absolute wattages are still Table 4-calibrated.
+func Quick() Options {
+	return Options{N: 64, Seed: 1, QAPIters: 400, Cycles: 1e6, SimAccesses: 300}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.N < 8 {
+		return fmt.Errorf("exp: N = %d, want >= 8", o.N)
+	}
+	if o.Cycles <= 0 || o.SimAccesses <= 0 {
+		return fmt.Errorf("exp: non-positive scale in %+v", o)
+	}
+	return nil
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries free-form lines printed after the table (heatmaps,
+	// caveats, paper reference values).
+	Notes []string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if len(t.Header) > 0 {
+		if err := printRow(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := printRow(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintln(w, n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// JSON renders the table as a machine-readable object (used by
+// mnoc-bench -json so downstream plotting does not have to scrape the
+// aligned-column text).
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header,omitempty"`
+		Rows   [][]string `json:"rows,omitempty"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes}, "", "  ")
+}
+
+// WriteCSV renders the table as header + rows in CSV (used by
+// mnoc-bench -csv so results plot directly in external tools).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.Header) > 0 {
+		if err := cw.Write(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Context caches the expensive shared artefacts (calibrated traffic,
+// QAP mappings, splitter designs) across experiments. All accessors are
+// safe for concurrent use; Precompute exploits that to build the
+// per-benchmark artefacts in parallel.
+type Context struct {
+	Opt Options
+	Cfg power.Config
+
+	mu       sync.Mutex
+	base     *power.MNoC
+	benches  []workload.Benchmark
+	shapes   map[string]*trace.Matrix      // calibrated, thread-indexed
+	mappings map[string]mapping.Assignment // per-benchmark QAP result
+	mapped   map[string]*trace.Matrix      // shapes permuted by mappings
+	networks map[string]*power.MNoC        // keyed design cache
+}
+
+// NewContext builds a context for the given options.
+func NewContext(opt Options) (*Context, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := power.DefaultConfig(opt.N)
+	base, err := power.NewBaseMNoC(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{
+		Opt:      opt,
+		Cfg:      cfg,
+		base:     base,
+		benches:  workload.All(),
+		shapes:   make(map[string]*trace.Matrix),
+		mappings: make(map[string]mapping.Assignment),
+		mapped:   make(map[string]*trace.Matrix),
+		networks: make(map[string]*power.MNoC),
+	}, nil
+}
+
+// Benchmarks returns the benchmark set in Table 4 order.
+func (c *Context) Benchmarks() []workload.Benchmark { return c.benches }
+
+// Base is the single-mode baseline network.
+func (c *Context) Base() *power.MNoC { return c.base }
+
+// Shape returns the benchmark's calibrated thread-indexed traffic.
+func (c *Context) Shape(name string) (*trace.Matrix, error) {
+	c.mu.Lock()
+	if m, ok := c.shapes[name]; ok {
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.mu.Unlock()
+	b, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := power.ScaleToTarget(c.base, b.Matrix(c.Opt.N, c.Opt.Seed), c.Opt.Cycles, b.PaperBaseWatts)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prior, ok := c.shapes[name]; ok { // another goroutine won the race
+		return prior, nil
+	}
+	c.shapes[name] = m
+	return m, nil
+}
+
+// QAPMapping returns the benchmark's taboo-search thread mapping
+// (computed once per context).
+func (c *Context) QAPMapping(name string) (mapping.Assignment, error) {
+	c.mu.Lock()
+	if a, ok := c.mappings[name]; ok {
+		c.mu.Unlock()
+		return a, nil
+	}
+	c.mu.Unlock()
+	m, err := c.Shape(name)
+	if err != nil {
+		return nil, err
+	}
+	prob, err := mapping.FromTraffic(m, c.Cfg.Splitter.Layout)
+	if err != nil {
+		return nil, err
+	}
+	a := prob.Taboo(prob.CenterGreedy(), mapping.TabooOptions{
+		Seed: c.Opt.Seed, Iterations: c.Opt.QAPIters,
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prior, ok := c.mappings[name]; ok {
+		return prior, nil
+	}
+	c.mappings[name] = a
+	return a, nil
+}
+
+// Mapped returns the benchmark's calibrated traffic permuted by its QAP
+// mapping (core-indexed).
+func (c *Context) Mapped(name string) (*trace.Matrix, error) {
+	c.mu.Lock()
+	if m, ok := c.mapped[name]; ok {
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.mu.Unlock()
+	shape, err := c.Shape(name)
+	if err != nil {
+		return nil, err
+	}
+	asg, err := c.QAPMapping(name)
+	if err != nil {
+		return nil, err
+	}
+	m, err := shape.Permute(asg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prior, ok := c.mapped[name]; ok {
+		return prior, nil
+	}
+	c.mapped[name] = m
+	return m, nil
+}
+
+// SampledMatrix averages the normalised, QAP-mapped traffic of the given
+// benchmarks — the paper's S4/S12 profiling inputs (Section 5.4).
+func (c *Context) SampledMatrix(names []string) (*trace.Matrix, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("exp: empty sample set")
+	}
+	out := trace.NewMatrix(c.Opt.N)
+	for _, name := range names {
+		m, err := c.Mapped(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AddScaled(m.Normalized(), 1/float64(len(names))); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// network caches splitter-designed networks by key.
+func (c *Context) network(key string, build func() (*power.MNoC, error)) (*power.MNoC, error) {
+	c.mu.Lock()
+	if n, ok := c.networks[key]; ok {
+		c.mu.Unlock()
+		return n, nil
+	}
+	c.mu.Unlock()
+	n, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prior, ok := c.networks[key]; ok {
+		return prior, nil
+	}
+	c.networks[key] = n
+	return n, nil
+}
+
+// Precompute builds every benchmark's calibrated traffic and QAP
+// mapping with up to `workers` goroutines. The searches are independent
+// and deterministic, so parallelism changes wall-clock time only — a
+// full paper-scale context drops from minutes to tens of seconds on a
+// multicore host.
+func (c *Context) Precompute(workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	names := workload.Names()
+	sem := make(chan struct{}, workers)
+	errs := make(chan error, len(names))
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, err := c.Mapped(name); err != nil {
+				errs <- fmt.Errorf("%s: %w", name, err)
+			}
+		}(name)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}
+
+// evaluateWatts runs a network on a (core-indexed) matrix.
+func (c *Context) evaluateWatts(net *power.MNoC, m *trace.Matrix) (float64, error) {
+	b, err := net.Evaluate(m, c.Opt.Cycles)
+	if err != nil {
+		return 0, err
+	}
+	return b.TotalWatts(), nil
+}
+
+// f3 formats a float with three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

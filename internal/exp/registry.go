@@ -1,0 +1,38 @@
+package exp
+
+import "fmt"
+
+// Entry is a runnable experiment.
+type Entry struct {
+	ID    string
+	Title string
+	Run   func(*Context) (*Table, error)
+}
+
+// Registry lists every reproduced table and figure in paper order.
+func Registry() []Entry {
+	return []Entry{
+		{"table1", "rNoC vs mNoC comparison (Table 1)", Table1},
+		{"fig2", "QD LED vs O/E power share over mIOP (Figure 2)", Fig2},
+		{"fig3", "Source power vs broadcast distance (Figure 3)", Fig3},
+		{"fig5", "Example power topologies (Figure 5)", Fig5},
+		{"fig6", "Single-mode power profile (Figure 6)", Fig6},
+		{"table4", "Base mNoC power per benchmark (Table 4)", Table4},
+		{"fig7", "Thread mapping and power topologies, water_spatial (Figure 7)", Fig7},
+		{"fig8", "Distance-based topologies ± QAP mapping (Figure 8)", Fig8},
+		{"fig9", "Communication-aware mode assignment (Figure 9)", Fig9},
+		{"appspecific", "Application-specific designs (Section 5.5)", AppSpecific},
+		{"sensitivity", "Splitter-weight sensitivity (Section 5.6)", Sensitivity},
+		{"fig10", "Total NoC energy vs rNoC (Figure 10)", Fig10},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Entry, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("exp: unknown experiment %q", id)
+}

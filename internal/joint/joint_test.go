@@ -1,0 +1,162 @@
+package joint
+
+import (
+	"reflect"
+	"testing"
+
+	"mnoc/internal/power"
+	"mnoc/internal/trace"
+	"mnoc/internal/workload"
+)
+
+func profileFor(t *testing.T, name string, n int) *trace.Matrix {
+	t.Helper()
+	b, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := b.Matrix(n, 1)
+	m.Scale(1e7) // realistic flit volume over the window
+	return m
+}
+
+func TestOptimizeImprovesOrMatchesSequential(t *testing.T) {
+	n := 64
+	cfg := power.DefaultConfig(n)
+	profile := profileFor(t, "cholesky", n)
+	res, err := Optimize(cfg, profile, Options{
+		Modes: 2, Rounds: 3, QAPIters: 400, Seed: 1, Cycles: 1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PowerTrailW) != 3 {
+		t.Fatalf("trail has %d entries, want 3", len(res.PowerTrailW))
+	}
+	seq := res.PowerTrailW[0]
+	best := seq
+	for _, w := range res.PowerTrailW {
+		if w < best {
+			best = w
+		}
+	}
+	if best > seq*(1+1e-9) {
+		t.Errorf("joint best %v worse than sequential %v", best, seq)
+	}
+	// The returned design must correspond to the best trail entry.
+	mapped, err := profile.Permute(res.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.Network.Evaluate(mapped, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := b.TotalWatts() - best; diff > 1e-9*best {
+		t.Errorf("returned design evaluates to %v, best trail %v", b.TotalWatts(), best)
+	}
+}
+
+func TestOptimizeFourModes(t *testing.T) {
+	n := 32
+	cfg := power.DefaultConfig(n)
+	profile := profileFor(t, "barnes", n)
+	res, err := Optimize(cfg, profile, Options{
+		Modes: 4, Rounds: 2, QAPIters: 200, Seed: 2, Cycles: 1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Topology.Modes != 4 {
+		t.Errorf("modes = %d", res.Topology.Modes)
+	}
+	if err := res.Mapping.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	n := 32
+	cfg := power.DefaultConfig(n)
+	profile := profileFor(t, "fft", n)
+	opt := Options{Modes: 2, Rounds: 2, QAPIters: 150, Seed: 7, Cycles: 1e6}
+	a, err := Optimize(cfg, profile, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Optimize(cfg, profile, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.PowerTrailW, b.PowerTrailW) {
+		t.Errorf("non-deterministic trails: %v vs %v", a.PowerTrailW, b.PowerTrailW)
+	}
+	if !reflect.DeepEqual(a.Mapping, b.Mapping) {
+		t.Error("non-deterministic mapping")
+	}
+}
+
+func TestOptimizeRejections(t *testing.T) {
+	cfg := power.DefaultConfig(16)
+	profile := trace.NewMatrix(16)
+	if _, err := Optimize(cfg, profile, Options{Modes: 3, Cycles: 1e6}); err == nil {
+		t.Error("modes=3 accepted")
+	}
+	if _, err := Optimize(cfg, profile, Options{Modes: 2, Cycles: 0}); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	if _, err := Optimize(cfg, trace.NewMatrix(8), Options{Modes: 2, Cycles: 1e6}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+// TestJointDistanceBeatsSequential: with the fixed distance-based
+// family, re-mapping against the topology's true mode powers must beat
+// the paper's waveguide-loss-only mapping on at least some benchmarks —
+// the mapper can learn each source's mode boundaries.
+func TestJointDistanceBeatsSequential(t *testing.T) {
+	n := 48
+	cfg := power.DefaultConfig(n)
+	improved := 0
+	for _, name := range []string{"barnes", "volrend", "cholesky"} {
+		profile := profileFor(t, name, n)
+		res, err := Optimize(cfg, profile, Options{
+			Family: Distance, Modes: 2, Rounds: 4, QAPIters: 300, Seed: 3, Cycles: 1e6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := res.PowerTrailW[0]
+		for _, w := range res.PowerTrailW[1:] {
+			if w < seq*(1-1e-6) {
+				improved++
+				break
+			}
+		}
+	}
+	if improved == 0 {
+		t.Error("joint optimisation never improved on the sequential pipeline")
+	}
+}
+
+// TestCommAwareSequentialIsNearFixedPoint documents the package-level
+// finding: with the fully adaptive comm-aware family, the sequential
+// pipeline is already (close to) a fixed point — later rounds never
+// regress and rarely improve much.
+func TestCommAwareSequentialIsNearFixedPoint(t *testing.T) {
+	n := 32
+	cfg := power.DefaultConfig(n)
+	profile := profileFor(t, "water_s", n)
+	res, err := Optimize(cfg, profile, Options{
+		Family: CommAware, Modes: 2, Rounds: 3, QAPIters: 200, Seed: 5, Cycles: 1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := res.PowerTrailW[0]
+	for i, w := range res.PowerTrailW {
+		if w > seq*(1+1e-9) {
+			t.Errorf("round %d (%v) regressed past sequential (%v)", i, w, seq)
+		}
+	}
+}

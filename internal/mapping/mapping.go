@@ -1,0 +1,365 @@
+// Package mapping solves the thread-to-core assignment problem of
+// Section 4.4. Mapping frequently-communicating threads to cores near
+// the middle of the serpentine waveguide (where broadcast power is
+// lowest, Fig. 6) is an instance of the quadratic assignment problem
+// (QAP); the paper uses Taillard's robust taboo search and Connolly's
+// improved simulated annealing, and finds taboo generally best.
+//
+// The problem minimises Σ flow[t1][t2]·cost[loc(t1)][loc(t2)] over
+// permutations, where flow is the thread×thread traffic matrix and cost
+// is the core×core single-mode power cost ("the assignment accounts for
+// only the waveguide loss between a source and destination").
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mnoc/internal/trace"
+	"mnoc/internal/waveguide"
+)
+
+// Problem is a QAP instance.
+type Problem struct {
+	N    int
+	Flow [][]float64 // Flow[t1][t2]: traffic from thread t1 to t2
+	Cost [][]float64 // Cost[c1][c2]: power cost of a c1→c2 packet
+}
+
+// NewProblem validates and wraps a QAP instance.
+func NewProblem(flow, cost [][]float64) (*Problem, error) {
+	n := len(flow)
+	if n < 2 {
+		return nil, fmt.Errorf("mapping: need >= 2 threads, got %d", n)
+	}
+	if len(cost) != n {
+		return nil, fmt.Errorf("mapping: flow is %d×, cost is %d×", n, len(cost))
+	}
+	for i := 0; i < n; i++ {
+		if len(flow[i]) != n || len(cost[i]) != n {
+			return nil, fmt.Errorf("mapping: ragged matrix at row %d", i)
+		}
+	}
+	return &Problem{N: n, Flow: flow, Cost: cost}, nil
+}
+
+// FromTraffic builds the paper's mapping problem: flow from a traffic
+// matrix, cost from the waveguide's single-mode path loss
+// (1/transmission, so farther pairs cost exponentially more).
+func FromTraffic(m *trace.Matrix, l waveguide.Layout) (*Problem, error) {
+	if m.N != l.N {
+		return nil, fmt.Errorf("mapping: matrix size %d vs layout %d", m.N, l.N)
+	}
+	cost := make([][]float64, l.N)
+	for i := range cost {
+		cost[i] = make([]float64, l.N)
+		for j := range cost[i] {
+			if i != j {
+				cost[i][j] = 1 / l.PathTransmission(i, j)
+			}
+		}
+	}
+	return NewProblem(m.Counts, cost)
+}
+
+// Assignment maps thread → core; it is always a permutation.
+type Assignment []int
+
+// Identity returns the naive mapping (thread t on core t).
+func Identity(n int) Assignment {
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = i
+	}
+	return a
+}
+
+// Validate checks the assignment is a permutation of 0..n-1.
+func (a Assignment) Validate(n int) error {
+	if len(a) != n {
+		return fmt.Errorf("mapping: assignment length %d, want %d", len(a), n)
+	}
+	seen := make([]bool, n)
+	for t, c := range a {
+		if c < 0 || c >= n {
+			return fmt.Errorf("mapping: thread %d on core %d out of range", t, c)
+		}
+		if seen[c] {
+			return fmt.Errorf("mapping: core %d used twice", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// Objective evaluates the QAP cost of an assignment.
+func (p *Problem) Objective(a Assignment) float64 {
+	sum := 0.0
+	for i := 0; i < p.N; i++ {
+		fi, ci := p.Flow[i], p.Cost[a[i]]
+		for j := 0; j < p.N; j++ {
+			if v := fi[j]; v != 0 {
+				sum += v * ci[a[j]]
+			}
+		}
+	}
+	return sum
+}
+
+// swapDelta computes the objective change of swapping the cores of
+// threads r and s (general asymmetric form, O(n)).
+func (p *Problem) swapDelta(a Assignment, r, s int) float64 {
+	ar, as := a[r], a[s]
+	d := p.Flow[r][s]*(p.Cost[as][ar]-p.Cost[ar][as]) +
+		p.Flow[s][r]*(p.Cost[ar][as]-p.Cost[as][ar])
+	for k := 0; k < p.N; k++ {
+		if k == r || k == s {
+			continue
+		}
+		ak := a[k]
+		d += p.Flow[k][r]*(p.Cost[ak][as]-p.Cost[ak][ar]) +
+			p.Flow[k][s]*(p.Cost[ak][ar]-p.Cost[ak][as]) +
+			p.Flow[r][k]*(p.Cost[as][ak]-p.Cost[ar][ak]) +
+			p.Flow[s][k]*(p.Cost[ar][ak]-p.Cost[as][ak])
+	}
+	return d
+}
+
+// TabooOptions tunes the robust taboo search.
+type TabooOptions struct {
+	// Iterations is the number of moves to perform (default 40·n).
+	Iterations int
+	// Seed makes runs reproducible.
+	Seed int64
+	// MinTenure/MaxTenure bound the randomised tabu tenure
+	// (defaults 0.9·n and 1.1·n, per Taillard's robust scheme).
+	MinTenure, MaxTenure int
+}
+
+func (o *TabooOptions) fill(n int) {
+	if o.Iterations <= 0 {
+		o.Iterations = 40 * n
+	}
+	if o.MinTenure <= 0 {
+		o.MinTenure = int(0.9 * float64(n))
+	}
+	if o.MaxTenure <= o.MinTenure {
+		o.MaxTenure = int(1.1*float64(n)) + 1
+	}
+}
+
+// Taboo runs Taillard's robust taboo search from the given start
+// assignment (copied, not mutated) and returns the best found.
+func (p *Problem) Taboo(start Assignment, opt TabooOptions) Assignment {
+	opt.fill(p.N)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	n := p.N
+
+	cur := append(Assignment(nil), start...)
+	best := append(Assignment(nil), cur...)
+	curV := p.Objective(cur)
+	bestV := curV
+
+	// delta[r][s] caches swapDelta(cur, r, s) for r < s.
+	delta := make([][]float64, n)
+	for r := range delta {
+		delta[r] = make([]float64, n)
+		for s := r + 1; s < n; s++ {
+			delta[r][s] = p.swapDelta(cur, r, s)
+		}
+	}
+	// tabuUntil[t][c] forbids placing thread t back on core c until the
+	// stored iteration.
+	tabuUntil := make([][]int, n)
+	for t := range tabuUntil {
+		tabuUntil[t] = make([]int, n)
+	}
+
+	for iter := 1; iter <= opt.Iterations; iter++ {
+		bestR, bestS := -1, -1
+		bestD := math.Inf(1)
+		for r := 0; r < n; r++ {
+			for s := r + 1; s < n; s++ {
+				d := delta[r][s]
+				tabu := iter < tabuUntil[r][cur[s]] || iter < tabuUntil[s][cur[r]]
+				aspired := curV+d < bestV-1e-12
+				if tabu && !aspired {
+					continue
+				}
+				if d < bestD {
+					bestD, bestR, bestS = d, r, s
+				}
+			}
+		}
+		if bestR < 0 {
+			// Everything tabu: pick a random move to keep going.
+			bestR = rng.Intn(n)
+			bestS = (bestR + 1 + rng.Intn(n-1)) % n
+			if bestR > bestS {
+				bestR, bestS = bestS, bestR
+			}
+			bestD = delta[bestR][bestS]
+		}
+
+		u, v := bestR, bestS
+		tenure := opt.MinTenure + rng.Intn(opt.MaxTenure-opt.MinTenure)
+		tabuUntil[u][cur[u]] = iter + tenure
+		tabuUntil[v][cur[v]] = iter + tenure
+
+		cur[u], cur[v] = cur[v], cur[u]
+		curV += bestD
+		if curV < bestV {
+			bestV = curV
+			copy(best, cur)
+		}
+
+		// Refresh the delta cache. Pairs touching {u,v} are recomputed;
+		// the rest get Taillard's O(1) incremental update.
+		for r := 0; r < n; r++ {
+			for s := r + 1; s < n; s++ {
+				if r == u || r == v || s == u || s == v {
+					delta[r][s] = p.swapDelta(cur, r, s)
+					continue
+				}
+				ar, as, au, av := cur[r], cur[s], cur[u], cur[v]
+				// cur is already swapped: au is thread u's new core
+				// (the old core of v) and vice versa.
+				d := delta[r][s]
+				d += (p.Flow[r][u] - p.Flow[r][v]) * (p.Cost[as][au] - p.Cost[as][av] + p.Cost[ar][av] - p.Cost[ar][au])
+				d += (p.Flow[s][u] - p.Flow[s][v]) * (p.Cost[ar][au] - p.Cost[ar][av] + p.Cost[as][av] - p.Cost[as][au])
+				d += (p.Flow[u][r] - p.Flow[v][r]) * (p.Cost[au][as] - p.Cost[av][as] + p.Cost[av][ar] - p.Cost[au][ar])
+				d += (p.Flow[u][s] - p.Flow[v][s]) * (p.Cost[au][ar] - p.Cost[av][ar] + p.Cost[av][as] - p.Cost[au][as])
+				delta[r][s] = d
+			}
+		}
+	}
+	return best
+}
+
+// AnnealOptions tunes the simulated annealing run.
+type AnnealOptions struct {
+	// Iterations is the number of attempted moves (default 200·n).
+	Iterations int
+	Seed       int64
+}
+
+func (o *AnnealOptions) fill(n int) {
+	if o.Iterations <= 0 {
+		o.Iterations = 200 * n
+	}
+}
+
+// Anneal runs Connolly-style simulated annealing: the initial and final
+// temperatures are derived from sampled move deltas and the temperature
+// follows the T/(1+βT) cooling schedule.
+func (p *Problem) Anneal(start Assignment, opt AnnealOptions) Assignment {
+	opt.fill(p.N)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	n := p.N
+
+	cur := append(Assignment(nil), start...)
+	best := append(Assignment(nil), cur...)
+	curV := p.Objective(cur)
+	bestV := curV
+
+	// Sample deltas to pick Connolly's T0 = Δmin + (Δmax−Δmin)/10 and
+	// Tf = Δmin.
+	dmin, dmax := math.Inf(1), math.Inf(-1)
+	for k := 0; k < 2*n; k++ {
+		r := rng.Intn(n)
+		s := (r + 1 + rng.Intn(n-1)) % n
+		d := math.Abs(p.swapDelta(cur, r, s))
+		if d == 0 {
+			continue
+		}
+		if d < dmin {
+			dmin = d
+		}
+		if d > dmax {
+			dmax = d
+		}
+	}
+	if math.IsInf(dmin, 1) { // completely flat landscape
+		return best
+	}
+	t0 := dmin + (dmax-dmin)/10
+	tf := dmin
+	beta := (t0 - tf) / (float64(opt.Iterations) * t0 * tf)
+	temp := t0
+
+	for iter := 0; iter < opt.Iterations; iter++ {
+		r := rng.Intn(n)
+		s := (r + 1 + rng.Intn(n-1)) % n
+		d := p.swapDelta(cur, r, s)
+		if d < 0 || rng.Float64() < math.Exp(-d/temp) {
+			cur[r], cur[s] = cur[s], cur[r]
+			curV += d
+			if curV < bestV {
+				bestV = curV
+				copy(best, cur)
+			}
+		}
+		temp = temp / (1 + beta*temp)
+	}
+	return best
+}
+
+// CenterGreedy is a fast constructive heuristic: threads sorted by total
+// traffic are placed onto cores sorted by their broadcast-power rank
+// (middle of the waveguide first). It is both a baseline and a good
+// taboo start.
+func (p *Problem) CenterGreedy() Assignment {
+	n := p.N
+	// Thread heat: total in+out traffic.
+	heat := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			heat[i] += p.Flow[i][j] + p.Flow[j][i]
+		}
+	}
+	threads := Identity(n)
+	sortByDesc(threads, heat)
+
+	// Core cheapness: total cost to reach everyone (Fig. 6 profile).
+	coreCost := make([]float64, n)
+	for c := 0; c < n; c++ {
+		for d := 0; d < n; d++ {
+			coreCost[c] += p.Cost[c][d]
+		}
+	}
+	cores := Identity(n)
+	sortByAsc(cores, coreCost)
+
+	a := make(Assignment, n)
+	for rank, t := range threads {
+		a[t] = cores[rank]
+	}
+	return a
+}
+
+func sortByDesc(idx []int, key []float64) {
+	sort.Slice(idx, func(a, b int) bool {
+		if key[idx[a]] != key[idx[b]] {
+			return key[idx[a]] > key[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+}
+
+func sortByAsc(idx []int, key []float64) {
+	sort.Slice(idx, func(a, b int) bool {
+		if key[idx[a]] != key[idx[b]] {
+			return key[idx[a]] < key[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+}
+
+// Solve runs the paper's preferred pipeline: CenterGreedy start, then
+// robust taboo ("we explore both Taboo and simulated annealing, and
+// find that Taboo generally performs best").
+func (p *Problem) Solve(seed int64) Assignment {
+	return p.Taboo(p.CenterGreedy(), TabooOptions{Seed: seed})
+}

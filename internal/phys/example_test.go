@@ -1,0 +1,35 @@
+package phys_test
+
+import (
+	"fmt"
+
+	"mnoc/internal/phys"
+)
+
+// ExampleLossToTransmission shows the paper's waveguide budget: the
+// 18 cm serpentine at 1 dB/cm loses 18 dB end to end.
+func ExampleLossToTransmission() {
+	t := phys.LossToTransmission(phys.WaveguideLengthCM * 1.0)
+	fmt.Printf("end-to-end transmission: %.4f\n", t)
+	// Output:
+	// end-to-end transmission: 0.0158
+}
+
+// ExamplePropagationCycles shows Table 2's worst-case optical latency:
+// 18 cm at 10 cm/ns is 1.8 ns = 9 cycles at 5 GHz.
+func ExamplePropagationCycles() {
+	fmt.Println(phys.PropagationCycles(phys.WaveguideLengthCM))
+	// Output:
+	// 9
+}
+
+// ExampleFormatPower demonstrates the auto-scaling unit formatter.
+func ExampleFormatPower() {
+	fmt.Println(phys.FormatPower(15.7))
+	fmt.Println(phys.FormatPower(84_600))
+	fmt.Println(phys.FormatPower(20.94 * phys.Watt))
+	// Output:
+	// 15.70uW
+	// 84.60mW
+	// 20.94W
+}

@@ -1,0 +1,118 @@
+// Package phys provides the basic optical-physics primitives the mNoC
+// models are built on: decibel/linear conversions, power units, and the
+// chip-level physical constants (die size, waveguide length, propagation
+// speed) the paper fixes in its methodology (Section 5.1, Table 2/3).
+//
+// All powers in this code base are carried as float64 microwatts (µW)
+// unless a name says otherwise; the MicroWatt/MilliWatt/Watt constants
+// make unit intent explicit at call sites.
+package phys
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Power unit multipliers. Internal unit is the microwatt.
+const (
+	MicroWatt = 1.0
+	MilliWatt = 1e3 * MicroWatt
+	Watt      = 1e6 * MicroWatt
+)
+
+// Chip-level constants from the paper's methodology (Section 5.1).
+const (
+	// DieAreaMM2 is the assumed die size in mm² ("We assume a die size of
+	// 400mm²").
+	DieAreaMM2 = 400.0
+
+	// WaveguideLengthCM is the total serpentine waveguide length in cm
+	// ("the waveguide's total length is approximately 18cm").
+	WaveguideLengthCM = 18.0
+
+	// LightSpeedCMPerNS is the (conservative) speed of light in the
+	// waveguide: "about 10cm/ns".
+	LightSpeedCMPerNS = 10.0
+
+	// ClockGHz is the system clock (Table 2).
+	ClockGHz = 5.0
+
+	// FlitBits is the flit size in bits (Table 2).
+	FlitBits = 256
+)
+
+// DBToLinear converts a loss/gain expressed in decibels to a linear power
+// ratio. Positive dB is gain (>1), negative dB is loss (<1).
+func DBToLinear(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// LinearToDB converts a linear power ratio to decibels. ratio must be > 0.
+func LinearToDB(ratio float64) float64 {
+	return 10 * math.Log10(ratio)
+}
+
+// LossToTransmission converts a loss magnitude in dB (a non-negative
+// number, e.g. 1.0 for "1 dB loss") to the transmitted power fraction.
+func LossToTransmission(lossDB float64) float64 {
+	return math.Pow(10, -lossDB/10)
+}
+
+// TransmissionToLoss converts a transmitted power fraction in (0,1] back
+// to a loss magnitude in dB.
+func TransmissionToLoss(t float64) float64 {
+	return -10 * math.Log10(t)
+}
+
+// PropagationCycles returns the number of whole clock cycles (rounded up,
+// minimum 1) light needs to traverse distCM centimetres of waveguide.
+// With the paper's constants the full 18 cm serpentine takes 1.8 ns,
+// i.e. 9 cycles at 5 GHz — the "1-9 cycles for mNoC" in Table 2.
+func PropagationCycles(distCM float64) int {
+	if distCM <= 0 {
+		return 1
+	}
+	ns := distCM / LightSpeedCMPerNS
+	cycles := int(math.Ceil(ns * ClockGHz))
+	if cycles < 1 {
+		cycles = 1
+	}
+	return cycles
+}
+
+// FormatPower renders a µW value with an auto-selected unit suffix,
+// suitable for experiment tables.
+func FormatPower(uw float64) string {
+	abs := math.Abs(uw)
+	switch {
+	case abs >= Watt:
+		return fmt.Sprintf("%.2fW", uw/Watt)
+	case abs >= MilliWatt:
+		return fmt.Sprintf("%.2fmW", uw/MilliWatt)
+	default:
+		return fmt.Sprintf("%.2fuW", uw)
+	}
+}
+
+// ErrNonPositive reports an argument that must have been strictly
+// positive.
+var ErrNonPositive = errors.New("phys: value must be > 0")
+
+// CheckPositive returns ErrNonPositive (wrapped with the name) unless
+// v > 0. It is the standard argument guard used by the model
+// constructors in the device and waveguide packages.
+func CheckPositive(name string, v float64) error {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w: %s = %g", ErrNonPositive, name, v)
+	}
+	return nil
+}
+
+// CheckFraction validates that v lies in (0, 1].
+func CheckFraction(name string, v float64) error {
+	if v <= 0 || v > 1 || math.IsNaN(v) {
+		return fmt.Errorf("phys: %s = %g, want in (0, 1]", name, v)
+	}
+	return nil
+}

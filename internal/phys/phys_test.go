@@ -1,0 +1,150 @@
+package phys
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestDBToLinearKnownValues(t *testing.T) {
+	cases := []struct {
+		db   float64
+		want float64
+	}{
+		{0, 1},
+		{10, 10},
+		{-10, 0.1},
+		{3.0103, 2},
+		{-3.0103, 0.5},
+		{20, 100},
+	}
+	for _, c := range cases {
+		got := DBToLinear(c.db)
+		if !almostEqual(got, c.want, 1e-4) {
+			t.Errorf("DBToLinear(%v) = %v, want %v", c.db, got, c.want)
+		}
+	}
+}
+
+func TestLinearToDBInvertsDBToLinear(t *testing.T) {
+	f := func(db float64) bool {
+		db = math.Mod(db, 60) // keep within a numerically sane range
+		return almostEqual(LinearToDB(DBToLinear(db)), db, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLossToTransmissionMonotone(t *testing.T) {
+	prev := LossToTransmission(0)
+	if prev != 1 {
+		t.Fatalf("0 dB loss should transmit everything, got %v", prev)
+	}
+	for db := 0.1; db <= 30; db += 0.1 {
+		tr := LossToTransmission(db)
+		if tr >= prev {
+			t.Fatalf("transmission not strictly decreasing at %v dB: %v >= %v", db, tr, prev)
+		}
+		if tr <= 0 || tr > 1 {
+			t.Fatalf("transmission out of range at %v dB: %v", db, tr)
+		}
+		prev = tr
+	}
+}
+
+func TestTransmissionToLossRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		// Map raw into (0, 1].
+		tr := math.Abs(math.Mod(raw, 1))
+		if tr == 0 {
+			tr = 0.5
+		}
+		return almostEqual(LossToTransmission(TransmissionToLoss(tr)), tr, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropagationCyclesPaperWorstCase(t *testing.T) {
+	// "1.8ns to travel the longest distance, corresponding to a worst
+	// case of 9 cycles for a 5GHz clock."
+	if got := PropagationCycles(WaveguideLengthCM); got != 9 {
+		t.Errorf("full waveguide traversal = %d cycles, want 9", got)
+	}
+}
+
+func TestPropagationCyclesMinimumOne(t *testing.T) {
+	for _, d := range []float64{-1, 0, 1e-9, 0.01} {
+		if got := PropagationCycles(d); got != 1 {
+			t.Errorf("PropagationCycles(%v) = %d, want 1", d, got)
+		}
+	}
+}
+
+func TestPropagationCyclesMonotone(t *testing.T) {
+	prev := 0
+	for d := 0.0; d <= WaveguideLengthCM; d += 0.05 {
+		c := PropagationCycles(d)
+		if c < prev {
+			t.Fatalf("cycles decreased at %v cm: %d < %d", d, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestFormatPowerUnits(t *testing.T) {
+	cases := []struct {
+		uw   float64
+		want string
+	}{
+		{0.5, "0.50uW"},
+		{999, "999.00uW"},
+		{1500, "1.50mW"},
+		{2.5e6, "2.50W"},
+	}
+	for _, c := range cases {
+		if got := FormatPower(c.uw); got != c.want {
+			t.Errorf("FormatPower(%v) = %q, want %q", c.uw, got, c.want)
+		}
+	}
+}
+
+func TestCheckPositive(t *testing.T) {
+	if err := CheckPositive("x", 1); err != nil {
+		t.Errorf("CheckPositive(1) = %v, want nil", err)
+	}
+	for _, v := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		err := CheckPositive("x", v)
+		if err == nil {
+			t.Errorf("CheckPositive(%v) = nil, want error", v)
+		} else if !strings.Contains(err.Error(), "x") {
+			t.Errorf("error %q does not name the argument", err)
+		}
+	}
+}
+
+func TestCheckFraction(t *testing.T) {
+	for _, v := range []float64{0.001, 0.5, 1} {
+		if err := CheckFraction("s", v); err != nil {
+			t.Errorf("CheckFraction(%v) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []float64{0, -0.1, 1.0001, math.NaN()} {
+		if err := CheckFraction("s", v); err == nil {
+			t.Errorf("CheckFraction(%v) = nil, want error", v)
+		}
+	}
+}
+
+func TestUnitConstants(t *testing.T) {
+	if Watt != 1e6 || MilliWatt != 1e3 || MicroWatt != 1 {
+		t.Fatalf("unit constants wrong: W=%v mW=%v uW=%v", Watt, MilliWatt, MicroWatt)
+	}
+}

@@ -1,0 +1,201 @@
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"mnoc/internal/device"
+	"mnoc/internal/phys"
+	"mnoc/internal/splitter"
+	"mnoc/internal/trace"
+	"mnoc/internal/waveguide"
+)
+
+// Clustered topologies (Section 2, Table 1): 256 nodes grouped into
+// 4-node clusters around a radix-64 optical crossbar. Intra-cluster
+// traffic stays in the electrical domain; inter-cluster traffic crosses
+// two electrical routers plus the optical crossbar.
+
+// clusterLayout returns the optical layout of a radix-ports crossbar.
+// The serpentine only has to visit ports (not nodes), so its length
+// shrinks with the square root of the port count relative to the
+// 256-node, 18 cm full-size layout (fewer serpentine rows across the
+// same die).
+func clusterLayout(ports int) waveguide.Layout {
+	l := waveguide.NewSerpentine(ports)
+	l.LengthCM = phys.WaveguideLengthCM * math.Sqrt(float64(ports)/256.0)
+	return l
+}
+
+// CMNoC is the clustered mNoC (c_mNoC): QD-LED optics on a radix-64
+// crossbar with electrical cluster routers.
+type CMNoC struct {
+	N           int
+	ClusterSize int
+	Ports       int
+	Cfg         Config // per-port optical config (radix-Ports layout)
+	// designs[p] is port p's broadcast splitter design.
+	designs []*splitter.Design
+}
+
+// NewCMNoC builds a clustered mNoC for n nodes with the given cluster
+// size (the paper uses 256 nodes, 4 per cluster, radix-64 crossbar).
+func NewCMNoC(n, clusterSize int) (*CMNoC, error) {
+	if clusterSize < 1 || n%clusterSize != 0 {
+		return nil, fmt.Errorf("power: cluster size %d does not divide %d", clusterSize, n)
+	}
+	ports := n / clusterSize
+	if ports < 2 {
+		return nil, fmt.Errorf("power: %d ports, need >= 2", ports)
+	}
+	cfg := DefaultConfig(ports)
+	cfg.Splitter = splitter.ParamsFromDevices(clusterLayout(ports),
+		cfg.PD, device.DefaultChromophore(), 1.0, 0.2)
+	c := &CMNoC{N: n, ClusterSize: clusterSize, Ports: ports, Cfg: cfg,
+		designs: make([]*splitter.Design, ports)}
+	for p := 0; p < ports; p++ {
+		d, err := splitter.BroadcastDesign(cfg.Splitter, p)
+		if err != nil {
+			return nil, fmt.Errorf("power: c_mNoC port %d: %w", p, err)
+		}
+		c.designs[p] = d
+	}
+	return c, nil
+}
+
+// Evaluate computes the average power of carrying mtx (node-indexed,
+// N×N flit counts) over the window.
+func (c *CMNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
+	return evalClustered(mtx, cycles, c.N, c.ClusterSize, c.Cfg.Elec, func(srcPort int, flits float64) (srcUW, oeUW float64) {
+		srcUW = flits * c.Cfg.QDLED.ElectricalPower(c.designs[srcPort].ModePowerUW[0])
+		oeUW = flits * float64(c.Ports-1) * c.Cfg.PD.OEPowerUW()
+		return srcUW, oeUW
+	}, nil)
+}
+
+// RNoC is the ring-resonator baseline: a radix-64 clustered optical
+// crossbar fed by an off-chip laser, with per-ring thermal trimming.
+type RNoC struct {
+	N           int
+	ClusterSize int
+	Ports       int
+	Ring        device.RingResonator
+	Laser       device.Laser
+	PD          device.Photodetector
+	Elec        device.Electrical
+	// ModulatorPJPerFlit is the ring-modulator drive energy per flit
+	// (E/O side; the optical power itself comes from the laser).
+	ModulatorPJPerFlit float64
+}
+
+// NewRNoC builds the paper's rNoC baseline: 20 µW/ring trimming, 5 W
+// laser, 1 µW mIOP photodetectors (Section 5.1/5.7 keep rNoC at a low
+// mIOP because ring tuning dominates its power anyway).
+func NewRNoC(n, clusterSize int) (*RNoC, error) {
+	if clusterSize < 1 || n%clusterSize != 0 {
+		return nil, fmt.Errorf("power: cluster size %d does not divide %d", clusterSize, n)
+	}
+	ports := n / clusterSize
+	if ports < 2 {
+		return nil, fmt.Errorf("power: %d ports, need >= 2", ports)
+	}
+	pd := device.DefaultPhotodetector()
+	pd.MIOPUW = 1.0
+	return &RNoC{
+		N: n, ClusterSize: clusterSize, Ports: ports,
+		Ring:               device.DefaultRingResonator(),
+		Laser:              device.DefaultLaser(),
+		PD:                 pd,
+		Elec:               device.DefaultElectrical(),
+		ModulatorPJPerFlit: 1.0,
+	}, nil
+}
+
+// RingCount is the number of rings needing thermal trimming: one filter
+// ring per wavelength per port on every port's waveguide, plus the
+// modulator rings (radix² + radix wavelength-parallel ring banks for a
+// 256-bit flit).
+func (r *RNoC) RingCount() int {
+	return r.Ports*r.Ports*phys.FlitBits + r.Ports*phys.FlitBits
+}
+
+// StaticUW is the activity-independent rNoC power: ring trimming plus
+// the laser.
+func (r *RNoC) StaticUW() Breakdown {
+	return Breakdown{
+		RingTrimUW: r.Ring.TrimmingPowerUW(r.RingCount()),
+		LaserUW:    r.Laser.PowerUW,
+	}
+}
+
+// Evaluate computes the average rNoC power for mtx over the window. The
+// static components dominate; activity adds O/E and electrical power.
+func (r *RNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
+	b, err := evalClustered(mtx, cycles, r.N, r.ClusterSize, r.Elec, func(_ int, flits float64) (srcUW, oeUW float64) {
+		oeUW = flits * float64(r.Ports-1) * r.PD.OEPowerUW()
+		return 0, oeUW
+	}, func(flits, cyc float64) float64 {
+		return pjOverCyclesToUW(flits*r.ModulatorPJPerFlit, cyc)
+	})
+	if err != nil {
+		return Breakdown{}, err
+	}
+	return b.Add(r.StaticUW()), nil
+}
+
+// evalClustered shares the electrical+optical accounting of the two
+// clustered networks. optical is called once per inter-cluster
+// (srcPort, flits) aggregate; extraOE optionally adds modulation power.
+func evalClustered(mtx *trace.Matrix, cycles float64, n, clusterSize int,
+	elec device.Electrical,
+	optical func(srcPort int, flits float64) (srcUW, oeUW float64),
+	extraOE func(flits, cycles float64) float64) (Breakdown, error) {
+
+	if mtx.N != n {
+		return Breakdown{}, fmt.Errorf("power: matrix for %d nodes, network for %d", mtx.N, n)
+	}
+	if cycles <= 0 {
+		return Breakdown{}, fmt.Errorf("power: window of %g cycles", cycles)
+	}
+	var intra, inter float64
+	interByPort := make([]float64, n/clusterSize)
+	for s, row := range mtx.Counts {
+		for d, v := range row {
+			if v == 0 || d == s {
+				continue
+			}
+			if s/clusterSize == d/clusterSize {
+				intra += v
+			} else {
+				inter += v
+				interByPort[s/clusterSize] += v
+			}
+		}
+	}
+
+	var srcUW, oeUW float64
+	for p, flits := range interByPort {
+		if flits == 0 {
+			continue
+		}
+		s, oe := optical(p, flits)
+		srcUW += s
+		oeUW += oe
+	}
+
+	// Electrical: every packet is buffered at both endpoints and hops
+	// its local router(s) and electrical links. Intra-cluster: one
+	// router, two links; inter-cluster: two routers, two links.
+	intraPJ := intra * (2*elec.BufferPJPerFlit + elec.RouterPJPerFlit + 2*elec.LinkPJPerFlit)
+	interPJ := inter * (2*elec.BufferPJPerFlit + 2*elec.RouterPJPerFlit + 2*elec.LinkPJPerFlit)
+
+	b := Breakdown{
+		SourceUW:     srcUW / cycles,
+		OEUW:         oeUW / cycles,
+		ElectricalUW: pjOverCyclesToUW(intraPJ+interPJ, cycles),
+	}
+	if extraOE != nil {
+		b.OEUW += extraOE(inter, cycles)
+	}
+	return b, nil
+}

@@ -1,0 +1,68 @@
+package power
+
+import (
+	"fmt"
+
+	"mnoc/internal/phys"
+	"mnoc/internal/trace"
+)
+
+// MWSRNoC is the power model of a Corona-style Multiple-Writer
+// Single-Reader crossbar built from mNoC devices (Section 6 related
+// work; Koka et al.'s observation that point-to-point optical networks
+// beat switched ones on power). Each destination owns a waveguide with
+// a single receiver tap, so a packet's source power only covers the
+// waveguide loss to that one destination — far cheaper per flit than an
+// SWMR broadcast, at the cost of token arbitration latency and N²
+// modulators.
+type MWSRNoC struct {
+	Cfg Config
+	// TokenPJPerFlit is the electrical cost of acquiring the
+	// destination token for one packet.
+	TokenPJPerFlit float64
+}
+
+// NewMWSRNoC builds the MWSR power model from an mNoC device config.
+func NewMWSRNoC(cfg Config) (*MWSRNoC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &MWSRNoC{Cfg: cfg, TokenPJPerFlit: 1.0}, nil
+}
+
+// SourceElectricalUW is the QD LED driver power for one s→d flit: the
+// destination's tap absorbs everything, so only waveguide transmission
+// and the coupler separate the LED from Pmin.
+func (m *MWSRNoC) SourceElectricalUW(s, d int) float64 {
+	p := m.Cfg.Splitter
+	optical := p.PminUW / p.Layout.PathTransmission(s, d) * phys.DBToLinear(p.CouplerLossDB)
+	return m.Cfg.QDLED.ElectricalPower(optical)
+}
+
+// Evaluate computes the average power of carrying mtx over the window.
+func (m *MWSRNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
+	if mtx.N != m.Cfg.N {
+		return Breakdown{}, fmt.Errorf("power: matrix for %d nodes, network for %d", mtx.N, m.Cfg.N)
+	}
+	if cycles <= 0 {
+		return Breakdown{}, fmt.Errorf("power: window of %g cycles", cycles)
+	}
+	oe := m.Cfg.PD.OEPowerUW()
+	var srcSum, oeSum, flits float64
+	for s, row := range mtx.Counts {
+		for d, v := range row {
+			if v == 0 || d == s {
+				continue
+			}
+			srcSum += v * m.SourceElectricalUW(s, d)
+			oeSum += v * oe // exactly one receiver listens
+			flits += v
+		}
+	}
+	elecPJ := flits * (2*m.Cfg.Elec.BufferPJPerFlit + m.TokenPJPerFlit)
+	return Breakdown{
+		SourceUW:     srcSum / cycles,
+		OEUW:         oeSum / cycles,
+		ElectricalUW: pjOverCyclesToUW(elecPJ, cycles),
+	}, nil
+}

@@ -1,0 +1,256 @@
+// Package power assembles the device, waveguide and splitter models into
+// end-to-end NoC power models: the base/power-topology mNoC, the
+// clustered c_mNoC, and the ring-resonator rNoC baseline. It evaluates a
+// traffic matrix (already permuted by the chosen thread mapping) under a
+// power topology and returns the component breakdown the paper reports
+// in Figure 10 (source power, O/E + E/O, electrical links and routers,
+// ring heating, laser).
+//
+// Power accounting is flit-based: every flit occupies its source's
+// waveguide for one clock cycle, during which the QD LED driver draws
+// the mode's electrical power and every receiver reached by that mode
+// performs O/E conversion. Average power is therefore
+//
+//	Σ_flits (per-flit active power · 1 cycle) / window cycles
+//
+// which makes the model energy proportional, exactly the property the
+// paper highlights for mNoC ("applications with higher network
+// utilization (e.g., radix) require high power").
+package power
+
+import (
+	"fmt"
+
+	"mnoc/internal/device"
+	"mnoc/internal/phys"
+	"mnoc/internal/splitter"
+	"mnoc/internal/topo"
+	"mnoc/internal/trace"
+)
+
+// Config bundles the device models of an mNoC-style network.
+type Config struct {
+	N        int
+	Splitter splitter.Params
+	QDLED    device.QDLED
+	PD       device.Photodetector
+	Elec     device.Electrical
+}
+
+// DefaultConfig returns the Table 3 configuration for an n-node crossbar.
+func DefaultConfig(n int) Config {
+	return Config{
+		N:        n,
+		Splitter: splitter.DefaultParams(n),
+		QDLED:    device.DefaultQDLED(),
+		PD:       device.DefaultPhotodetector(),
+		Elec:     device.DefaultElectrical(),
+	}
+}
+
+// WithMIOP returns a copy of the config with the photodetector mIOP
+// changed and the splitter Pmin re-derived (used by the Fig. 2 sweep).
+func (c Config) WithMIOP(miopUW float64) Config {
+	c.PD.MIOPUW = miopUW
+	c.Splitter = splitter.ParamsFromDevices(c.Splitter.Layout, c.PD,
+		device.DefaultChromophore(), 1.0, 0.2)
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("power: N = %d", c.N)
+	}
+	if c.Splitter.Layout.N != c.N {
+		return fmt.Errorf("power: layout for %d nodes, config for %d", c.Splitter.Layout.N, c.N)
+	}
+	if err := c.Splitter.Validate(); err != nil {
+		return err
+	}
+	if err := c.QDLED.Validate(); err != nil {
+		return err
+	}
+	if err := c.PD.Validate(); err != nil {
+		return err
+	}
+	return c.Elec.Validate()
+}
+
+// Breakdown is the Figure 10 component split, in µW.
+type Breakdown struct {
+	SourceUW     float64 // QD LED (mNoC) or laser-fed modulation is under LaserUW for rNoC
+	OEUW         float64 // O/E and E/O conversion
+	ElectricalUW float64 // buffers, electrical routers and links
+	RingTrimUW   float64 // ring thermal trimming (rNoC only)
+	LaserUW      float64 // off-chip laser (rNoC only)
+}
+
+// TotalUW sums all components.
+func (b Breakdown) TotalUW() float64 {
+	return b.SourceUW + b.OEUW + b.ElectricalUW + b.RingTrimUW + b.LaserUW
+}
+
+// TotalWatts is TotalUW in watts.
+func (b Breakdown) TotalWatts() float64 { return b.TotalUW() / phys.Watt }
+
+// Add returns the component-wise sum.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		SourceUW:     b.SourceUW + o.SourceUW,
+		OEUW:         b.OEUW + o.OEUW,
+		ElectricalUW: b.ElectricalUW + o.ElectricalUW,
+		RingTrimUW:   b.RingTrimUW + o.RingTrimUW,
+		LaserUW:      b.LaserUW + o.LaserUW,
+	}
+}
+
+// Scale returns the breakdown scaled by f (used for energy = power·time).
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{
+		SourceUW:     b.SourceUW * f,
+		OEUW:         b.OEUW * f,
+		ElectricalUW: b.ElectricalUW * f,
+		RingTrimUW:   b.RingTrimUW * f,
+		LaserUW:      b.LaserUW * f,
+	}
+}
+
+// Weighting selects how per-mode communication weights are chosen when
+// sizing splitters (the U/W/S columns of Table 5).
+type Weighting struct {
+	// Fracs, if non-nil, fixes the same weight vector for every source
+	// (e.g. uniform, or the 66%/33% sensitivity points). Must match the
+	// topology's mode count and sum to 1.
+	Fracs []float64
+	// Sample, if non-nil, derives per-source weights from this traffic
+	// matrix (the S4/S12 sampled designs). Exactly one of Fracs/Sample
+	// must be set.
+	Sample *trace.Matrix
+}
+
+// UniformWeighting is the "U" design point.
+func UniformWeighting(modes int) Weighting {
+	return Weighting{Fracs: topo.UniformWeights(modes)}
+}
+
+// SampledWeighting is the "S" design point for a profiled matrix.
+func SampledWeighting(m *trace.Matrix) Weighting {
+	return Weighting{Sample: m}
+}
+
+func (w Weighting) weightsFor(t *topo.Topology, src int) ([]float64, error) {
+	switch {
+	case w.Fracs != nil && w.Sample != nil:
+		return nil, fmt.Errorf("power: weighting has both Fracs and Sample")
+	case w.Fracs != nil:
+		if len(w.Fracs) != t.Modes {
+			return nil, fmt.Errorf("power: %d weight fracs for %d modes", len(w.Fracs), t.Modes)
+		}
+		return w.Fracs, nil
+	case w.Sample != nil:
+		return t.TrafficModeWeights(w.Sample, src)
+	default:
+		return nil, fmt.Errorf("power: empty weighting")
+	}
+}
+
+// MNoC is a fully designed mNoC crossbar: a power topology plus the
+// per-source splitter designs that implement it.
+type MNoC struct {
+	Cfg      Config
+	Topology *topo.Topology
+	Designs  []*splitter.Design
+	// modeReach[src][m] is the number of receivers that detect light in
+	// mode m (all destinations with mode <= m), used for O/E power.
+	modeReach [][]int
+}
+
+// NewMNoC designs the splitters for every source of the topology under
+// the given design-time weighting.
+func NewMNoC(cfg Config, t *topo.Topology, w Weighting) (*MNoC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if t.N != cfg.N {
+		return nil, fmt.Errorf("power: topology for %d nodes, config for %d", t.N, cfg.N)
+	}
+	m := &MNoC{
+		Cfg:       cfg,
+		Topology:  t,
+		Designs:   make([]*splitter.Design, cfg.N),
+		modeReach: make([][]int, cfg.N),
+	}
+	for src := 0; src < cfg.N; src++ {
+		weights, err := w.weightsFor(t, src)
+		if err != nil {
+			return nil, err
+		}
+		d, err := splitter.Solve(cfg.Splitter, src, t.ModeOf[src], weights)
+		if err != nil {
+			return nil, fmt.Errorf("power: designing source %d: %w", src, err)
+		}
+		m.Designs[src] = d
+
+		sizes := t.ModeSizes(src)
+		reach := make([]int, t.Modes)
+		run := 0
+		for mode, sz := range sizes {
+			run += sz
+			reach[mode] = run
+		}
+		m.modeReach[src] = reach
+	}
+	return m, nil
+}
+
+// SourceElectricalUW is the QD LED driver power (µW) while src transmits
+// in the given mode.
+func (m *MNoC) SourceElectricalUW(src, mode int) float64 {
+	return m.Cfg.QDLED.ElectricalPower(m.Designs[src].ModePowerUW[mode])
+}
+
+// Evaluate computes the average power of carrying the traffic matrix mtx
+// (flit counts, core-indexed — apply the thread mapping with
+// Matrix.Permute first) over a window of `cycles` clock cycles.
+func (m *MNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
+	if mtx.N != m.Cfg.N {
+		return Breakdown{}, fmt.Errorf("power: matrix for %d nodes, network for %d", mtx.N, m.Cfg.N)
+	}
+	if cycles <= 0 {
+		return Breakdown{}, fmt.Errorf("power: window of %g cycles", cycles)
+	}
+	oePerReceiver := m.Cfg.PD.OEPowerUW()
+	var srcSum, oeSum, flits float64
+	for s, row := range mtx.Counts {
+		des := m.Designs[s]
+		reach := m.modeReach[s]
+		for d, v := range row {
+			if v == 0 || d == s {
+				continue
+			}
+			mode := m.Topology.ModeOf[s][d]
+			srcSum += v * m.Cfg.QDLED.ElectricalPower(des.ModePowerUW[mode])
+			oeSum += v * float64(reach[mode]) * oePerReceiver
+			flits += v
+		}
+	}
+	// Electrical buffering at the two endpoints of every flit.
+	elecPJ := flits * 2 * m.Cfg.Elec.BufferPJPerFlit
+	return Breakdown{
+		SourceUW:     srcSum / cycles,
+		OEUW:         oeSum / cycles,
+		ElectricalUW: pjOverCyclesToUW(elecPJ, cycles),
+	}, nil
+}
+
+// pjOverCyclesToUW converts a total energy in pJ spent during a window
+// of `cycles` 5 GHz clock cycles into average power in µW
+// (1 pJ/ns = 1 mW = 1000 µW; one cycle is 1/ClockGHz ns).
+func pjOverCyclesToUW(pj, cycles float64) float64 {
+	windowNS := cycles / phys.ClockGHz
+	return pj / windowNS * 1000
+}

@@ -1,0 +1,173 @@
+// Package router provides a cycle-stepped input-queued electrical
+// router with the paper's 4-stage pipeline (Table 2: "Router pipeline
+// stages: 4 cycles"). The clustered NoC timing models in package noc
+// abstract routers as a pipeline-latency constant plus a VC-parallel
+// reservation; this detailed model exists to validate that abstraction:
+// its tests confirm a lightly loaded flit takes exactly the 4 cycles
+// Table 2 charges, and that saturation throughput is one flit per
+// output per cycle.
+//
+// Pipeline stages: BW (buffer write) → RC/VA (route computation and
+// virtual-channel allocation) → SA (switch allocation, where output
+// conflicts arbitrate round-robin) → ST (switch traversal, the flit
+// leaves). A flit therefore departs no earlier than 4 cycles after
+// injection, later under contention or backpressure.
+package router
+
+import "fmt"
+
+// Config sizes the router.
+type Config struct {
+	// Ports is the number of input (and output) ports.
+	Ports int
+	// VCs is the number of virtual channels per input port.
+	VCs int
+	// BufDepth is the per-VC buffer capacity in flits.
+	BufDepth int
+}
+
+// DefaultConfig matches the clustered models in package noc: 4 VCs and
+// a modest 8-flit buffer per VC.
+func DefaultConfig(ports int) Config {
+	return Config{Ports: ports, VCs: 4, BufDepth: 8}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Ports < 2 {
+		return fmt.Errorf("router: %d ports", c.Ports)
+	}
+	if c.VCs < 1 || c.BufDepth < 1 {
+		return fmt.Errorf("router: %d VCs x %d buffers", c.VCs, c.BufDepth)
+	}
+	return nil
+}
+
+// Flit is the unit of switching.
+type Flit struct {
+	// ID identifies the flit in departures (caller-assigned).
+	ID uint64
+	// Out is the requested output port.
+	Out int
+}
+
+// Departure reports a flit leaving an output port.
+type Departure struct {
+	Flit  Flit
+	Out   int
+	Cycle uint64
+}
+
+// PipelineCycles is the minimum injection→departure latency.
+const PipelineCycles = 4
+
+type bufferedFlit struct {
+	flit Flit
+	// ready is the first cycle the flit may win switch allocation
+	// (injection cycle + the BW/RC/VA stages).
+	ready uint64
+}
+
+// Router is the cycle-stepped model. Drive it by calling Inject (any
+// number of times per cycle) and then Step once per cycle.
+type Router struct {
+	cfg   Config
+	cycle uint64
+	// queues[port][vc] is a FIFO of buffered flits.
+	queues [][][]bufferedFlit
+	// rrInput[out] is the round-robin pointer over (port, vc) pairs for
+	// switch allocation at each output.
+	rrInput []int
+}
+
+// New builds a router.
+func New(cfg Config) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{cfg: cfg, rrInput: make([]int, cfg.Ports)}
+	r.queues = make([][][]bufferedFlit, cfg.Ports)
+	for p := range r.queues {
+		r.queues[p] = make([][]bufferedFlit, cfg.VCs)
+	}
+	return r, nil
+}
+
+// Cycle returns the current cycle (the number of Steps taken).
+func (r *Router) Cycle() uint64 { return r.cycle }
+
+// Inject offers a flit to input port/vc in the current cycle. It
+// returns false when the VC buffer is full (backpressure) or the flit's
+// output is invalid.
+func (r *Router) Inject(port, vc int, f Flit) bool {
+	if port < 0 || port >= r.cfg.Ports || vc < 0 || vc >= r.cfg.VCs {
+		return false
+	}
+	if f.Out < 0 || f.Out >= r.cfg.Ports {
+		return false
+	}
+	q := r.queues[port][vc]
+	if len(q) >= r.cfg.BufDepth {
+		return false
+	}
+	// BW this cycle; RC/VA take two more; SA may fire at cycle+3 and
+	// the flit traverses (departs) at cycle+4.
+	r.queues[port][vc] = append(q, bufferedFlit{flit: f, ready: r.cycle + 3})
+	return true
+}
+
+// Step advances one cycle: each output port grants at most one
+// SA-ready head flit (round-robin over inputs), which departs this
+// cycle. Departures are returned in output-port order.
+func (r *Router) Step() []Departure {
+	r.cycle++
+	var out []Departure
+	lanes := r.cfg.Ports * r.cfg.VCs
+	for o := 0; o < r.cfg.Ports; o++ {
+		granted := -1
+		for k := 0; k < lanes; k++ {
+			lane := (r.rrInput[o] + k) % lanes
+			p, v := lane/r.cfg.VCs, lane%r.cfg.VCs
+			q := r.queues[p][v]
+			if len(q) == 0 {
+				continue
+			}
+			head := q[0]
+			if head.flit.Out != o || head.ready >= r.cycle {
+				continue
+			}
+			granted = lane
+			r.queues[p][v] = q[1:]
+			out = append(out, Departure{Flit: head.flit, Out: o, Cycle: r.cycle})
+			break
+		}
+		if granted >= 0 {
+			r.rrInput[o] = (granted + 1) % lanes
+		}
+	}
+	return out
+}
+
+// Occupancy returns the number of buffered flits (diagnostics).
+func (r *Router) Occupancy() int {
+	n := 0
+	for _, port := range r.queues {
+		for _, q := range port {
+			n += len(q)
+		}
+	}
+	return n
+}
+
+// Drain steps the router until empty and returns all departures; it
+// gives up after maxCycles to avoid hanging on a bug.
+func (r *Router) Drain(maxCycles int) ([]Departure, error) {
+	var all []Departure
+	for i := 0; i < maxCycles; i++ {
+		all = append(all, r.Step()...)
+		if r.Occupancy() == 0 {
+			return all, nil
+		}
+	}
+	return nil, fmt.Errorf("router: %d flits still buffered after %d cycles", r.Occupancy(), maxCycles)
+}

@@ -1,0 +1,193 @@
+package router
+
+import (
+	"testing"
+
+	"mnoc/internal/noc"
+)
+
+func mustNew(t *testing.T, ports int) *Router {
+	t.Helper()
+	r, err := New(DefaultConfig(ports))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(5).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Config{
+		{Ports: 1, VCs: 4, BufDepth: 8},
+		{Ports: 4, VCs: 0, BufDepth: 8},
+		{Ports: 4, VCs: 4, BufDepth: 0},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil", c)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New with zero config succeeded")
+	}
+}
+
+// TestUncontendedLatencyIsFourCycles validates the Table 2 abstraction
+// used by package noc: a lone flit crosses the router in exactly
+// PipelineCycles.
+func TestUncontendedLatencyIsFourCycles(t *testing.T) {
+	r := mustNew(t, 5)
+	if !r.Inject(0, 0, Flit{ID: 1, Out: 3}) {
+		t.Fatal("inject refused")
+	}
+	inj := r.Cycle()
+	for i := 0; i < 10; i++ {
+		deps := r.Step()
+		if len(deps) == 1 {
+			if got := deps[0].Cycle - inj; got != PipelineCycles {
+				t.Fatalf("latency %d cycles, want %d", got, PipelineCycles)
+			}
+			if deps[0].Out != 3 || deps[0].Flit.ID != 1 {
+				t.Fatalf("wrong departure: %+v", deps[0])
+			}
+			if PipelineCycles != noc.RouterPipelineCycles {
+				t.Fatalf("detailed model (%d) and abstract constant (%d) diverged",
+					PipelineCycles, noc.RouterPipelineCycles)
+			}
+			return
+		}
+	}
+	t.Fatal("flit never departed")
+}
+
+// TestThroughputOneFlitPerOutputPerCycle: saturating distinct outputs
+// yields full parallel throughput.
+func TestThroughputOneFlitPerOutputPerCycle(t *testing.T) {
+	r := mustNew(t, 4)
+	// Each input sends 8 flits to its own dedicated output.
+	for p := 0; p < 4; p++ {
+		for k := 0; k < 8; k++ {
+			if !r.Inject(p, k%4, Flit{ID: uint64(p*100 + k), Out: p}) {
+				t.Fatalf("inject refused at %d/%d", p, k)
+			}
+		}
+	}
+	deps, err := r.Drain(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 32 {
+		t.Fatalf("%d departures, want 32", len(deps))
+	}
+	// 8 flits per output over 8 consecutive busy cycles + pipeline.
+	last := deps[len(deps)-1].Cycle
+	if last > PipelineCycles+8 {
+		t.Errorf("drain finished at cycle %d, want <= %d", last, PipelineCycles+8)
+	}
+}
+
+// TestOutputConflictSerialises: two inputs fighting for one output
+// alternate fairly.
+func TestOutputConflictSerialises(t *testing.T) {
+	r := mustNew(t, 4)
+	for k := 0; k < 6; k++ {
+		if !r.Inject(0, 0, Flit{ID: uint64(100 + k), Out: 2}) {
+			t.Fatal("inject refused")
+		}
+		if !r.Inject(1, 0, Flit{ID: uint64(200 + k), Out: 2}) {
+			t.Fatal("inject refused")
+		}
+	}
+	deps, err := r.Drain(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 12 {
+		t.Fatalf("%d departures", len(deps))
+	}
+	// One flit per cycle on the contested output.
+	for i := 1; i < len(deps); i++ {
+		if deps[i].Cycle != deps[i-1].Cycle+1 {
+			t.Fatalf("output bubble between %d and %d", deps[i-1].Cycle, deps[i].Cycle)
+		}
+	}
+	// Round-robin: the two inputs alternate.
+	fromA := 0
+	for i := 0; i < 4; i++ {
+		if deps[i].Flit.ID < 200 {
+			fromA++
+		}
+	}
+	if fromA != 2 {
+		t.Errorf("first four grants had %d from input 0, want 2 (round robin)", fromA)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	cfg := Config{Ports: 2, VCs: 1, BufDepth: 3}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if !r.Inject(0, 0, Flit{ID: uint64(k), Out: 1}) {
+			t.Fatalf("inject %d refused below capacity", k)
+		}
+	}
+	if r.Inject(0, 0, Flit{ID: 99, Out: 1}) {
+		t.Error("inject accepted into a full buffer")
+	}
+	// After a departure there is room again.
+	for i := 0; i < PipelineCycles+1; i++ {
+		r.Step()
+	}
+	if !r.Inject(0, 0, Flit{ID: 100, Out: 1}) {
+		t.Error("inject refused after drain")
+	}
+}
+
+func TestInjectRejectsBadCoordinates(t *testing.T) {
+	r := mustNew(t, 3)
+	if r.Inject(-1, 0, Flit{Out: 1}) || r.Inject(3, 0, Flit{Out: 1}) {
+		t.Error("bad port accepted")
+	}
+	if r.Inject(0, 99, Flit{Out: 1}) {
+		t.Error("bad VC accepted")
+	}
+	if r.Inject(0, 0, Flit{Out: 9}) {
+		t.Error("bad output accepted")
+	}
+}
+
+func TestDrainGivesUp(t *testing.T) {
+	r := mustNew(t, 2)
+	// A flit injected at a future-ready time cannot drain in 1 cycle.
+	r.Inject(0, 0, Flit{ID: 1, Out: 1})
+	if _, err := r.Drain(1); err == nil {
+		t.Error("Drain(1) succeeded despite pipeline depth")
+	}
+}
+
+func TestDeterministicUnderIdenticalDriving(t *testing.T) {
+	run := func() []Departure {
+		r := mustNew(t, 4)
+		var all []Departure
+		for c := 0; c < 30; c++ {
+			if c < 10 {
+				r.Inject(c%4, c%2, Flit{ID: uint64(c), Out: (c + 1) % 4})
+			}
+			all = append(all, r.Step()...)
+		}
+		return all
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("departure %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

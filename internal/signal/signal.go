@@ -1,0 +1,126 @@
+// Package signal models the receiver-side signal integrity of an mNoC
+// link: the paper's Section 3.2.2 notes that in low power modes a
+// receiver sees sub-threshold light that "should be treated as noise"
+// and that "to reduce the bit error rate (BER), a simple threshold
+// circuit can be used". This package quantifies that: given the optical
+// power incident on a photodetector and its mIOP, it derives the
+// decision Q-factor and bit error rate of an on-off-keyed link, and
+// checks whole splitter designs for BER compliance.
+//
+// Model: on-off keying with a decision threshold at half the mark
+// level. The photoreceiver's input-referred noise is sized so that a
+// signal exactly at mIOP achieves the target Q (the definition of
+// "minimum input optical power"): σ = mIOP / (2·Qmin). Received power
+// P then yields Q(P) = P / (2σ) = Qmin·P/mIOP and
+// BER = ½·erfc(Q/√2).
+package signal
+
+import (
+	"fmt"
+	"math"
+
+	"mnoc/internal/splitter"
+)
+
+// QMin is the design Q-factor a signal at exactly mIOP achieves.
+// Q ≈ 7 corresponds to BER ≈ 1.3e-12, the usual optical-link target.
+const QMin = 7.0
+
+// Link describes one receiver's detection setup.
+type Link struct {
+	// MIOPUW is the photodetector's minimum input optical power.
+	MIOPUW float64
+	// QAtMIOP is the Q-factor delivered at exactly mIOP (default QMin).
+	QAtMIOP float64
+}
+
+// NewLink builds a link model for the given mIOP.
+func NewLink(miopUW float64) (Link, error) {
+	if miopUW <= 0 || math.IsNaN(miopUW) {
+		return Link{}, fmt.Errorf("signal: mIOP = %g", miopUW)
+	}
+	return Link{MIOPUW: miopUW, QAtMIOP: QMin}, nil
+}
+
+// Q returns the decision Q-factor for a received optical power (µW).
+func (l Link) Q(receivedUW float64) float64 {
+	if receivedUW <= 0 {
+		return 0
+	}
+	return l.QAtMIOP * receivedUW / l.MIOPUW
+}
+
+// BER returns the bit error rate for a received optical power:
+// ½·erfc(Q/√2). At mIOP this is ≈1.3e-12; well below mIOP it
+// approaches ½ (pure noise).
+func (l Link) BER(receivedUW float64) float64 {
+	q := l.Q(receivedUW)
+	return 0.5 * math.Erfc(q/math.Sqrt2)
+}
+
+// Detectable reports whether the threshold circuit accepts the signal:
+// at or above mIOP it is data; below, the paper says "the input should
+// be treated as noise".
+func (l Link) Detectable(receivedUW float64) bool {
+	return receivedUW >= l.MIOPUW*(1-1e-9)
+}
+
+// Report summarises the signal integrity of one source's splitter
+// design across its modes.
+type Report struct {
+	// WorstBERPerMode[m] is the worst in-mode receiver BER when the
+	// source transmits at mode m's power.
+	WorstBERPerMode []float64
+	// MaxSubthresholdQ is the largest Q-factor observed at any receiver
+	// that is NOT part of the transmitting mode — the threshold
+	// circuit's noise-rejection margin (should stay well below
+	// QAtMIOP).
+	MaxSubthresholdQ float64
+	// Compliant is true when every in-mode receiver meets maxBER and
+	// every out-of-mode receiver stays below the threshold.
+	Compliant bool
+}
+
+// Audit checks a solved splitter design against the mode assignment it
+// was built for: in every mode, all reachable destinations must meet
+// maxBER, and all unreachable ones must stay sub-threshold.
+func Audit(d *splitter.Design, modeOf []int, l Link, maxBER float64) (Report, error) {
+	n := d.Chain.Layout.N
+	if len(modeOf) != n {
+		return Report{}, fmt.Errorf("signal: %d mode entries for %d nodes", len(modeOf), n)
+	}
+	if maxBER <= 0 || maxBER >= 0.5 {
+		return Report{}, fmt.Errorf("signal: maxBER = %g", maxBER)
+	}
+	modes := len(d.ModePowerUW)
+	rep := Report{WorstBERPerMode: make([]float64, modes), Compliant: true}
+	for m := 0; m < modes; m++ {
+		inGuide := d.InGuideMode0UW / d.Alphas[m]
+		recv := d.Chain.Received(inGuide)
+		for j := 0; j < n; j++ {
+			if j == d.Chain.Source {
+				continue
+			}
+			if modeOf[j] <= m {
+				// In-mode receiver: must decode reliably.
+				ber := l.BER(recv[j])
+				if ber > rep.WorstBERPerMode[m] {
+					rep.WorstBERPerMode[m] = ber
+				}
+				if ber > maxBER {
+					rep.Compliant = false
+				}
+			} else {
+				// Out-of-mode receiver: the threshold circuit must be
+				// able to reject it.
+				if q := l.Q(recv[j]); q > rep.MaxSubthresholdQ {
+					rep.MaxSubthresholdQ = q
+				}
+				if l.Detectable(recv[j]) {
+					rep.Compliant = false
+				}
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,169 @@
+package signal
+
+import (
+	"math"
+	"testing"
+
+	"mnoc/internal/splitter"
+)
+
+func TestNewLinkRejections(t *testing.T) {
+	if _, err := NewLink(0); err == nil {
+		t.Error("zero mIOP accepted")
+	}
+	if _, err := NewLink(math.NaN()); err == nil {
+		t.Error("NaN mIOP accepted")
+	}
+}
+
+func TestQAndBERAtKnownPoints(t *testing.T) {
+	l, err := NewLink(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At exactly mIOP: Q = 7, BER ≈ 1.28e-12.
+	if q := l.Q(10); math.Abs(q-7) > 1e-12 {
+		t.Errorf("Q(mIOP) = %v, want 7", q)
+	}
+	ber := l.BER(10)
+	if ber < 1e-13 || ber > 1e-11 {
+		t.Errorf("BER(mIOP) = %v, want ~1.3e-12", ber)
+	}
+	// Zero signal: coin-flip detection.
+	if got := l.BER(0); got != 0.5 {
+		t.Errorf("BER(0) = %v, want 0.5", got)
+	}
+	// Twice mIOP: dramatically better.
+	if l.BER(20) >= ber/1e10 {
+		t.Errorf("BER(2·mIOP) = %v not much below BER(mIOP) = %v", l.BER(20), ber)
+	}
+}
+
+func TestBERMonotoneDecreasing(t *testing.T) {
+	l, _ := NewLink(10)
+	prev := 1.0
+	for p := 0.5; p <= 30; p += 0.5 {
+		ber := l.BER(p)
+		if ber > prev {
+			t.Fatalf("BER not monotone at %v µW: %v > %v", p, ber, prev)
+		}
+		if ber < 0 || ber > 0.5 {
+			t.Fatalf("BER out of range at %v µW: %v", p, ber)
+		}
+		prev = ber
+	}
+}
+
+func TestDetectableThreshold(t *testing.T) {
+	l, _ := NewLink(10)
+	if l.Detectable(9.9) {
+		t.Error("sub-threshold signal detectable")
+	}
+	if !l.Detectable(10) || !l.Detectable(15) {
+		t.Error("at/above-threshold signal not detectable")
+	}
+}
+
+// TestAuditDesignCompliant: a solved multi-mode design must be
+// BER-compliant by construction — in-mode receivers get ≥ Pmin, and
+// out-of-mode receivers get α·Pmin < Pmin, which the threshold circuit
+// rejects (paper Section 3.2.2).
+func TestAuditDesignCompliant(t *testing.T) {
+	n := 64
+	p := splitter.DefaultParams(n)
+	src := 20
+	modeOf := make([]int, n)
+	for j := range modeOf {
+		switch {
+		case j == src:
+			modeOf[j] = -1
+		case (j*13)%3 == 0:
+			modeOf[j] = 0
+		case (j*13)%3 == 1:
+			modeOf[j] = 1
+		default:
+			modeOf[j] = 2
+		}
+	}
+	d, err := splitter.Solve(p, src, modeOf, []float64{0.5, 0.3, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The audit works in tap-power terms, so the link threshold is the
+	// design's effective Pmin.
+	l, err := NewLink(p.PminUW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(d, modeOf, l, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Compliant {
+		t.Fatalf("solved design not compliant: %+v", rep)
+	}
+	for m, ber := range rep.WorstBERPerMode {
+		if ber > 1e-9 {
+			t.Errorf("mode %d worst BER = %v", m, ber)
+		}
+	}
+	// Sub-threshold margin must stay below the design Q.
+	if rep.MaxSubthresholdQ >= QMin {
+		t.Errorf("noise margin too small: sub-threshold Q = %v", rep.MaxSubthresholdQ)
+	}
+}
+
+// TestAuditFlagsUnderpoweredMode: halving a mode's drive power must
+// break compliance — the in-mode receivers drop below threshold.
+func TestAuditFlagsUnderpoweredMode(t *testing.T) {
+	n := 32
+	p := splitter.DefaultParams(n)
+	src := 10
+	modeOf := make([]int, n)
+	for j := range modeOf {
+		if j == src {
+			modeOf[j] = -1
+		} else {
+			modeOf[j] = j % 2
+		}
+	}
+	d, err := splitter.Solve(p, src, modeOf, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: halve the drive power — every in-mode receiver now gets
+	// half its required Pmin and falls below the detection threshold.
+	d.InGuideMode0UW *= 0.5
+	l, err := NewLink(p.PminUW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(d, modeOf, l, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Compliant {
+		t.Error("underpowered mode passed the audit")
+	}
+}
+
+func TestAuditRejections(t *testing.T) {
+	n := 16
+	p := splitter.DefaultParams(n)
+	d, err := splitter.BroadcastDesign(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modeOf := make([]int, n)
+	modeOf[0] = -1
+	l, _ := NewLink(p.PminUW)
+	if _, err := Audit(d, modeOf[:4], l, 1e-9); err == nil {
+		t.Error("short modeOf accepted")
+	}
+	if _, err := Audit(d, modeOf, l, 0); err == nil {
+		t.Error("zero maxBER accepted")
+	}
+	if _, err := Audit(d, modeOf, l, 0.7); err == nil {
+		t.Error("maxBER >= 0.5 accepted")
+	}
+}

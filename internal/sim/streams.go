@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mnoc/internal/workload"
+)
+
+// StreamsFromBenchmark synthesises per-core memory access streams whose
+// coherence traffic mirrors the benchmark's communication matrix: each
+// core mixes private blocks (homed at itself, so misses cost only DRAM)
+// with blocks shared pairwise with partners drawn from its matrix row.
+// A partner that recently wrote a shared block owns it dirty, so the
+// requestor's miss is forwarded owner→requestor — producing exactly the
+// cache-to-cache traffic pattern the matrix describes, on top of the
+// uniform request/home background any address-interleaved directory
+// generates.
+func StreamsFromBenchmark(b workload.Benchmark, cfg Config, accessesPerCore int, seed int64) ([][]Access, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if accessesPerCore <= 0 {
+		return nil, fmt.Errorf("sim: %d accesses per core", accessesPerCore)
+	}
+	n := cfg.Cores
+	m := b.Matrix(n, seed)
+
+	// Cumulative partner distribution per core.
+	cum := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		cum[s] = make([]float64, n)
+		run := 0.0
+		for d := 0; d < n; d++ {
+			if d != s {
+				run += m.Counts[s][d]
+			}
+			cum[s][d] = run
+		}
+	}
+
+	line := uint64(cfg.LineBytes)
+	// Private pool: twice the L2 capacity so private misses recur.
+	privatePool := uint64(2 * cfg.L2SizeBytes / cfg.LineBytes)
+	const (
+		pairPool   = 64 // shared blocks per communicating pair
+		globalPool = 32 // barrier/lock-style blocks shared by everyone
+		globalBase = uint64(1) << 42
+		pShared    = 0.4
+		pGlobal    = 0.04
+		pWrite     = 0.35
+	)
+
+	streams := make([][]Access, n)
+	for c := 0; c < n; c++ {
+		rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+		st := make([]Access, accessesPerCore)
+		total := cum[c][n-1]
+		for i := range st {
+			write := rng.Float64() < pWrite
+			var block uint64
+			switch r := rng.Float64(); {
+			case r < pGlobal:
+				// Globally shared synchronisation state (barriers,
+				// locks, reduction variables): every core touches the
+				// same small set, so writes invalidate many sharers.
+				block = globalBase + uint64(rng.Intn(globalPool))
+			case total > 0 && r < pGlobal+pShared:
+				d := pickPartner(cum[c], total, rng.Float64())
+				block = pairBlock(c, d, rng.Intn(pairPool), n)
+			default:
+				block = uint64(c) + uint64(n)*uint64(rng.Int63n(int64(privatePool)))
+			}
+			st[i] = Access{Write: write, Addr: block * line}
+		}
+		streams[c] = st
+	}
+	return streams, nil
+}
+
+// pickPartner samples the cumulative row distribution.
+func pickPartner(cum []float64, total, u float64) int {
+	target := u * total
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// pairBlock derives the k-th shared block of the unordered core pair
+// (a,b): deterministic, collision-free across pairs, and outside every
+// private pool (offset by sharedBase).
+func pairBlock(a, b, k, n int) uint64 {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	const sharedBase = uint64(1) << 40
+	pair := uint64(lo)*uint64(n) + uint64(hi)
+	return sharedBase + pair*64 + uint64(k)
+}

@@ -1,0 +1,43 @@
+package splitter_test
+
+import (
+	"fmt"
+
+	"mnoc/internal/splitter"
+)
+
+// ExampleSolve designs the splitters for a small two-mode source and
+// verifies the Appendix A structure: mode powers differ by exactly the
+// α ratio, and forward propagation delivers each destination its β·Pmin.
+func ExampleSolve() {
+	p := splitter.DefaultParams(8)
+	src := 3
+	// Destinations 2 and 4 (the neighbours) in the low mode, everyone
+	// else in the high mode.
+	modeOf := []int{1, 1, 0, -1, 0, 1, 1, 1}
+	d, err := splitter.Solve(p, src, modeOf, []float64{0.7, 0.3})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ratio := d.ModePowerUW[1] / d.ModePowerUW[0]
+	fmt.Printf("modes: %d\n", len(d.ModePowerUW))
+	fmt.Printf("Pmode1/Pmode0 == 1/alpha1: %v\n", aboutEqual(ratio, 1/d.Alphas[1]))
+
+	recv := d.Chain.Received(d.InGuideMode0UW)
+	fmt.Printf("low-mode neighbour gets Pmin: %v\n", aboutEqual(recv[2], p.PminUW))
+	fmt.Printf("high-mode node gets alpha1*Pmin: %v\n", aboutEqual(recv[0], d.Alphas[1]*p.PminUW))
+	// Output:
+	// modes: 2
+	// Pmode1/Pmode0 == 1/alpha1: true
+	// low-mode neighbour gets Pmin: true
+	// high-mode node gets alpha1*Pmin: true
+}
+
+func aboutEqual(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff < 1e-9*(b+1)
+}

@@ -1,0 +1,46 @@
+package stats_test
+
+import (
+	"fmt"
+	"strings"
+
+	"mnoc/internal/stats"
+)
+
+// ExampleHarmonicMean shows the mean the paper reports its averages
+// with ("reduces power by 10% on average (harmonic mean)").
+func ExampleHarmonicMean() {
+	h, err := stats.HarmonicMean([]float64{0.9, 0.8, 0.95})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%.3f\n", h)
+	// Output:
+	// 0.879
+}
+
+// ExampleHeatmap renders a tiny traffic matrix the way Figure 7 is
+// reproduced (darker characters = heavier traffic; quoted here so the
+// blank cells are visible).
+func ExampleHeatmap() {
+	m := [][]float64{
+		{0, 9, 1, 0},
+		{9, 0, 0, 1},
+		{1, 0, 0, 9},
+		{0, 1, 9, 0},
+	}
+	var sb strings.Builder
+	if err := stats.Heatmap(&sb, m, 4); err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		fmt.Printf("%q\n", line)
+	}
+	// Output:
+	// " +. "
+	// "+  ."
+	// ".  +"
+	// " .+ "
+}

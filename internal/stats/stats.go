@@ -1,0 +1,152 @@
+// Package stats provides the small statistical and rendering helpers the
+// experiment harness uses: the paper reports harmonic means over
+// benchmarks ("reduces power by 10% on average (harmonic mean)") and
+// renders traffic/topology matrices as heatmaps (Figure 7).
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Mean is the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// HarmonicMean is the harmonic mean; it requires strictly positive
+// values and returns an error otherwise.
+func HarmonicMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: harmonic mean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: harmonic mean needs positive values, got %g", x)
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum, nil
+}
+
+// GeometricMean is the geometric mean of strictly positive values.
+func GeometricMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geometric mean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean needs positive values, got %g", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank on a
+// copy of xs.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %g out of [0,100]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p == 0 {
+		return sorted[0], nil
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank], nil
+}
+
+// heatRamp is the dark-to-light character ramp used by Heatmap
+// (high value = dark, matching the paper's "darker colors represent a
+// larger amount of communication").
+var heatRamp = []byte(" .:-=+*#%@")
+
+// Heatmap renders an n×n matrix as an ASCII heatmap, downsampling to at
+// most maxCells×maxCells character cells. Values are ranked against the
+// nonzero distribution so heavy-tailed traffic stays readable.
+func Heatmap(w io.Writer, m [][]float64, maxCells int) error {
+	n := len(m)
+	if n == 0 {
+		return fmt.Errorf("stats: empty matrix")
+	}
+	if maxCells < 1 {
+		return fmt.Errorf("stats: maxCells = %d", maxCells)
+	}
+	cells := n
+	if cells > maxCells {
+		cells = maxCells
+	}
+	// Downsample by averaging blocks.
+	ds := make([][]float64, cells)
+	for i := range ds {
+		ds[i] = make([]float64, cells)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ds[i*cells/n][j*cells/n] += m[i][j]
+		}
+	}
+	// Rank scale over nonzero values.
+	var nz []float64
+	for _, row := range ds {
+		for _, v := range row {
+			if v > 0 {
+				nz = append(nz, v)
+			}
+		}
+	}
+	sort.Float64s(nz)
+	level := func(v float64) byte {
+		if v <= 0 || len(nz) == 0 {
+			return heatRamp[0]
+		}
+		idx := sort.SearchFloat64s(nz, v)
+		frac := float64(idx) / float64(len(nz))
+		k := 1 + int(frac*float64(len(heatRamp)-1))
+		if k >= len(heatRamp) {
+			k = len(heatRamp) - 1
+		}
+		return heatRamp[k]
+	}
+	for _, row := range ds {
+		line := make([]byte, cells)
+		for j, v := range row {
+			line[j] = level(v)
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Normalize returns xs divided by base, for "normalized to X" tables.
+func Normalize(xs []float64, base float64) ([]float64, error) {
+	if base == 0 {
+		return nil, fmt.Errorf("stats: normalising by zero")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	got, err := HarmonicMean([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0 / (1 + 0.5 + 0.25)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("HarmonicMean = %v, want %v", got, want)
+	}
+	if _, err := HarmonicMean(nil); err == nil {
+		t.Error("empty slice accepted")
+	}
+	if _, err := HarmonicMean([]float64{1, 0}); err == nil {
+		t.Error("zero value accepted")
+	}
+}
+
+func TestHarmonicLEGeometricLEArithmetic(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		h, err1 := HarmonicMean(xs)
+		g, err2 := GeometricMean(xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		m := Mean(xs)
+		return h <= g+1e-9 && g <= m+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	got, err := GeometricMean([]float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeometricMean = %v, want 4", got)
+	}
+	if _, err := GeometricMean([]float64{-1}); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	p50, err := Percentile(xs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p50 != 3 {
+		t.Errorf("P50 = %v, want 3", p50)
+	}
+	p0, _ := Percentile(xs, 0)
+	p100, _ := Percentile(xs, 100)
+	if p0 != 1 || p100 != 5 {
+		t.Errorf("P0/P100 = %v/%v, want 1/5", p0, p100)
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty slice accepted")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("bad percentile accepted")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestHeatmapRendersAndDownsamples(t *testing.T) {
+	n := 16
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][(i+1)%n] = float64(i + 1)
+	}
+	var sb strings.Builder
+	if err := Heatmap(&sb, m, 8); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines, want 8", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 8 {
+			t.Fatalf("line %q has width %d, want 8", l, len(l))
+		}
+	}
+	if !strings.ContainsAny(sb.String(), "@%#") {
+		t.Error("no dark cells rendered for the hot diagonal")
+	}
+}
+
+func TestHeatmapErrors(t *testing.T) {
+	if err := Heatmap(&strings.Builder{}, nil, 8); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if err := Heatmap(&strings.Builder{}, [][]float64{{1}}, 0); err == nil {
+		t.Error("zero maxCells accepted")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got, err := Normalize([]float64{2, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 2 {
+		t.Errorf("Normalize = %v", got)
+	}
+	if _, err := Normalize([]float64{1}, 0); err == nil {
+		t.Error("zero base accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package topo
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Conventional-topology mappings (Section 4.1): "This approach can be
+// used to map any known topology (e.g., trees, binary n-cubes, etc.)
+// into a power topology": the number of power modes follows the
+// conventional network's diameter and each destination's mode is the
+// hop count of the shortest path from the source.
+//
+// The paper's caveat applies to all of them: "these architectures may
+// not produce the lowest overall power due to a mismatch between the
+// power characteristics of the waveguides and the defined power
+// topology" — the conventional experiment in package exp quantifies
+// that mismatch.
+
+// HopDistance gives the shortest-path hop count between two nodes of a
+// conventional topology.
+type HopDistance func(a, b int) int
+
+// FromHopDistance maps a conventional topology onto a power topology:
+// destination d of source s is assigned mode hops(s,d)−1, with hop
+// counts quantised into at most maxModes modes (evenly over the
+// observed diameter) so high-diameter networks stay practical.
+func FromHopDistance(n int, hops HopDistance, maxModes int, name string) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topo: n = %d", n)
+	}
+	if maxModes < 1 {
+		return nil, fmt.Errorf("topo: maxModes = %d", maxModes)
+	}
+	// Diameter scan.
+	diameter := 0
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if d == s {
+				continue
+			}
+			h := hops(s, d)
+			if h < 1 {
+				return nil, fmt.Errorf("topo: hop count %d for (%d,%d), want >= 1", h, s, d)
+			}
+			if h > diameter {
+				diameter = h
+			}
+		}
+	}
+	modes := diameter
+	if modes > maxModes {
+		modes = maxModes
+	}
+	t := New(n, modes, name)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if d == s {
+				continue
+			}
+			// Quantise hop h ∈ [1, diameter] onto [0, modes).
+			m := (hops(s, d) - 1) * modes / diameter
+			if m >= modes {
+				m = modes - 1
+			}
+			t.ModeOf[s][d] = m
+		}
+	}
+	return t, nil
+}
+
+// Hypercube maps a binary n-cube onto a power topology: the hop count
+// is the Hamming distance of the node indices. n must be a power of
+// two; the diameter (and mode count) is log2(n).
+func Hypercube(n int) (*Topology, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("topo: hypercube needs a power-of-two size, got %d", n)
+	}
+	dims := bits.TrailingZeros(uint(n))
+	return FromHopDistance(n, func(a, b int) int {
+		return bits.OnesCount(uint(a ^ b))
+	}, dims, fmt.Sprintf("%dM_hypercube", dims))
+}
+
+// Tree maps a complete arity-ary tree onto a power topology: the hop
+// count is the tree-path length between the nodes. Modes are capped at
+// maxModes (the tree diameter is 2·depth).
+func Tree(n, arity, maxModes int) (*Topology, error) {
+	if arity < 2 {
+		return nil, fmt.Errorf("topo: tree arity %d", arity)
+	}
+	depth := func(v int) int {
+		d := 0
+		for v > 0 {
+			v = (v - 1) / arity
+			d++
+		}
+		return d
+	}
+	hops := func(a, b int) int {
+		// Walk both nodes up to their lowest common ancestor.
+		da, db := depth(a), depth(b)
+		h := 0
+		for da > db {
+			a = (a - 1) / arity
+			da--
+			h++
+		}
+		for db > da {
+			b = (b - 1) / arity
+			db--
+			h++
+		}
+		for a != b {
+			a = (a - 1) / arity
+			b = (b - 1) / arity
+			h += 2
+		}
+		return h
+	}
+	return FromHopDistance(n, hops, maxModes, fmt.Sprintf("tree%d", arity))
+}
+
+// Mesh2D maps a rows×cols mesh onto a power topology with Manhattan-
+// distance hops, capped at maxModes.
+func Mesh2D(rows, cols, maxModes int) (*Topology, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("topo: mesh %dx%d", rows, cols)
+	}
+	n := rows * cols
+	hops := func(a, b int) int {
+		ra, ca := a/cols, a%cols
+		rb, cb := b/cols, b%cols
+		return abs(ra-rb) + abs(ca-cb)
+	}
+	return FromHopDistance(n, hops, maxModes, fmt.Sprintf("mesh%dx%d", rows, cols))
+}

@@ -1,0 +1,173 @@
+package topo
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestFromHopDistanceBasics(t *testing.T) {
+	// A ring of 6 nodes: hop = min cyclic distance, diameter 3.
+	hops := func(a, b int) int {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		if 6-d < d {
+			d = 6 - d
+		}
+		return d
+	}
+	tp, err := FromHopDistance(6, hops, 8, "ring6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Modes != 3 {
+		t.Fatalf("modes = %d, want diameter 3", tp.Modes)
+	}
+	// Neighbours in mode 0, antipodes in the top mode.
+	if tp.ModeOf[0][1] != 0 || tp.ModeOf[0][3] != 2 {
+		t.Errorf("ring modes wrong: %v", tp.ModeOf[0])
+	}
+}
+
+func TestFromHopDistanceQuantises(t *testing.T) {
+	// Linear chain of 9 nodes has diameter 8; cap at 4 modes.
+	hops := func(a, b int) int {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	tp, err := FromHopDistance(9, hops, 4, "chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Modes != 4 {
+		t.Fatalf("modes = %d, want 4", tp.Modes)
+	}
+	// Monotone: farther hops never land in a lower mode.
+	for d := 2; d < 9; d++ {
+		if tp.ModeOf[0][d] < tp.ModeOf[0][d-1] {
+			t.Fatalf("mode not monotone in hops at %d: %v", d, tp.ModeOf[0])
+		}
+	}
+	if tp.ModeOf[0][8] != 3 {
+		t.Errorf("farthest node in mode %d, want 3", tp.ModeOf[0][8])
+	}
+}
+
+func TestFromHopDistanceRejections(t *testing.T) {
+	ok := func(a, b int) int { return 1 }
+	if _, err := FromHopDistance(1, ok, 2, "x"); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := FromHopDistance(4, ok, 0, "x"); err == nil {
+		t.Error("maxModes=0 accepted")
+	}
+	bad := func(a, b int) int { return 0 }
+	if _, err := FromHopDistance(4, bad, 2, "x"); err == nil {
+		t.Error("zero hop count accepted")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	tp, err := Hypercube(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Modes != 4 {
+		t.Fatalf("modes = %d, want log2(16)", tp.Modes)
+	}
+	// Mode equals Hamming distance − 1.
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if d == s {
+				continue
+			}
+			want := bits.OnesCount(uint(s^d)) - 1
+			if tp.ModeOf[s][d] != want {
+				t.Fatalf("ModeOf[%d][%d] = %d, want %d", s, d, tp.ModeOf[s][d], want)
+			}
+		}
+	}
+	if _, err := Hypercube(12); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+}
+
+func TestTree(t *testing.T) {
+	tp, err := Tree(15, 2, 8) // complete binary tree, 15 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Parent-child pairs are one hop: lowest mode.
+	if tp.ModeOf[0][1] != 0 || tp.ModeOf[1][0] != 0 {
+		t.Errorf("root-child mode = %d/%d, want 0", tp.ModeOf[0][1], tp.ModeOf[1][0])
+	}
+	// Two leaves in different subtrees are far apart: leaf 7 (under
+	// 3,1,0) to leaf 14 (under 6,2,0) is 3+3 = 6 hops.
+	if got := tp.ModeOf[7][14]; got != tp.Modes-1 {
+		t.Errorf("far-leaf mode = %d, want top mode %d", got, tp.Modes-1)
+	}
+	// Siblings share a parent: 2 hops.
+	if tp.ModeOf[7][8] >= tp.ModeOf[7][14] {
+		t.Errorf("sibling mode %d not below far-leaf mode %d", tp.ModeOf[7][8], tp.ModeOf[7][14])
+	}
+	if _, err := Tree(8, 1, 4); err == nil {
+		t.Error("arity 1 accepted")
+	}
+}
+
+func TestMesh2D(t *testing.T) {
+	tp, err := Mesh2D(4, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Modes != 6 {
+		t.Fatalf("modes = %d (diameter 6)", tp.Modes)
+	}
+	// Grid neighbours (0,1) are 1 hop: mode 0. Corners are 6 hops.
+	if tp.ModeOf[0][1] != 0 {
+		t.Errorf("neighbour mode = %d", tp.ModeOf[0][1])
+	}
+	if tp.ModeOf[0][15] != 5 {
+		t.Errorf("corner-to-corner mode = %d, want 5", tp.ModeOf[0][15])
+	}
+	if _, err := Mesh2D(1, 1, 4); err == nil {
+		t.Error("1x1 mesh accepted")
+	}
+}
+
+// TestConventionalMismatchExample reproduces the paper's Section 4.1
+// observation on Figure 5a: "nodes three and four ... are physically
+// close on the waveguide, yet any communication between them requires
+// the high power mode".
+func TestConventionalMismatchExample(t *testing.T) {
+	tp, err := Clustered(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.ModeOf[3][4] != tp.Modes-1 {
+		t.Errorf("adjacent nodes 3→4 in mode %d, expected the high mode", tp.ModeOf[3][4])
+	}
+	dist, err := DistanceBased(8, []int{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.ModeOf[3][4] != 0 {
+		t.Errorf("distance-based puts 3→4 in mode %d, want 0", dist.ModeOf[3][4])
+	}
+}

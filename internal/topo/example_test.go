@@ -1,0 +1,54 @@
+package topo_test
+
+import (
+	"fmt"
+	"os"
+
+	"mnoc/internal/topo"
+)
+
+// ExampleClustered reproduces the paper's Figure 5a: an 8-node
+// clustered topology mapped onto two power modes.
+func ExampleClustered() {
+	t, err := topo.Clustered(8, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := t.Render(os.Stdout, 0, 8); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	//   7 | 2 2 2 2 1 1 1 -
+	//   6 | 2 2 2 2 1 1 - 1
+	//   5 | 2 2 2 2 1 - 1 1
+	//   4 | 2 2 2 2 - 1 1 1
+	//   3 | 1 1 1 - 2 2 2 2
+	//   2 | 1 1 - 1 2 2 2 2
+	//   1 | 1 - 1 1 2 2 2 2
+	//   0 | - 1 1 1 2 2 2 2
+	//      (rows: sources, cols: destinations, labels: power mode, 1 = lowest)
+}
+
+// ExampleDistanceBased reproduces the paper's Figure 5b: a 4-mode
+// distance-based topology with two nearest destinations per mode.
+func ExampleDistanceBased() {
+	t, err := topo.DistanceBased(8, []int{2, 2, 2, 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("source 0 modes:", t.ModeOf[0][1:])
+	fmt.Println("source 4 sizes:", t.ModeSizes(4))
+	// Output:
+	// source 0 modes: [0 0 1 1 2 2 3]
+	// source 4 sizes: [2 2 2 1]
+}
+
+// ExampleSingleMode shows the broadcast-only base design.
+func ExampleSingleMode() {
+	t := topo.SingleMode(4)
+	fmt.Println(t.Name, t.Modes, t.ModeSizes(0))
+	// Output:
+	// 1M 1 [3]
+}

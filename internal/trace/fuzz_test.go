@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hammers the binary trace decoder with mutated inputs: it
+// must never panic, and anything it accepts must be a valid trace that
+// survives a write/read round trip.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid trace and a few corruptions.
+	valid := &Trace{N: 8, Cycles: 100, Packets: []Packet{
+		{Cycle: 1, Src: 0, Dst: 1, Flits: 1},
+		{Cycle: 50, Src: 7, Dst: 3, Flits: 4},
+	}}
+	var buf bytes.Buffer
+	if err := valid.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	blob := buf.Bytes()
+	f.Add(blob)
+	f.Add(blob[:len(blob)-3])
+	f.Add([]byte(traceMagic))
+	f.Add([]byte("garbage"))
+	mutated := append([]byte(nil), blob...)
+	mutated[10] ^= 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Read accepted an invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if err := tr.Write(&out); err != nil {
+			t.Fatalf("re-encoding failed: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N != tr.N || back.Cycles != tr.Cycles || len(back.Packets) != len(tr.Packets) {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}

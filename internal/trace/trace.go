@@ -1,0 +1,266 @@
+// Package trace holds the communication-trace and traffic-matrix
+// representations the power and topology analyses operate on. The paper
+// obtains such traces from Graphite runs of SPLASH-2 ("we obtain traces
+// of communication packets from all 12 benchmarks"); here they come from
+// the synthetic workload generators (package workload) or from the
+// multicore simulator (package sim).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Packet is one network packet: a flit burst from Src to Dst injected at
+// Cycle.
+type Packet struct {
+	Cycle uint64
+	Src   int32
+	Dst   int32
+	Flits int32
+}
+
+// Trace is an ordered packet log for an N-node system over Cycles clock
+// cycles.
+type Trace struct {
+	N       int
+	Cycles  uint64
+	Packets []Packet
+}
+
+// Validate checks all packets reference valid, distinct endpoints and
+// fall inside the trace duration.
+func (t *Trace) Validate() error {
+	if t.N < 2 {
+		return fmt.Errorf("trace: N = %d, want >= 2", t.N)
+	}
+	if t.Cycles == 0 {
+		return fmt.Errorf("trace: zero duration")
+	}
+	for i, p := range t.Packets {
+		if p.Src < 0 || int(p.Src) >= t.N || p.Dst < 0 || int(p.Dst) >= t.N {
+			return fmt.Errorf("trace: packet %d endpoints (%d,%d) out of range [0,%d)", i, p.Src, p.Dst, t.N)
+		}
+		if p.Src == p.Dst {
+			return fmt.Errorf("trace: packet %d is a self-send at node %d", i, p.Src)
+		}
+		if p.Flits <= 0 {
+			return fmt.Errorf("trace: packet %d has %d flits", i, p.Flits)
+		}
+		if p.Cycle >= t.Cycles {
+			return fmt.Errorf("trace: packet %d at cycle %d beyond duration %d", i, p.Cycle, t.Cycles)
+		}
+	}
+	return nil
+}
+
+// Matrix builds the N×N traffic matrix (flit counts) of the trace.
+func (t *Trace) Matrix() *Matrix {
+	m := NewMatrix(t.N)
+	for _, p := range t.Packets {
+		m.Counts[p.Src][p.Dst] += float64(p.Flits)
+	}
+	return m
+}
+
+// TotalFlits sums the flits of every packet.
+func (t *Trace) TotalFlits() float64 {
+	sum := 0.0
+	for _, p := range t.Packets {
+		sum += float64(p.Flits)
+	}
+	return sum
+}
+
+// Matrix is an N×N traffic matrix; Counts[s][d] is the flit volume from
+// source s to destination d.
+type Matrix struct {
+	N      int
+	Counts [][]float64
+}
+
+// NewMatrix allocates a zeroed N×N matrix.
+func NewMatrix(n int) *Matrix {
+	rows := make([][]float64, n)
+	flat := make([]float64, n*n)
+	for i := range rows {
+		rows[i], flat = flat[:n], flat[n:]
+	}
+	return &Matrix{N: n, Counts: rows}
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	for i := range m.Counts {
+		copy(c.Counts[i], m.Counts[i])
+	}
+	return c
+}
+
+// Total is the sum of all entries.
+func (m *Matrix) Total() float64 {
+	sum := 0.0
+	for _, row := range m.Counts {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// RowTotal is the total traffic emitted by source s.
+func (m *Matrix) RowTotal(s int) float64 {
+	sum := 0.0
+	for _, v := range m.Counts[s] {
+		sum += v
+	}
+	return sum
+}
+
+// AvgDistance is the traffic-weighted mean |src−dst| index distance —
+// the paper reports 102 across the 12 SPLASH benchmarks for naive
+// thread-ID numbering (Observation 3).
+func (m *Matrix) AvgDistance() float64 {
+	var wsum, w float64
+	for s, row := range m.Counts {
+		for d, v := range row {
+			if v == 0 {
+				continue
+			}
+			wsum += v * math.Abs(float64(s-d))
+			w += v
+		}
+	}
+	if w == 0 {
+		return 0
+	}
+	return wsum / w
+}
+
+// Permute returns the matrix re-indexed by a thread→core assignment:
+// out[threadToCore[s]][threadToCore[d]] = m[s][d]. It is how a thread
+// mapping is applied before position-dependent power evaluation.
+func (m *Matrix) Permute(threadToCore []int) (*Matrix, error) {
+	if len(threadToCore) != m.N {
+		return nil, fmt.Errorf("trace: mapping of length %d for %d threads", len(threadToCore), m.N)
+	}
+	seen := make([]bool, m.N)
+	for _, c := range threadToCore {
+		if c < 0 || c >= m.N {
+			return nil, fmt.Errorf("trace: core %d out of range", c)
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("trace: core %d assigned twice", c)
+		}
+		seen[c] = true
+	}
+	out := NewMatrix(m.N)
+	for s, row := range m.Counts {
+		for d, v := range row {
+			out.Counts[threadToCore[s]][threadToCore[d]] = v
+		}
+	}
+	return out, nil
+}
+
+// AddScaled accumulates scale·other into m (used to average benchmark
+// matrices for the S4/S12 sampled-weight designs).
+func (m *Matrix) AddScaled(other *Matrix, scale float64) error {
+	if other.N != m.N {
+		return fmt.Errorf("trace: size mismatch %d vs %d", other.N, m.N)
+	}
+	for i := range m.Counts {
+		for j := range m.Counts[i] {
+			m.Counts[i][j] += scale * other.Counts[i][j]
+		}
+	}
+	return nil
+}
+
+// Normalized returns a copy scaled so Total() == 1 (zero matrix returns
+// a zero copy).
+func (m *Matrix) Normalized() *Matrix {
+	c := m.Clone()
+	tot := c.Total()
+	if tot == 0 {
+		return c
+	}
+	for i := range c.Counts {
+		for j := range c.Counts[i] {
+			c.Counts[i][j] /= tot
+		}
+	}
+	return c
+}
+
+// Scale multiplies every entry in place.
+func (m *Matrix) Scale(f float64) {
+	for i := range m.Counts {
+		for j := range m.Counts[i] {
+			m.Counts[i][j] *= f
+		}
+	}
+}
+
+const traceMagic = "MNOCTRC1"
+
+// Write serialises the trace in a compact little-endian binary format.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	hdr := []uint64{uint64(t.N), t.Cycles, uint64(len(t.Packets))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, p := range t.Packets {
+		if err := binary.Write(bw, binary.LittleEndian, p); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var hdr [3]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+	}
+	const maxPackets = 1 << 30
+	if hdr[2] > maxPackets {
+		return nil, fmt.Errorf("trace: implausible packet count %d", hdr[2])
+	}
+	// Grow incrementally rather than trusting the header count with a
+	// single allocation: a corrupt header must not allocate gigabytes
+	// before the read hits EOF.
+	t := &Trace{N: int(hdr[0]), Cycles: hdr[1]}
+	for i := uint64(0); i < hdr[2]; i++ {
+		var p Packet
+		if err := binary.Read(br, binary.LittleEndian, &p); err != nil {
+			return nil, fmt.Errorf("trace: reading packet %d: %w", i, err)
+		}
+		t.Packets = append(t.Packets, p)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

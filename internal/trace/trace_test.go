@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		N:      8,
+		Cycles: 1000,
+		Packets: []Packet{
+			{Cycle: 0, Src: 0, Dst: 1, Flits: 1},
+			{Cycle: 10, Src: 0, Dst: 7, Flits: 2},
+			{Cycle: 20, Src: 3, Dst: 2, Flits: 1},
+			{Cycle: 999, Src: 7, Dst: 0, Flits: 4},
+		},
+	}
+}
+
+func TestValidateAcceptsGoodTrace(t *testing.T) {
+	if err := sampleTrace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutations := map[string]func(*Trace){
+		"small N":        func(tr *Trace) { tr.N = 1 },
+		"zero duration":  func(tr *Trace) { tr.Cycles = 0 },
+		"self send":      func(tr *Trace) { tr.Packets[0].Dst = tr.Packets[0].Src },
+		"neg src":        func(tr *Trace) { tr.Packets[1].Src = -1 },
+		"big dst":        func(tr *Trace) { tr.Packets[1].Dst = 8 },
+		"zero flits":     func(tr *Trace) { tr.Packets[2].Flits = 0 },
+		"cycle overflow": func(tr *Trace) { tr.Packets[3].Cycle = 1000 },
+	}
+	for name, mutate := range mutations {
+		tr := sampleTrace()
+		mutate(tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: Validate = nil, want error", name)
+		}
+	}
+}
+
+func TestMatrixFromTrace(t *testing.T) {
+	m := sampleTrace().Matrix()
+	if m.Counts[0][7] != 2 || m.Counts[7][0] != 4 || m.Counts[0][1] != 1 {
+		t.Fatalf("unexpected matrix: %v", m.Counts)
+	}
+	if got := m.Total(); got != 8 {
+		t.Errorf("Total = %v, want 8", got)
+	}
+	if got := sampleTrace().TotalFlits(); got != 8 {
+		t.Errorf("TotalFlits = %v, want 8", got)
+	}
+	if got := m.RowTotal(0); got != 3 {
+		t.Errorf("RowTotal(0) = %v, want 3", got)
+	}
+}
+
+func TestAvgDistance(t *testing.T) {
+	m := NewMatrix(4)
+	m.Counts[0][3] = 1 // distance 3
+	m.Counts[1][2] = 3 // distance 1
+	want := (3.0 + 3.0) / 4.0
+	if got := m.AvgDistance(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AvgDistance = %v, want %v", got, want)
+	}
+	if got := NewMatrix(4).AvgDistance(); got != 0 {
+		t.Errorf("empty AvgDistance = %v, want 0", got)
+	}
+}
+
+func TestPermuteIsBijectiveRelabeling(t *testing.T) {
+	m := NewMatrix(4)
+	m.Counts[0][1] = 5
+	m.Counts[2][3] = 7
+	perm := []int{3, 2, 1, 0}
+	p, err := m.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Counts[3][2] != 5 || p.Counts[1][0] != 7 {
+		t.Fatalf("unexpected permuted matrix: %v", p.Counts)
+	}
+	if p.Total() != m.Total() {
+		t.Errorf("Permute changed total: %v vs %v", p.Total(), m.Total())
+	}
+}
+
+func TestPermuteRejectsNonPermutation(t *testing.T) {
+	m := NewMatrix(3)
+	if _, err := m.Permute([]int{0, 0, 1}); err == nil {
+		t.Error("duplicate core accepted")
+	}
+	if _, err := m.Permute([]int{0, 1}); err == nil {
+		t.Error("short mapping accepted")
+	}
+	if _, err := m.Permute([]int{0, 1, 5}); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+}
+
+func TestPermuteIdentityPreservesMatrix(t *testing.T) {
+	f := func(vals [16]uint8) bool {
+		m := NewMatrix(4)
+		k := 0
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if i != j {
+					m.Counts[i][j] = float64(vals[k])
+				}
+				k++
+			}
+		}
+		id := []int{0, 1, 2, 3}
+		p, err := m.Permute(id)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(p.Counts, m.Counts)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddScaledAndNormalized(t *testing.T) {
+	a := NewMatrix(2)
+	a.Counts[0][1] = 2
+	b := NewMatrix(2)
+	b.Counts[1][0] = 4
+	if err := a.AddScaled(b, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts[1][0] != 2 || a.Counts[0][1] != 2 {
+		t.Fatalf("AddScaled wrong: %v", a.Counts)
+	}
+	n := a.Normalized()
+	if math.Abs(n.Total()-1) > 1e-12 {
+		t.Errorf("Normalized total = %v", n.Total())
+	}
+	if err := a.AddScaled(NewMatrix(3), 1); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	z := NewMatrix(2).Normalized()
+	if z.Total() != 0 {
+		t.Errorf("normalizing zero matrix produced %v", z.Total())
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := NewMatrix(2)
+	m.Counts[0][1] = 3
+	m.Scale(2)
+	if m.Counts[0][1] != 6 {
+		t.Errorf("Scale failed: %v", m.Counts[0][1])
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewMatrix(2)
+	m.Counts[0][1] = 1
+	c := m.Clone()
+	c.Counts[0][1] = 99
+	if m.Counts[0][1] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestRoundTripRandomTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(64)
+		tr := &Trace{N: n, Cycles: 1 + uint64(rng.Intn(10000))}
+		for i := 0; i < rng.Intn(200); i++ {
+			s := rng.Intn(n)
+			d := rng.Intn(n)
+			if d == s {
+				d = (s + 1) % n
+			}
+			tr.Packets = append(tr.Packets, Packet{
+				Cycle: uint64(rng.Intn(int(tr.Cycles))),
+				Src:   int32(s), Dst: int32(d),
+				Flits: int32(1 + rng.Intn(8)),
+			})
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N != tr.N || got.Cycles != tr.Cycles || len(got.Packets) != len(tr.Packets) {
+			t.Fatalf("trial %d: header mismatch", trial)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Valid magic but truncated header.
+	if _, err := Read(bytes.NewReader([]byte(traceMagic + "\x01\x02"))); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestReadRejectsInvalidTraceContent(t *testing.T) {
+	tr := sampleTrace()
+	tr.Packets[0].Dst = tr.Packets[0].Src // self-send: Write doesn't check, Read must
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Error("invalid trace content accepted by Read")
+	}
+}

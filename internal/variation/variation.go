@@ -1,0 +1,165 @@
+// Package variation analyses the robustness of fabricated splitter
+// designs to process variation. The paper's related work highlights the
+// problem for ring-based networks (Xu et al., "Tolerating process
+// variations in nanophotonic on-chip networks"); an mNoC power topology
+// faces its own version: every tap ratio S_j the Appendix-A solver
+// produces is realised with fabrication error, and a destination that
+// receives less than Pmin in its lowest mode silently drops to a higher
+// mode — or out of reach entirely.
+//
+// The package runs deterministic Monte-Carlo perturbations of a solved
+// design, reports how often receivers fall below threshold, and sizes
+// the source-power guard band (extra drive, in dB) that restores a
+// target yield. Guard banding is the knob a real system has: the QD LED
+// drive current is programmable per mode (Section 3.2.2), so fabricated
+// error is compensated by transmitting slightly hotter.
+package variation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mnoc/internal/splitter"
+	"mnoc/internal/waveguide"
+)
+
+// complianceTol absorbs floating-point error: a nominal design delivers
+// exactly Pmin, which must not register as a shortfall.
+const complianceTol = 1e-9
+
+// Params configures the Monte-Carlo study.
+type Params struct {
+	// SigmaFrac is the relative standard deviation of each fabricated
+	// tap ratio (e.g. 0.05 for 5% splitter error).
+	SigmaFrac float64
+	// Trials is the number of fabricated instances to sample.
+	Trials int
+	// Seed makes the study reproducible.
+	Seed int64
+	// TargetYield is the fraction of trials the guard band must fix
+	// (default 0.99).
+	TargetYield float64
+}
+
+func (p *Params) fill() error {
+	if p.SigmaFrac < 0 || p.SigmaFrac >= 1 {
+		return fmt.Errorf("variation: sigma = %g, want [0,1)", p.SigmaFrac)
+	}
+	if p.Trials <= 0 {
+		return fmt.Errorf("variation: %d trials", p.Trials)
+	}
+	if p.TargetYield == 0 {
+		p.TargetYield = 0.99
+	}
+	if p.TargetYield <= 0 || p.TargetYield > 1 {
+		return fmt.Errorf("variation: target yield %g", p.TargetYield)
+	}
+	return nil
+}
+
+// Result summarises the study.
+type Result struct {
+	// FailFraction is the fraction of trials where at least one in-mode
+	// receiver fell below Pmin in some mode.
+	FailFraction float64
+	// MeanWorstShortfallDB is the mean (over trials) of the worst
+	// receiver's power shortfall in dB (0 when nothing fell short).
+	MeanWorstShortfallDB float64
+	// GuardBandDB is the uniform extra source power (dB, applied to
+	// every mode) that brings the TargetYield fraction of trials back
+	// into compliance.
+	GuardBandDB float64
+}
+
+// MonteCarlo perturbs the design's tap ratios Trials times and measures
+// receiver-power compliance. pminUW is the per-tap required power the
+// design was solved for (splitter.Params.PminUW).
+func MonteCarlo(d *splitter.Design, modeOf []int, pminUW float64, p Params) (Result, error) {
+	if err := p.fill(); err != nil {
+		return Result{}, err
+	}
+	n := d.Chain.Layout.N
+	if len(modeOf) != n {
+		return Result{}, fmt.Errorf("variation: %d mode entries for %d nodes", len(modeOf), n)
+	}
+	if pminUW <= 0 {
+		return Result{}, fmt.Errorf("variation: pmin = %g", pminUW)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	modes := len(d.ModePowerUW)
+
+	fails := 0
+	var shortfallSum float64
+	worstRatios := make([]float64, 0, p.Trials)
+	perturbed := waveguide.Chain{Layout: d.Chain.Layout, Source: d.Chain.Source}
+	taps := make([]float64, n)
+
+	for trial := 0; trial < p.Trials; trial++ {
+		for j, s := range d.Chain.Taps {
+			v := s * (1 + p.SigmaFrac*rng.NormFloat64())
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			taps[j] = v
+		}
+		perturbed.Taps = taps
+		perturbed.DirLow = d.Chain.DirLow
+
+		// Worst in-mode received/required ratio across all modes.
+		worst := math.Inf(1)
+		for m := 0; m < modes; m++ {
+			recv := perturbed.Received(d.InGuideMode0UW / d.Alphas[m])
+			for j := 0; j < n; j++ {
+				if j == d.Chain.Source || modeOf[j] > m {
+					continue
+				}
+				if ratio := recv[j] / pminUW; ratio < worst {
+					worst = ratio
+				}
+			}
+		}
+		worstRatios = append(worstRatios, worst)
+		if worst < 1-complianceTol {
+			fails++
+			shortfallSum += -10 * math.Log10(worst)
+		}
+	}
+
+	res := Result{FailFraction: float64(fails) / float64(p.Trials)}
+	if fails > 0 {
+		res.MeanWorstShortfallDB = shortfallSum / float64(fails)
+	}
+	// Guard band: the uplift that fixes the (1−yield) quantile's worst
+	// ratio. Sorting ascending, the ratio we must rescue is at index
+	// (1−yield)·trials.
+	sort.Float64s(worstRatios)
+	idx := int((1 - p.TargetYield) * float64(p.Trials))
+	if idx >= len(worstRatios) {
+		idx = len(worstRatios) - 1
+	}
+	if r := worstRatios[idx]; r < 1-complianceTol && r > 0 {
+		res.GuardBandDB = -10 * math.Log10(r)
+	}
+	return res, nil
+}
+
+// Sweep runs MonteCarlo across several sigma values (a Table-style
+// robustness curve).
+func Sweep(d *splitter.Design, modeOf []int, pminUW float64, sigmas []float64, trials int, seed int64) ([]Result, error) {
+	out := make([]Result, 0, len(sigmas))
+	for i, s := range sigmas {
+		r, err := MonteCarlo(d, modeOf, pminUW, Params{
+			SigmaFrac: s, Trials: trials, Seed: seed + int64(i)*17,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

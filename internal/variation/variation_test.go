@@ -1,0 +1,127 @@
+package variation
+
+import (
+	"math"
+	"testing"
+
+	"mnoc/internal/splitter"
+)
+
+func solvedDesign(t *testing.T, n int) (*splitter.Design, []int, float64) {
+	t.Helper()
+	p := splitter.DefaultParams(n)
+	src := n / 3
+	modeOf := make([]int, n)
+	for j := range modeOf {
+		if j == src {
+			modeOf[j] = -1
+		} else {
+			modeOf[j] = (j / 4) % 2
+		}
+	}
+	d, err := splitter.Solve(p, src, modeOf, []float64{0.6, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, modeOf, p.PminUW
+}
+
+func TestZeroSigmaIsPerfect(t *testing.T) {
+	d, modeOf, pmin := solvedDesign(t, 32)
+	res, err := MonteCarlo(d, modeOf, pmin, Params{SigmaFrac: 0, Trials: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailFraction != 0 {
+		t.Errorf("perfect fabrication failed %.0f%% of trials", 100*res.FailFraction)
+	}
+	if res.GuardBandDB != 0 {
+		t.Errorf("guard band %v dB for perfect fabrication", res.GuardBandDB)
+	}
+}
+
+func TestVariationDegradesMonotonically(t *testing.T) {
+	d, modeOf, pmin := solvedDesign(t, 48)
+	results, err := Sweep(d, modeOf, pmin, []float64{0.01, 0.05, 0.15}, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail fraction and guard band grow with sigma (allowing equality
+	// for the smallest sigmas).
+	for i := 1; i < len(results); i++ {
+		if results[i].FailFraction < results[i-1].FailFraction {
+			t.Errorf("fail fraction not monotone: %v", results)
+		}
+		if results[i].GuardBandDB < results[i-1].GuardBandDB {
+			t.Errorf("guard band not monotone: %v", results)
+		}
+	}
+	// 15% splitter error must break at least some instances: by
+	// construction every in-mode receiver sits exactly at Pmin, so any
+	// negative perturbation of its own tap puts it below threshold.
+	if results[2].FailFraction == 0 {
+		t.Error("15% variation never failed")
+	}
+	if results[2].GuardBandDB <= 0 {
+		t.Error("no guard band required at 15% variation")
+	}
+}
+
+func TestGuardBandRestoresYield(t *testing.T) {
+	d, modeOf, pmin := solvedDesign(t, 32)
+	p := Params{SigmaFrac: 0.05, Trials: 300, Seed: 3, TargetYield: 0.95}
+	res, err := MonteCarlo(d, modeOf, pmin, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GuardBandDB <= 0 {
+		t.Skip("design already met the yield target at this sigma")
+	}
+	// Re-run with the guard band applied as extra drive power: the fail
+	// fraction must drop to (roughly) the target.
+	boosted := *d
+	boosted.InGuideMode0UW = d.InGuideMode0UW * math.Pow(10, res.GuardBandDB/10)
+	res2, err := MonteCarlo(&boosted, modeOf, pmin, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.FailFraction > (1-p.TargetYield)+0.05 {
+		t.Errorf("guard band %v dB left %.1f%% failures (target %.1f%%)",
+			res.GuardBandDB, 100*res2.FailFraction, 100*(1-p.TargetYield))
+	}
+}
+
+func TestMonteCarloRejections(t *testing.T) {
+	d, modeOf, pmin := solvedDesign(t, 16)
+	if _, err := MonteCarlo(d, modeOf, pmin, Params{SigmaFrac: -0.1, Trials: 10}); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := MonteCarlo(d, modeOf, pmin, Params{SigmaFrac: 0.1, Trials: 0}); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := MonteCarlo(d, modeOf[:4], pmin, Params{SigmaFrac: 0.1, Trials: 10}); err == nil {
+		t.Error("short modeOf accepted")
+	}
+	if _, err := MonteCarlo(d, modeOf, 0, Params{SigmaFrac: 0.1, Trials: 10}); err == nil {
+		t.Error("zero pmin accepted")
+	}
+	if _, err := MonteCarlo(d, modeOf, pmin, Params{SigmaFrac: 0.1, Trials: 10, TargetYield: 1.5}); err == nil {
+		t.Error("bad yield accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d, modeOf, pmin := solvedDesign(t, 24)
+	p := Params{SigmaFrac: 0.08, Trials: 100, Seed: 11}
+	a, err := MonteCarlo(d, modeOf, pmin, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(d, modeOf, pmin, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

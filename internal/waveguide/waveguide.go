@@ -1,0 +1,175 @@
+// Package waveguide models the physical substrate of an mNoC SWMR
+// crossbar: the serpentine waveguide layout, per-segment transmission
+// loss, and the splitter-chain power propagation of the paper's Figure 4
+// and Equation 2.
+//
+// In an SWMR crossbar each source node owns a dedicated waveguide that
+// visits every node on the die. With the serpentine layout, node index
+// order equals physical order along the guide, so the distance between
+// nodes i and j is |i−j| segments. The source sits at its own index on
+// its own waveguide; its injected power is split between the two
+// directions and tapped by each destination's splitter.
+package waveguide
+
+import (
+	"fmt"
+	"math"
+
+	"mnoc/internal/phys"
+)
+
+// Layout describes one serpentine waveguide spanning N nodes.
+type Layout struct {
+	// N is the number of nodes on the waveguide (crossbar radix).
+	N int
+	// LengthCM is the end-to-end waveguide length in cm.
+	LengthCM float64
+	// LossDBPerCM is the waveguide transmission loss (Table 3: 1 dB/cm;
+	// scalability discussion also considers 2 dB/cm).
+	LossDBPerCM float64
+}
+
+// NewSerpentine returns the paper's layout for an n-node crossbar:
+// an 18 cm serpentine with 1 dB/cm loss (Sections 5.1, Table 3).
+func NewSerpentine(n int) Layout {
+	return Layout{N: n, LengthCM: phys.WaveguideLengthCM, LossDBPerCM: 1.0}
+}
+
+// Validate checks the layout is well formed.
+func (l Layout) Validate() error {
+	if l.N < 2 {
+		return fmt.Errorf("waveguide: need at least 2 nodes, got %d", l.N)
+	}
+	if err := phys.CheckPositive("Layout.LengthCM", l.LengthCM); err != nil {
+		return err
+	}
+	if l.LossDBPerCM < 0 {
+		return fmt.Errorf("waveguide: negative loss %g dB/cm", l.LossDBPerCM)
+	}
+	return nil
+}
+
+// SegmentCM is the distance between two adjacent nodes on the guide.
+func (l Layout) SegmentCM() float64 {
+	return l.LengthCM / float64(l.N-1)
+}
+
+// DistanceCM is the along-guide distance between nodes i and j.
+func (l Layout) DistanceCM(i, j int) float64 {
+	return math.Abs(float64(i-j)) * l.SegmentCM()
+}
+
+// SegmentTransmission is the fraction of power surviving one segment.
+func (l Layout) SegmentTransmission() float64 {
+	return phys.LossToTransmission(l.LossDBPerCM * l.SegmentCM())
+}
+
+// PathTransmission is the waveguide-only transmission (no splitters)
+// between nodes i and j: the L^{|j−i|} term of Equation 2.
+func (l Layout) PathTransmission(i, j int) float64 {
+	return phys.LossToTransmission(l.LossDBPerCM * l.DistanceCM(i, j))
+}
+
+// LatencyCycles is the optical propagation latency between nodes i and j
+// in whole clock cycles (1-9 for the paper's full-size layout).
+func (l Layout) LatencyCycles(i, j int) int {
+	return phys.PropagationCycles(l.DistanceCM(i, j))
+}
+
+// MaxLatencyCycles is the worst-case propagation latency from src to any
+// node on the guide.
+func (l Layout) MaxLatencyCycles(src int) int {
+	far := 0
+	if src < l.N-1-src {
+		far = l.N - 1
+	}
+	return l.LatencyCycles(src, far)
+}
+
+// Chain is a fully specified splitter chain on one source's waveguide:
+// the per-destination tap fractions S_j and the source direction split.
+// It implements the forward power-propagation model of Figure 4; the
+// design process that chooses the taps lives in package splitter.
+type Chain struct {
+	Layout Layout
+	// Source is the index of the transmitting node on this waveguide.
+	Source int
+	// Taps[j] is S_j, the fraction of incident power node j's splitter
+	// diverts to its receiver. Taps[Source] is ignored. A tap of 0
+	// means the node passes all power through (no receiver drop).
+	Taps []float64
+	// DirLow is S_i in Equation 2's direction term: the fraction of the
+	// injected power sent toward lower node indices; 1−DirLow goes
+	// toward higher indices.
+	DirLow float64
+}
+
+// Validate checks the chain is physical.
+func (c *Chain) Validate() error {
+	if err := c.Layout.Validate(); err != nil {
+		return err
+	}
+	if c.Source < 0 || c.Source >= c.Layout.N {
+		return fmt.Errorf("waveguide: source %d out of range [0,%d)", c.Source, c.Layout.N)
+	}
+	if len(c.Taps) != c.Layout.N {
+		return fmt.Errorf("waveguide: %d taps for %d nodes", len(c.Taps), c.Layout.N)
+	}
+	for j, s := range c.Taps {
+		if j == c.Source {
+			continue
+		}
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			return fmt.Errorf("waveguide: tap S_%d = %g out of [0,1]", j, s)
+		}
+	}
+	if c.DirLow < 0 || c.DirLow > 1 || math.IsNaN(c.DirLow) {
+		return fmt.Errorf("waveguide: direction split %g out of [0,1]", c.DirLow)
+	}
+	return nil
+}
+
+// Received returns the optical power (µW) arriving at every node's
+// receiver tap when the source injects injectedUW into the guide. The
+// entry for the source itself is 0.
+func (c *Chain) Received(injectedUW float64) []float64 {
+	out := make([]float64, c.Layout.N)
+	t := c.Layout.SegmentTransmission()
+
+	// Walk toward lower indices.
+	p := injectedUW * c.DirLow
+	for j := c.Source - 1; j >= 0; j-- {
+		p *= t // segment from previous node
+		out[j] = p * c.Taps[j]
+		p *= 1 - c.Taps[j]
+	}
+	// Walk toward higher indices.
+	p = injectedUW * (1 - c.DirLow)
+	for j := c.Source + 1; j < c.Layout.N; j++ {
+		p *= t
+		out[j] = p * c.Taps[j]
+		p *= 1 - c.Taps[j]
+	}
+	return out
+}
+
+// ReceivedAt returns only node j's received power for injectedUW.
+func (c *Chain) ReceivedAt(injectedUW float64, j int) float64 {
+	if j == c.Source || j < 0 || j >= c.Layout.N {
+		return 0
+	}
+	t := c.Layout.SegmentTransmission()
+	var p float64
+	if j < c.Source {
+		p = injectedUW * c.DirLow
+		for k := c.Source - 1; k > j; k-- {
+			p *= t * (1 - c.Taps[k])
+		}
+	} else {
+		p = injectedUW * (1 - c.DirLow)
+		for k := c.Source + 1; k < j; k++ {
+			p *= t * (1 - c.Taps[k])
+		}
+	}
+	return p * t * c.Taps[j]
+}

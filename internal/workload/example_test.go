@@ -1,0 +1,41 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"mnoc/internal/workload"
+)
+
+// ExampleByName shows the Table 4 anchoring of the SPLASH stand-ins.
+func ExampleByName() {
+	b, err := workload.ByName("radix")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %.2f W base power (paper Table 4)\n", b.Name, b.PaperBaseWatts)
+	m := b.Matrix(64, 1)
+	fmt.Printf("normalised traffic, total = %.0f\n", m.Total())
+	// Output:
+	// radix: 120.34 W base power (paper Table 4)
+	// normalised traffic, total = 1
+}
+
+// ExampleSynthetic shows the pure kernels available for interconnect
+// studies decoupled from SPLASH.
+func ExampleSynthetic() {
+	b, err := workload.Synthetic("tornado")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m := b.Matrix(8, 1)
+	// Tornado sends each node n/2−1 = 3 hops around the ring.
+	for d, v := range m.Counts[0] {
+		if v > 0 {
+			fmt.Println("node 0 sends to node", d)
+		}
+	}
+	// Output:
+	// node 0 sends to node 3
+}

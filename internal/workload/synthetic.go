@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"mnoc/internal/trace"
+)
+
+// Synthetic returns one of the classic NoC evaluation kernels as a
+// Benchmark. Unlike the SPLASH stand-ins these are pure patterns — no
+// thread-ID scatter, activity skew or coherence background — and carry
+// no Table 4 calibration target (PaperBaseWatts is 0); they exist for
+// library users studying the interconnect in isolation.
+//
+// Available kernels: "uniform", "transpose", "bitcomplement",
+// "bitreverse", "tornado", "neighbor", "hotspot".
+func Synthetic(name string) (Benchmark, error) {
+	pattern, desc, err := syntheticPattern(name)
+	if err != nil {
+		return Benchmark{}, err
+	}
+	return Benchmark{
+		Name:        "syn_" + name,
+		Description: desc,
+		pattern:     pattern,
+	}, nil
+}
+
+// SyntheticNames lists the available kernels.
+func SyntheticNames() []string {
+	return []string{"uniform", "transpose", "bitcomplement", "bitreverse", "tornado", "neighbor", "hotspot"}
+}
+
+func syntheticPattern(name string) (func(int, *rand.Rand) *trace.Matrix, string, error) {
+	switch name {
+	case "uniform":
+		return uniformKernel, "uniform random: every destination equally likely", nil
+	case "transpose":
+		return transposeKernel, "matrix transpose: (r,c) -> (c,r) on the sqrt(N) grid", nil
+	case "bitcomplement":
+		return bitComplementKernel, "bit complement: i -> ~i (power-of-two N)", nil
+	case "bitreverse":
+		return bitReverseKernel, "bit reverse: i -> reverse(i) (power-of-two N)", nil
+	case "tornado":
+		return tornadoKernel, "tornado: i -> i + N/2 - 1 around the ring", nil
+	case "neighbor":
+		return neighborKernel, "nearest neighbour: i -> i±1", nil
+	case "hotspot":
+		return hotspotKernel, "uniform plus a 4x hotspot at node 0", nil
+	default:
+		return nil, "", fmt.Errorf("workload: unknown synthetic kernel %q (have %v)", name, SyntheticNames())
+	}
+}
+
+func uniformKernel(n int, _ *rand.Rand) *trace.Matrix {
+	m := trace.NewMatrix(n)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if d != s {
+				m.Counts[s][d] = 1
+			}
+		}
+	}
+	return m
+}
+
+func transposeKernel(n int, _ *rand.Rand) *trace.Matrix {
+	m := trace.NewMatrix(n)
+	rows, cols := grid(n)
+	for s := 0; s < n; s++ {
+		r, c := s/cols, s%cols
+		// Transposing only works cleanly on square grids; rectangular
+		// factorisations fold the transposed coordinate back in range.
+		d := (c%rows)*cols + (r % cols)
+		if d != s && d < n {
+			m.Counts[s][d] = 1
+		} else {
+			m.Counts[s][(s+1)%n] = 1
+		}
+	}
+	return m
+}
+
+func bitComplementKernel(n int, _ *rand.Rand) *trace.Matrix {
+	m := trace.NewMatrix(n)
+	mask := n - 1
+	for s := 0; s < n; s++ {
+		d := (^s) & mask
+		if d == s {
+			d = (s + 1) % n
+		}
+		m.Counts[s][d] = 1
+	}
+	return m
+}
+
+func bitReverseKernel(n int, _ *rand.Rand) *trace.Matrix {
+	m := trace.NewMatrix(n)
+	width := bits.Len(uint(n - 1))
+	for s := 0; s < n; s++ {
+		d := int(bits.Reverse(uint(s)) >> (bits.UintSize - width))
+		if d >= n || d == s {
+			d = (s + 1) % n
+		}
+		m.Counts[s][d] = 1
+	}
+	return m
+}
+
+func tornadoKernel(n int, _ *rand.Rand) *trace.Matrix {
+	m := trace.NewMatrix(n)
+	hop := n/2 - 1
+	if hop < 1 {
+		hop = 1
+	}
+	for s := 0; s < n; s++ {
+		d := (s + hop) % n
+		if d == s {
+			d = (s + 1) % n
+		}
+		m.Counts[s][d] = 1
+	}
+	return m
+}
+
+func neighborKernel(n int, _ *rand.Rand) *trace.Matrix {
+	m := trace.NewMatrix(n)
+	for s := 0; s < n; s++ {
+		m.Counts[s][(s+1)%n] = 1
+		m.Counts[s][(s+n-1)%n] = 1
+	}
+	return m
+}
+
+func hotspotKernel(n int, _ *rand.Rand) *trace.Matrix {
+	m := uniformKernel(n, nil)
+	for s := 1; s < n; s++ {
+		m.Counts[s][0] *= 4
+	}
+	return m
+}

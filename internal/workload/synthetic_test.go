@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSyntheticKernelsBasics(t *testing.T) {
+	for _, name := range SyntheticNames() {
+		b, err := Synthetic(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name != "syn_"+name || b.Description == "" {
+			t.Errorf("%s: identity wrong: %+v", name, b)
+		}
+		for _, n := range []int{16, 64} {
+			m := b.Matrix(n, 1)
+			if math.Abs(m.Total()-1) > 1e-9 {
+				t.Errorf("%s n=%d: total %v", name, n, m.Total())
+			}
+			for i := 0; i < n; i++ {
+				if m.Counts[i][i] != 0 {
+					t.Errorf("%s n=%d: self traffic at %d", name, n, i)
+				}
+				if m.RowTotal(i) == 0 {
+					t.Errorf("%s n=%d: silent source %d", name, n, i)
+				}
+			}
+		}
+	}
+	if _, err := Synthetic("nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestSyntheticKernelsAreNotScatteredOrSkewed(t *testing.T) {
+	// Pure kernels must stay exact: the neighbour kernel's every source
+	// talks only to its two ring neighbours.
+	b, err := Synthetic("neighbor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 32
+	m := b.Matrix(n, 7)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			want := d == (s+1)%n || d == (s+n-1)%n
+			if (m.Counts[s][d] > 0) != want {
+				t.Fatalf("neighbor kernel corrupted at (%d,%d)", s, d)
+			}
+		}
+	}
+}
+
+func TestSyntheticDistinctPatterns(t *testing.T) {
+	n := 64
+	uni, _ := Synthetic("uniform")
+	tor, _ := Synthetic("tornado")
+	hot, _ := Synthetic("hotspot")
+
+	if d := uni.Matrix(n, 1).AvgDistance(); d < 15 || d > 30 {
+		t.Errorf("uniform avg distance %v out of expected band", d)
+	}
+	// Tornado sends everyone n/2−1 hops around the ring; in index
+	// distance that's bimodal but never zero.
+	if d := tor.Matrix(n, 1).AvgDistance(); d == 0 {
+		t.Error("tornado has zero distance")
+	}
+	// Hotspot concentrates traffic on node 0's column.
+	m := hot.Matrix(n, 1)
+	col0 := 0.0
+	for s := 1; s < n; s++ {
+		col0 += m.Counts[s][0]
+	}
+	if col0 < 2.5/float64(n) {
+		t.Errorf("hotspot column share %v too small", col0)
+	}
+}
+
+func TestSyntheticBitKernelsArePermutations(t *testing.T) {
+	for _, name := range []string{"bitcomplement", "bitreverse", "transpose", "tornado"} {
+		b, err := Synthetic(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := b.Matrix(64, 1)
+		// Each source sends to exactly one destination.
+		for s := 0; s < 64; s++ {
+			nz := 0
+			for d := 0; d < 64; d++ {
+				if m.Counts[s][d] > 0 {
+					nz++
+				}
+			}
+			if nz != 1 {
+				t.Errorf("%s: source %d has %d destinations, want 1", name, s, nz)
+			}
+		}
+	}
+}
+
+func TestSyntheticTraceGeneration(t *testing.T) {
+	b, err := Synthetic("tornado")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := b.Trace(32, 1000, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) != 500 {
+		t.Errorf("%d packets", len(tr.Packets))
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if b, err := Resolve("fft"); err != nil || b.Name != "fft" {
+		t.Errorf("Resolve(fft) = %v, %v", b.Name, err)
+	}
+	if b, err := Resolve("syn_tornado"); err != nil || b.Name != "syn_tornado" {
+		t.Errorf("Resolve(syn_tornado) = %v, %v", b.Name, err)
+	}
+	if _, err := Resolve("syn_nope"); err == nil {
+		t.Error("unknown synthetic accepted")
+	}
+	if _, err := Resolve("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
