@@ -1,0 +1,29 @@
+# Tier-1 verification for the mnoc repository (see ROADMAP.md).
+# Pure-Go, stdlib-only: no tool downloads, works offline.
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz
+
+# The tier-1 gate: everything below must pass before merging.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with concurrency or shared
+# state touched by the fault/recovery layer.
+race:
+	$(GO) test -race ./internal/fault/... ./internal/noc/... \
+		./internal/sim/... ./internal/dynamic/... ./internal/stats/...
+
+# Short seeded fuzz passes over the two text-format parsers.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/fault
+	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=10s ./internal/drivetable

@@ -114,7 +114,7 @@ func BenchmarkSplitterDesign(b *testing.B) {
 // BenchmarkCommAware2ModeSweep measures the exact per-source binary
 // partition sweep over a full radix-256 profile.
 func BenchmarkCommAware2ModeSweep(b *testing.B) {
-	m := workload.All()[0].Matrix(256, 1)
+	m := workload.All()[0].MustMatrix(256, 1)
 	p := splitter.DefaultParams(256)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -131,7 +131,7 @@ func BenchmarkQAPTaboo(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m := bench.Matrix(64, 1)
+	m := bench.MustMatrix(64, 1)
 	prob, err := mapping.FromTraffic(m, splitter.DefaultParams(64).Layout)
 	if err != nil {
 		b.Fatal(err)
@@ -155,7 +155,7 @@ func BenchmarkPowerEvaluate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m := workload.All()[2].Matrix(256, 1)
+	m := workload.All()[2].MustMatrix(256, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := net.Evaluate(m, 1e6); err != nil {

@@ -1,0 +1,177 @@
+// Command mnoc-fault sweeps device-fault intensity over a workload and
+// reports the degradation curve: delivered-vs-offered reliability,
+// power and runtime overhead of the recovery controller against a
+// fault-oblivious baseline. Both runs see the *same* deterministic
+// fault schedule at each sweep point, so the comparison isolates the
+// recovery ladder (retry, power escalation, guard-band resize, thread
+// migration, topology re-solve).
+//
+// Usage:
+//
+//	mnoc-fault [-n 16] [-bench syn_uniform] [-cycles 500000] [-flits 20000]
+//	           [-seed 1] [-scales 0,0.5,1,2,4] [-save-schedule f.sched]
+//	           [-schedule f.sched] [-v]
+//
+// Output is deterministic for fixed flags: two identical invocations
+// emit byte-identical text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mnoc/internal/dynamic"
+	"mnoc/internal/fault"
+	"mnoc/internal/mapping"
+	"mnoc/internal/power"
+	"mnoc/internal/stats"
+	"mnoc/internal/topo"
+	"mnoc/internal/workload"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 16, "crossbar radix")
+		bench     = flag.String("bench", "syn_uniform", "workload (SPLASH stand-in or syn_*)")
+		cycles    = flag.Uint64("cycles", 500_000, "trace duration in cycles")
+		flits     = flag.Int("flits", 20_000, "total flits injected")
+		seed      = flag.Int64("seed", 1, "seed for trace and fault injection")
+		scalesArg = flag.String("scales", "0,0.5,1,2,4", "comma-separated fault-rate multipliers")
+		saveSched = flag.String("save-schedule", "", "write the last sweep point's fault schedule to this file")
+		loadSched = flag.String("schedule", "", "replay this fault schedule instead of sweeping (single point)")
+		verbose   = flag.Bool("v", false, "log every recovery action")
+	)
+	flag.Parse()
+
+	scales, err := parseScales(*scalesArg)
+	if err != nil {
+		fail(err)
+	}
+
+	tp, err := topo.DistanceBased(*n, []int{*n / 2, *n - 1 - *n/2})
+	if err != nil {
+		fail(err)
+	}
+	net, err := power.NewMNoC(power.DefaultConfig(*n), tp, power.UniformWeighting(tp.Modes))
+	if err != nil {
+		fail(err)
+	}
+	b, err := workload.Resolve(*bench)
+	if err != nil {
+		fail(err)
+	}
+	tr, err := b.Trace(*n, *cycles, *flits, *seed)
+	if err != nil {
+		fail(err)
+	}
+	initial := mapping.Identity(*n)
+
+	var schedules []*fault.Schedule
+	if *loadSched != "" {
+		f, err := os.Open(*loadSched)
+		if err != nil {
+			fail(err)
+		}
+		s, err := fault.Parse(f)
+		if err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		schedules = []*fault.Schedule{s}
+		scales = []float64{1}
+	} else {
+		for _, sc := range scales {
+			s, err := fault.DefaultInjectorConfig(*seed).Scale(sc).Generate(*n, *cycles)
+			if err != nil {
+				fail(err)
+			}
+			schedules = append(schedules, s)
+		}
+	}
+
+	fmt.Printf("mnoc-fault: n=%d bench=%s cycles=%d flits=%d seed=%d\n",
+		*n, b.Name, *cycles, *flits, *seed)
+	fmt.Printf("network: %d modes, %d packets offered per point\n\n", tp.Modes, len(tr.Packets))
+
+	curve := &stats.ReliabilityCurve{}
+	for i, sched := range schedules {
+		base, err := dynamic.RunWithFaults(net, tr, initial, sched, dynamic.ObliviousPolicy())
+		if err != nil {
+			fail(err)
+		}
+		rec, err := dynamic.RunWithFaults(net, tr, initial, sched, dynamic.DefaultRecoveryPolicy())
+		if err != nil {
+			fail(err)
+		}
+		curve.Baseline = append(curve.Baseline, point(scales[i], base))
+		curve.Recovery = append(curve.Recovery, point(scales[i], rec))
+		fmt.Printf("scale %.2f: %d fault events; recovery: %d retries, %d escalations, %d guard resizes, %d migrations, %d re-solves (final guard %.2f dB)\n",
+			scales[i], len(sched.Faults), rec.Retries, rec.Escalations,
+			rec.GuardResizes, rec.Migrations, rec.Replans, rec.FinalGuardDB)
+		if *verbose {
+			for _, a := range rec.Actions {
+				fmt.Printf("  [cycle %d] %s\n", a.Cycle, a.What)
+			}
+		}
+	}
+	fmt.Println()
+	if err := curve.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+
+	if *saveSched != "" {
+		f, err := os.Create(*saveSched)
+		if err != nil {
+			fail(err)
+		}
+		if err := schedules[len(schedules)-1].Write(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nwrote fault schedule to %s\n", *saveSched)
+	}
+}
+
+// point converts a run result into a curve point.
+func point(scale float64, r *dynamic.FaultResult) stats.ReliabilityPoint {
+	return stats.ReliabilityPoint{
+		Scale:         scale,
+		Offered:       r.Offered,
+		Delivered:     r.Delivered,
+		Retries:       r.Retries,
+		PowerW:        r.AvgPowerW,
+		RuntimeCycles: r.RuntimeCycles,
+	}
+}
+
+// parseScales parses the comma-separated multiplier list.
+func parseScales(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad scale %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scales in %q", s)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mnoc-fault:", err)
+	os.Exit(1)
+}

@@ -53,7 +53,11 @@ func (s *System) Profile(benchmark string, seed int64) (*trace.Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, _, err := power.ScaleToTarget(base, b.Matrix(s.N(), seed), ProfileCycles, b.PaperBaseWatts)
+	shape, err := b.Matrix(s.N(), seed)
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := power.ScaleToTarget(base, shape, ProfileCycles, b.PaperBaseWatts)
 	return m, err
 }
 

@@ -204,7 +204,11 @@ func (c *Context) Shape(name string) (*trace.Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, _, err := power.ScaleToTarget(c.base, b.Matrix(c.Opt.N, c.Opt.Seed), c.Opt.Cycles, b.PaperBaseWatts)
+	shape, err := b.Matrix(c.Opt.N, c.Opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := power.ScaleToTarget(c.base, shape, c.Opt.Cycles, b.PaperBaseWatts)
 	if err != nil {
 		return nil, err
 	}

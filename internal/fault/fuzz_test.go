@@ -1,0 +1,54 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse hammers the fault-schedule parser: no panics, and anything
+// accepted must validate and round-trip byte-identically (the format is
+// canonical).
+func FuzzParse(f *testing.F) {
+	sched, err := DefaultInjectorConfig(11).Generate(8, 500_000)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sched.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	blob := buf.Bytes()
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add([]byte(scheduleMagic))
+	f.Add([]byte(scheduleMagic + "\nn 2\ncycles 1\ndroprate 0\ndropseed 0\nend\n"))
+	f.Add([]byte(scheduleMagic + "\nn 2\ncycles 1\ndroprate NaN\ndropseed 0\nend\n"))
+	mutated := append([]byte(nil), blob...)
+	mutated[len(mutated)/2] ^= 0x5A
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid schedule: %v", err)
+		}
+		var out bytes.Buffer
+		if err := s.Write(&out); err != nil {
+			t.Fatalf("re-encoding failed: %v", err)
+		}
+		s2, err := Parse(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		var out2 bytes.Buffer
+		if err := s2.Write(&out2); err != nil {
+			t.Fatalf("second encoding failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatal("canonical encoding not stable")
+		}
+	})
+}

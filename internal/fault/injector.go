@@ -1,0 +1,227 @@
+// Injection: turning fault *rates* into a deterministic schedule.
+
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// InjectorConfig fixes the fault environment. Device-fault rates are
+// expressed as expected events per node per million cycles (at 5 GHz a
+// million cycles is 0.2 ms, so these are deliberately accelerated-test
+// numbers — the sweep multiplies them to trace out the degradation
+// curve).
+type InjectorConfig struct {
+	Seed int64
+
+	// Per-node device fault rates (events / node / Mcycle).
+	LEDDeathRate       float64
+	LEDDegradeRate     float64
+	ReceiverDeathRate  float64
+	ReceiverBleachRate float64
+	TapDriftRate       float64
+	WaveguideBreakRate float64
+
+	// DegradeMaxDB bounds the severity drawn for LEDDegrade,
+	// ReceiverBleach and TapDrift events (uniform in (0, DegradeMaxDB]).
+	DegradeMaxDB float64
+
+	// ThermalRate is the chip-wide thermal-epoch rate (epochs / Mcycle).
+	ThermalRate float64
+	// ThermalMaxDB bounds a thermal epoch's broadband loss.
+	ThermalMaxDB float64
+	// ThermalEpochCycles is the mean duration of a thermal epoch.
+	ThermalEpochCycles uint64
+
+	// DropRate is the per-packet transient corruption probability.
+	DropRate float64
+}
+
+// DefaultInjectorConfig returns a mild accelerated-test environment;
+// Scale it to sweep intensity.
+func DefaultInjectorConfig(seed int64) InjectorConfig {
+	return InjectorConfig{
+		Seed:               seed,
+		LEDDeathRate:       0.02,
+		LEDDegradeRate:     0.15,
+		ReceiverDeathRate:  0.02,
+		ReceiverBleachRate: 0.15,
+		TapDriftRate:       0.15,
+		WaveguideBreakRate: 0.005,
+		DegradeMaxDB:       2.5,
+		ThermalRate:        1.5,
+		ThermalMaxDB:       1.0,
+		ThermalEpochCycles: 50_000,
+		DropRate:           2e-4,
+	}
+}
+
+// Scale multiplies every rate (and the drop rate) by f, leaving the
+// severity bounds and the seed alone. f = 0 yields a fault-free
+// schedule.
+func (c InjectorConfig) Scale(f float64) InjectorConfig {
+	c.LEDDeathRate *= f
+	c.LEDDegradeRate *= f
+	c.ReceiverDeathRate *= f
+	c.ReceiverBleachRate *= f
+	c.TapDriftRate *= f
+	c.WaveguideBreakRate *= f
+	c.ThermalRate *= f
+	c.DropRate *= f
+	if c.DropRate > 1 {
+		c.DropRate = 1
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c InjectorConfig) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"LEDDeathRate", c.LEDDeathRate},
+		{"LEDDegradeRate", c.LEDDegradeRate},
+		{"ReceiverDeathRate", c.ReceiverDeathRate},
+		{"ReceiverBleachRate", c.ReceiverBleachRate},
+		{"TapDriftRate", c.TapDriftRate},
+		{"WaveguideBreakRate", c.WaveguideBreakRate},
+		{"ThermalRate", c.ThermalRate},
+		{"DegradeMaxDB", c.DegradeMaxDB},
+		{"ThermalMaxDB", c.ThermalMaxDB},
+	} {
+		if r.v < 0 || math.IsNaN(r.v) || math.IsInf(r.v, 0) {
+			return fmt.Errorf("fault: %s = %g", r.name, r.v)
+		}
+	}
+	if c.DropRate < 0 || c.DropRate > 1 {
+		return fmt.Errorf("fault: DropRate = %g out of [0,1]", c.DropRate)
+	}
+	return nil
+}
+
+// Generate produces the deterministic fault schedule for an n-node
+// system over the given horizon. Identical (config, n, cycles) inputs
+// always yield identical schedules.
+func (c InjectorConfig) Generate(n int, cycles uint64) (*Schedule, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("fault: generating for %d nodes", n)
+	}
+	if cycles == 0 {
+		return nil, fmt.Errorf("fault: zero horizon")
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	s := &Schedule{
+		N:        n,
+		Cycles:   cycles,
+		DropRate: c.DropRate,
+		DropSeed: rng.Uint64(),
+	}
+	mcycles := float64(cycles) / 1e6
+
+	perNode := []struct {
+		kind Kind
+		rate float64
+	}{
+		{LEDDeath, c.LEDDeathRate},
+		{LEDDegrade, c.LEDDegradeRate},
+		{ReceiverDeath, c.ReceiverDeathRate},
+		{ReceiverBleach, c.ReceiverBleachRate},
+		{TapDrift, c.TapDriftRate},
+		{WaveguideBreak, c.WaveguideBreakRate},
+	}
+	for _, pk := range perNode {
+		if pk.rate == 0 {
+			continue
+		}
+		for node := 0; node < n; node++ {
+			for k := poisson(rng, pk.rate*mcycles); k > 0; k-- {
+				f := Fault{
+					Cycle: uint64(rng.Int63n(int64(cycles))),
+					Kind:  pk.kind,
+					Node:  node,
+					Aux:   -1,
+				}
+				switch pk.kind {
+				case LEDDegrade, ReceiverBleach:
+					f.SeverityDB = severity(rng, c.DegradeMaxDB)
+				case TapDrift:
+					f.Aux = otherNode(rng, n, node)
+					f.SeverityDB = severity(rng, c.DegradeMaxDB)
+				case WaveguideBreak:
+					f.Aux = rng.Intn(n - 1)
+				}
+				s.Faults = append(s.Faults, f)
+			}
+		}
+	}
+	if c.ThermalRate > 0 {
+		for k := poisson(rng, c.ThermalRate*mcycles); k > 0; k-- {
+			dur := c.ThermalEpochCycles
+			if dur == 0 {
+				dur = 50_000
+			}
+			// Exponential-ish spread around the mean duration, floored
+			// so an epoch is never degenerate.
+			d := uint64(float64(dur) * (0.5 + rng.Float64()))
+			s.Faults = append(s.Faults, Fault{
+				Cycle:          uint64(rng.Int63n(int64(cycles))),
+				Kind:           ThermalDrift,
+				Node:           -1,
+				Aux:            -1,
+				SeverityDB:     severity(rng, c.ThermalMaxDB),
+				DurationCycles: d,
+			})
+		}
+	}
+	s.Sort()
+	return s, s.Validate()
+}
+
+// severity draws a loss in (0, maxDB], quantised to 0.01 dB so schedule
+// files round-trip exactly.
+func severity(rng *rand.Rand, maxDB float64) float64 {
+	if maxDB <= 0 {
+		maxDB = 1
+	}
+	v := rng.Float64() * maxDB
+	q := math.Ceil(v*100) / 100
+	if q > maxDB {
+		q = maxDB
+	}
+	if q <= 0 {
+		q = 0.01
+	}
+	return q
+}
+
+// otherNode draws a node != self.
+func otherNode(rng *rand.Rand, n, self int) int {
+	d := rng.Intn(n - 1)
+	if d >= self {
+		d++
+	}
+	return d
+}
+
+// poisson samples a Poisson count by Knuth's product method — fine for
+// the small means fault sweeps use (λ well below ~30).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,158 @@
+// Schedule (de)serialisation: a line-oriented text format so fault
+// plans can be saved from one tool run and replayed by another (and so
+// the parser can be fuzzed, mirroring internal/drivetable).
+//
+//	mnoc-fault-schedule v1
+//	n 8
+//	cycles 1000000
+//	droprate 0.0002
+//	dropseed 12345
+//	fault <cycle> <kind> <node> <aux> <severity-db> <duration>
+//	...
+//	end
+
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+const scheduleMagic = "mnoc-fault-schedule v1"
+
+// maxScheduleFaults bounds how many fault lines Parse accepts,
+// protecting callers from maliciously huge inputs.
+const maxScheduleFaults = 1 << 20
+
+// Write serialises the schedule. The output is canonical: identical
+// schedules produce byte-identical files.
+func (s *Schedule) Write(w io.Writer) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, scheduleMagic)
+	fmt.Fprintf(bw, "n %d\n", s.N)
+	fmt.Fprintf(bw, "cycles %d\n", s.Cycles)
+	fmt.Fprintf(bw, "droprate %s\n", strconv.FormatFloat(s.DropRate, 'g', -1, 64))
+	fmt.Fprintf(bw, "dropseed %d\n", s.DropSeed)
+	for _, f := range s.Faults {
+		fmt.Fprintf(bw, "fault %d %s %d %d %s %d\n",
+			f.Cycle, f.Kind, f.Node, f.Aux,
+			strconv.FormatFloat(f.SeverityDB, 'g', -1, 64), f.DurationCycles)
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// Parse reads a schedule written by Write. Anything accepted validates
+// and round-trips byte-identically.
+func Parse(r io.Reader) (*Schedule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return sc.Text(), nil
+	}
+
+	head, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("fault: reading header: %w", err)
+	}
+	if head != scheduleMagic {
+		return nil, fmt.Errorf("fault: bad magic %q", head)
+	}
+
+	s := &Schedule{}
+	intField := func(name string, dst *uint64) error {
+		l, err := line()
+		if err != nil {
+			return err
+		}
+		var raw string
+		if _, err := fmt.Sscanf(l, name+" %s", &raw); err != nil {
+			return fmt.Errorf("line %q: %w", l, err)
+		}
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %q: %w", l, err)
+		}
+		*dst = v
+		return nil
+	}
+
+	var n uint64
+	if err := intField("n", &n); err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("fault: implausible node count %d", n)
+	}
+	s.N = int(n)
+	if err := intField("cycles", &s.Cycles); err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	l, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	var rateRaw string
+	if _, err := fmt.Sscanf(l, "droprate %s", &rateRaw); err != nil {
+		return nil, fmt.Errorf("fault: line %q: %w", l, err)
+	}
+	if s.DropRate, err = strconv.ParseFloat(rateRaw, 64); err != nil {
+		return nil, fmt.Errorf("fault: line %q: %w", l, err)
+	}
+	if err := intField("dropseed", &s.DropSeed); err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+
+	for {
+		l, err := line()
+		if err != nil {
+			return nil, fmt.Errorf("fault: reading events: %w", err)
+		}
+		if l == "end" {
+			break
+		}
+		if len(s.Faults) >= maxScheduleFaults {
+			return nil, fmt.Errorf("fault: more than %d events", maxScheduleFaults)
+		}
+		fields := strings.Fields(l)
+		if len(fields) != 7 || fields[0] != "fault" {
+			return nil, fmt.Errorf("fault: malformed event line %q", l)
+		}
+		var f Fault
+		if f.Cycle, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("fault: event cycle %q: %w", fields[1], err)
+		}
+		if f.Kind, err = KindFromString(fields[2]); err != nil {
+			return nil, err
+		}
+		if f.Node, err = strconv.Atoi(fields[3]); err != nil {
+			return nil, fmt.Errorf("fault: event node %q: %w", fields[3], err)
+		}
+		if f.Aux, err = strconv.Atoi(fields[4]); err != nil {
+			return nil, fmt.Errorf("fault: event aux %q: %w", fields[4], err)
+		}
+		if f.SeverityDB, err = strconv.ParseFloat(fields[5], 64); err != nil {
+			return nil, fmt.Errorf("fault: event severity %q: %w", fields[5], err)
+		}
+		if f.DurationCycles, err = strconv.ParseUint(fields[6], 10, 64); err != nil {
+			return nil, fmt.Errorf("fault: event duration %q: %w", fields[6], err)
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -15,7 +15,7 @@ func profileFor(t *testing.T, name string, n int) *trace.Matrix {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := b.Matrix(n, 1)
+	m := b.MustMatrix(n, 1)
 	m.Scale(1e7) // realistic flit volume over the window
 	return m
 }

@@ -222,7 +222,7 @@ func TestSolveConcentratesTrafficAtWaveguideCenter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := bench.Matrix(n, 1)
+	m := bench.MustMatrix(n, 1)
 	prob, err := FromTraffic(m, waveguide.NewSerpentine(n))
 	if err != nil {
 		t.Fatal(err)

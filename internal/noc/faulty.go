@@ -1,0 +1,93 @@
+// Fault-aware network wrapping: under an attached fault model a Send
+// whose destination cannot detect the transmission returns a typed
+// *DeliveryError instead of silently succeeding. Detection is the NoC
+// layer's job; deciding *why* delivery failed (device death, drifted
+// tap, thermal epoch, packet corruption) belongs to the fault model
+// (package fault), and recovery to packages sim and dynamic.
+
+package noc
+
+import "fmt"
+
+// DeliveryError reports a transmission whose destination did not
+// receive at least Pmin (or whose packet was corrupted in flight). It
+// is retriable: the carrying Send's returned cycle is when the sender
+// learns of the failure, so callers can model NACK + retry timing.
+type DeliveryError struct {
+	Cycle    uint64
+	Src, Dst int
+	// Reason names the dominant fault (fault.Kind.String() when the
+	// model is package fault's Checker).
+	Reason string
+	// ShortfallDB is how far below the detection threshold the
+	// delivered power was; 0 when the failure is not a power shortfall
+	// (packet corruption) and +Inf-free: fatal faults report the
+	// shortfall as unbounded via Fatal instead.
+	ShortfallDB float64
+	// Fatal marks failures no amount of drive power fixes (dead device,
+	// severed guide). Transient marks failures expected to clear on
+	// their own (packet corruption, thermal epoch).
+	Fatal     bool
+	Transient bool
+}
+
+// Error implements error.
+func (e *DeliveryError) Error() string {
+	return fmt.Sprintf("noc: delivery %d->%d failed at cycle %d (%s, shortfall %.2f dB)",
+		e.Src, e.Dst, e.Cycle, e.Reason, e.ShortfallDB)
+}
+
+// FaultModel decides whether a transmission injected at a cycle is
+// detected by its destination. A nil error means delivery succeeds;
+// failures must be reported as *DeliveryError so callers can
+// distinguish them from structural errors (bad endpoints, bad flits).
+type FaultModel interface {
+	Deliverable(cycle uint64, src, dst int) error
+}
+
+// Faulty decorates a Network with a FaultModel. Timing-wise a failed
+// transmission is indistinguishable from a successful one — the light
+// was emitted, the waveguide and ejection resources were occupied, the
+// power was burnt — so Send always reserves resources on the inner
+// model; only the returned error differs. The returned cycle of a
+// failed Send is the cycle the tail *would* have arrived, i.e. the
+// earliest the source can learn the packet was not acknowledged.
+type Faulty struct {
+	inner Network
+	model FaultModel
+}
+
+// WithFaults wraps a network with a fault model. A nil model returns
+// the network unchanged.
+func WithFaults(net Network, fm FaultModel) Network {
+	if fm == nil {
+		return net
+	}
+	return &Faulty{inner: net, model: fm}
+}
+
+// N implements Network.
+func (f *Faulty) N() int { return f.inner.N() }
+
+// Name implements Network.
+func (f *Faulty) Name() string { return f.inner.Name() + "+faults" }
+
+// Reset implements Network. Fault state is owned by the model (faults
+// are wall-clock events, not contention state) and is not reset.
+func (f *Faulty) Reset() { f.inner.Reset() }
+
+// Send implements Network.
+func (f *Faulty) Send(cycle uint64, src, dst, flits int) (uint64, error) {
+	arr, err := f.inner.Send(cycle, src, dst, flits)
+	if err != nil {
+		return 0, err
+	}
+	if derr := f.model.Deliverable(cycle, src, dst); derr != nil {
+		return arr, derr
+	}
+	return arr, nil
+}
+
+// Unwrap exposes the inner network (for callers that need the concrete
+// timing model).
+func (f *Faulty) Unwrap() Network { return f.inner }

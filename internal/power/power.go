@@ -164,6 +164,9 @@ type MNoC struct {
 	// modeReach[src][m] is the number of receivers that detect light in
 	// mode m (all destinations with mode <= m), used for O/E power.
 	modeReach [][]int
+	// weighting is the design-time mode weighting, kept so the design
+	// can be re-solved (Resolve) after endpoint failures.
+	weighting Weighting
 }
 
 // NewMNoC designs the splitters for every source of the topology under
@@ -183,6 +186,7 @@ func NewMNoC(cfg Config, t *topo.Topology, w Weighting) (*MNoC, error) {
 		Topology:  t,
 		Designs:   make([]*splitter.Design, cfg.N),
 		modeReach: make([][]int, cfg.N),
+		weighting: w,
 	}
 	for src := 0; src < cfg.N; src++ {
 		weights, err := w.weightsFor(t, src)
@@ -205,6 +209,83 @@ func NewMNoC(cfg Config, t *topo.Topology, w Weighting) (*MNoC, error) {
 		m.modeReach[src] = reach
 	}
 	return m, nil
+}
+
+// Resolve re-solves every source's splitter design with the non-alive
+// endpoints excluded: dead receivers get zero taps, no power is
+// budgeted to reach them, and they stop drawing O/E power. This is the
+// last-resort recovery action of the graceful-degradation controller —
+// after permanent receiver deaths, "more is less" applies in reverse:
+// removing destinations shrinks every mode's injected power. The
+// topology and the surviving pairs' mode assignments are unchanged, so
+// drive tables stay index-compatible.
+func (m *MNoC) Resolve(alive []bool) (*MNoC, error) {
+	if len(alive) != m.Cfg.N {
+		return nil, fmt.Errorf("power: %d alive entries for %d nodes", len(alive), m.Cfg.N)
+	}
+	excluded := make([]bool, m.Cfg.N)
+	all := true
+	for i, a := range alive {
+		excluded[i] = !a
+		if !a {
+			all = false
+		}
+	}
+	if all {
+		return m, nil
+	}
+	t := m.Topology
+	out := &MNoC{
+		Cfg:       m.Cfg,
+		Topology:  t,
+		Designs:   make([]*splitter.Design, m.Cfg.N),
+		modeReach: make([][]int, m.Cfg.N),
+		weighting: m.weighting,
+	}
+	for src := 0; src < m.Cfg.N; src++ {
+		if !alive[src] {
+			// A dead source keeps its old design: it no longer
+			// transmits, so its chain is irrelevant, but keeping it
+			// preserves indexing for accounting code.
+			out.Designs[src] = m.Designs[src]
+			out.modeReach[src] = m.modeReach[src]
+			continue
+		}
+		reachable := 0
+		for dst := range alive {
+			if dst != src && alive[dst] {
+				reachable++
+			}
+		}
+		if reachable == 0 {
+			// Nothing left to reach; keep the old chain rather than
+			// fail the whole re-plan.
+			out.Designs[src] = m.Designs[src]
+			out.modeReach[src] = make([]int, t.Modes)
+			continue
+		}
+		weights, err := m.weighting.weightsFor(t, src)
+		if err != nil {
+			return nil, err
+		}
+		d, err := splitter.SolveMasked(m.Cfg.Splitter, src, t.ModeOf[src], weights, excluded)
+		if err != nil {
+			return nil, fmt.Errorf("power: re-solving source %d: %w", src, err)
+		}
+		out.Designs[src] = d
+
+		reach := make([]int, t.Modes)
+		for dst, mode := range t.ModeOf[src] {
+			if dst == src || !alive[dst] {
+				continue
+			}
+			for hi := mode; hi < t.Modes; hi++ {
+				reach[hi]++
+			}
+		}
+		out.modeReach[src] = reach
+	}
+	return out, nil
 }
 
 // SourceElectricalUW is the QD LED driver power (µW) while src transmits

@@ -154,7 +154,7 @@ func TestSampledWeightingBeatsUniformOnSkewedTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mtx := bench.Matrix(n, 1)
+	mtx := bench.MustMatrix(n, 1)
 	mtx.Scale(1e6)
 	tp, err := topo.DistanceBased(n, []int{32, 31})
 	if err != nil {
@@ -350,7 +350,7 @@ func TestScaleToTarget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	shape := workload.All()[0].Matrix(64, 1)
+	shape := workload.All()[0].MustMatrix(64, 1)
 	scaled, factor, err := ScaleToTarget(m, shape, 1e6, 7.05)
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 
 	"mnoc/internal/cache"
@@ -41,6 +42,15 @@ type Config struct {
 	// Protocol selects the coherence protocol (MOSI default, or MSI
 	// for the ablation of the Owned state).
 	Protocol coherence.Protocol
+	// MaxSendRetries bounds how often a transmission rejected by the
+	// network's fault model (noc.DeliveryError) is retried. The failed
+	// attempt still occupies the waveguide and burns power; the retry is
+	// injected once the NACK is learnt (the would-be arrival cycle) plus
+	// RetryBackoffCycles. 0 models a fault-oblivious machine: every
+	// failed transmission is immediately a lost packet.
+	MaxSendRetries int
+	// RetryBackoffCycles is the extra wait before each retry.
+	RetryBackoffCycles uint64
 }
 
 // DefaultConfig is the paper's Table 2 core model.
@@ -56,6 +66,9 @@ func DefaultConfig(cores int) Config {
 		L2HitCycles: 6,
 		MemCycles:   100,
 		ThinkCycles: 2,
+
+		MaxSendRetries:     3,
+		RetryBackoffCycles: 4,
 	}
 }
 
@@ -66,6 +79,9 @@ func (c Config) Validate() error {
 	}
 	if c.L1HitCycles == 0 || c.L2HitCycles == 0 || c.MemCycles == 0 {
 		return fmt.Errorf("sim: zero latency in %+v", c)
+	}
+	if c.MaxSendRetries < 0 {
+		return fmt.Errorf("sim: MaxSendRetries = %d", c.MaxSendRetries)
 	}
 	return nil
 }
@@ -85,6 +101,14 @@ type Result struct {
 	L2Misses      uint64
 	Directory     coherence.Stats
 	NetworkName   string
+	// Sends counts every network transmission attempt (including retries
+	// of NACKed packets); Retries counts the re-attempts among them;
+	// LostPackets counts messages never delivered — NACKed with the retry
+	// budget exhausted, or failed fatally (dead device). All three are 0
+	// on a fault-free network.
+	Sends       uint64
+	Retries     uint64
+	LostPackets uint64
 	// Trace is the packet log of every network message.
 	Trace *trace.Trace
 }
@@ -125,6 +149,8 @@ type Machine struct {
 	cores []*core
 	// packets accumulates the communication trace.
 	packets []trace.Packet
+	// Reliability counters for the current run (see Result).
+	sends, retries, lost uint64
 }
 
 // NewMachine builds the multicore over the given network model.
@@ -164,6 +190,7 @@ func (m *Machine) Run(streams [][]Access) (*Result, error) {
 	}
 	m.net.Reset()
 	m.packets = m.packets[:0]
+	m.sends, m.retries, m.lost = 0, 0, 0
 
 	h := make(coreHeap, 0, m.cfg.Cores)
 	for i, c := range m.cores {
@@ -209,6 +236,9 @@ func (m *Machine) Run(streams [][]Access) (*Result, error) {
 		L2Misses:      misses,
 		Directory:     m.dir.Stats,
 		NetworkName:   m.net.Name(),
+		Sends:         m.sends,
+		Retries:       m.retries,
+		LostPackets:   m.lost,
 	}
 	if misses > 0 {
 		res.AvgMemLatency = missLatencySum / float64(misses)
@@ -280,7 +310,9 @@ func (m *Machine) access(c *core, at uint64, acc Access) (uint64, bool, error) {
 		return 0, false, err
 	}
 	m.applyRemote(addr, tx)
-	m.fillL2(c, addr, tx.NewState, done)
+	if err := m.fillL2(c, addr, tx.NewState, done); err != nil {
+		return 0, false, err
+	}
 	c.l1.Insert(addr, tx.NewState)
 	return done, true, nil
 }
@@ -319,13 +351,10 @@ func (m *Machine) playTransaction(start uint64, tx coherence.Transaction) (uint6
 			if msg.MemAccess {
 				send += m.cfg.MemCycles
 			}
-			arr, err := m.net.Send(send, msg.Src, msg.Dst, msg.Flits)
+			arr, err := m.netSend(send, msg.Src, msg.Dst, msg.Flits)
 			if err != nil {
 				return 0, err
 			}
-			m.packets = append(m.packets, trace.Packet{
-				Cycle: send, Src: int32(msg.Src), Dst: int32(msg.Dst), Flits: int32(msg.Flits),
-			})
 			if arr > stageEnd {
 				stageEnd = arr
 			}
@@ -333,6 +362,43 @@ func (m *Machine) playTransaction(start uint64, tx coherence.Transaction) (uint6
 		stageStart = stageEnd
 	}
 	return stageStart, nil
+}
+
+// netSend injects one message, retrying transmissions the network's
+// fault model NACKs (up to Config.MaxSendRetries). Every attempt —
+// including failed ones — occupied the waveguide and burnt source
+// power, so each is logged in the packet trace; the power analysis then
+// charges retries automatically. A message that fails fatally or
+// exhausts its retry budget is counted lost and the simulation
+// continues (an exhausted real machine would fall back to software
+// recovery; modelling that is out of scope), so only structural errors
+// propagate.
+func (m *Machine) netSend(at uint64, src, dst, flits int) (uint64, error) {
+	for attempt := 0; ; attempt++ {
+		arr, err := m.net.Send(at, src, dst, flits)
+		if err != nil {
+			var de *noc.DeliveryError
+			if !errors.As(err, &de) {
+				return 0, err
+			}
+			m.sends++
+			m.packets = append(m.packets, trace.Packet{
+				Cycle: at, Src: int32(src), Dst: int32(dst), Flits: int32(flits),
+			})
+			if de.Fatal || attempt >= m.cfg.MaxSendRetries {
+				m.lost++
+				return arr, nil
+			}
+			m.retries++
+			at = arr + m.cfg.RetryBackoffCycles
+			continue
+		}
+		m.sends++
+		m.packets = append(m.packets, trace.Packet{
+			Cycle: at, Src: int32(src), Dst: int32(dst), Flits: int32(flits),
+		})
+		return arr, nil
+	}
 }
 
 // coalescedRepresentative picks the farthest destination of a broadcast
@@ -373,17 +439,21 @@ func (m *Machine) applyRemote(addr uint64, tx coherence.Transaction) {
 }
 
 // fillL2 installs a line in L2 and issues the victim's writeback.
-func (m *Machine) fillL2(c *core, addr uint64, st cache.State, at uint64) {
+func (m *Machine) fillL2(c *core, addr uint64, st cache.State, at uint64) error {
 	victim, had := c.l2.Insert(addr, st)
 	if !had {
-		return
+		return nil
 	}
 	c.l1.Invalidate(victim.Addr) // keep L1 ⊆ L2
 	tx, err := m.dir.Evict(c.id, victim.Addr, victim.State)
 	if err != nil {
-		return
+		return fmt.Errorf("sim: evicting %#x: %w", victim.Addr, err)
 	}
 	// Writebacks are off the critical path: they use the network (and
-	// so add contention) but do not stall the core.
-	_, _ = m.playTransaction(at, tx)
+	// so add contention) but do not stall the core, so the returned
+	// cycle is deliberately unused.
+	if _, err := m.playTransaction(at, tx); err != nil {
+		return err
+	}
+	return nil
 }

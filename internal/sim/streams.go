@@ -24,7 +24,10 @@ func StreamsFromBenchmark(b workload.Benchmark, cfg Config, accessesPerCore int,
 		return nil, fmt.Errorf("sim: %d accesses per core", accessesPerCore)
 	}
 	n := cfg.Cores
-	m := b.Matrix(n, seed)
+	m, err := b.Matrix(n, seed)
+	if err != nil {
+		return nil, err
+	}
 
 	// Cumulative partner distribution per core.
 	cum := make([][]float64, n)

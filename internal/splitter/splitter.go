@@ -107,11 +107,20 @@ func (d *Design) WeightedPowerUW(weights []float64) (float64, error) {
 // modeOf[j] gives destination j's mode index, and must be -1 exactly at
 // j == src. Modes must be in [0, M).
 func ModeCosts(p Params, src int, modeOf []int, modes int) ([]float64, error) {
+	return maskedModeCosts(p, src, modeOf, modes, nil)
+}
+
+// maskedModeCosts is ModeCosts with an optional exclusion mask:
+// excluded destinations contribute nothing (their taps will be zero).
+func maskedModeCosts(p Params, src int, modeOf []int, modes int, excluded []bool) ([]float64, error) {
 	if len(modeOf) != p.Layout.N {
 		return nil, fmt.Errorf("splitter: %d mode entries for %d nodes", len(modeOf), p.Layout.N)
 	}
 	if modes < 1 {
 		return nil, fmt.Errorf("splitter: need at least one mode, got %d", modes)
+	}
+	if excluded != nil && len(excluded) != p.Layout.N {
+		return nil, fmt.Errorf("splitter: %d exclusion entries for %d nodes", len(excluded), p.Layout.N)
 	}
 	a := make([]float64, modes)
 	for j, m := range modeOf {
@@ -123,6 +132,9 @@ func ModeCosts(p Params, src int, modeOf []int, modes int) ([]float64, error) {
 		}
 		if m < 0 || m >= modes {
 			return nil, fmt.Errorf("splitter: destination %d mode %d out of [0,%d)", j, m, modes)
+		}
+		if excluded != nil && excluded[j] {
+			continue
 		}
 		a[m] += p.PminUW / p.Layout.PathTransmission(src, j)
 	}
@@ -231,7 +243,29 @@ func Solve(p Params, src int, modeOf []int, weights []float64) (*Design, error) 
 		return nil, err
 	}
 	alphas := OptimalAlphas(costs, weights)
-	return buildDesign(p, src, modeOf, alphas)
+	return buildDesign(p, src, modeOf, alphas, nil)
+}
+
+// SolveMasked is Solve with a set of excluded destinations: their taps
+// are forced to zero and no power is budgeted for them. It is the
+// graceful-degradation re-planning primitive — after a permanent
+// receiver death the system re-solves each source's splitter chain
+// without the dead endpoint, shrinking every mode's injected power
+// ("excluding failed endpoints"). A nil mask is equivalent to Solve.
+func SolveMasked(p Params, src int, modeOf []int, weights []float64, excluded []bool) (*Design, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	modes := len(weights)
+	costs, err := maskedModeCosts(p, src, modeOf, modes, excluded)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkWeights(weights); err != nil {
+		return nil, err
+	}
+	alphas := OptimalAlphas(costs, weights)
+	return buildDesign(p, src, modeOf, alphas, excluded)
 }
 
 // SolveWithAlphas builds the design for caller-chosen α values (used by
@@ -252,7 +286,7 @@ func SolveWithAlphas(p Params, src int, modeOf []int, alphas []float64) (*Design
 	if _, err := ModeCosts(p, src, modeOf, len(alphas)); err != nil {
 		return nil, err
 	}
-	return buildDesign(p, src, modeOf, alphas)
+	return buildDesign(p, src, modeOf, alphas, nil)
 }
 
 func checkWeights(w []float64) error {
@@ -275,13 +309,13 @@ func checkWeights(w []float64) error {
 // requirement of everything beyond it inflated by the intervening
 // segment loss. That yields the minimal injected power and, walking
 // forward again, the tap ratios.
-func buildDesign(p Params, src int, modeOf []int, alphas []float64) (*Design, error) {
+func buildDesign(p Params, src int, modeOf []int, alphas []float64, excluded []bool) (*Design, error) {
 	n := p.Layout.N
 	t := p.Layout.SegmentTransmission()
 
 	req := make([]float64, n) // β_j·Pmin at each destination
 	for j, m := range modeOf {
-		if j == src {
+		if j == src || (excluded != nil && excluded[j]) {
 			continue
 		}
 		req[j] = alphas[m] * p.PminUW

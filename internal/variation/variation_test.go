@@ -125,3 +125,84 @@ func TestDeterministic(t *testing.T) {
 		t.Errorf("non-deterministic: %+v vs %+v", a, b)
 	}
 }
+
+// TestTargetYieldOne: a perfect-yield requirement sizes the guard band
+// for the single worst sampled instance, so applying it must fix every
+// trial of the same sample.
+func TestTargetYieldOne(t *testing.T) {
+	d, modeOf, pmin := solvedDesign(t, 32)
+	p := Params{SigmaFrac: 0.08, Trials: 200, Seed: 5, TargetYield: 1.0}
+	res, err := MonteCarlo(d, modeOf, pmin, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailFraction == 0 {
+		t.Fatal("8% sigma never failed; the edge case is untested")
+	}
+	if res.GuardBandDB <= 0 {
+		t.Fatal("perfect yield with failures requires a positive guard band")
+	}
+	// The yield-1.0 band must be at least the band of any laxer target.
+	lax, err := MonteCarlo(d, modeOf, pmin, Params{SigmaFrac: 0.08, Trials: 200, Seed: 5, TargetYield: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GuardBandDB < lax.GuardBandDB {
+		t.Errorf("yield-1.0 guard (%g dB) below yield-0.9 guard (%g dB)", res.GuardBandDB, lax.GuardBandDB)
+	}
+	boosted := *d
+	boosted.InGuideMode0UW = d.InGuideMode0UW * math.Pow(10, res.GuardBandDB/10)
+	res2, err := MonteCarlo(&boosted, modeOf, pmin, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.FailFraction != 0 {
+		t.Errorf("yield-1.0 guard band left %.1f%% failures", 100*res2.FailFraction)
+	}
+}
+
+// TestSigmaJustUnderOne: the extreme legal sigma — taps routinely clamp
+// to [0,1] — must not panic, produce NaNs, or emit a negative band.
+func TestSigmaJustUnderOne(t *testing.T) {
+	d, modeOf, pmin := solvedDesign(t, 16)
+	res, err := MonteCarlo(d, modeOf, pmin, Params{SigmaFrac: 0.999, Trials: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.FailFraction) || math.IsNaN(res.GuardBandDB) || math.IsNaN(res.MeanWorstShortfallDB) {
+		t.Fatalf("NaN in result: %+v", res)
+	}
+	if res.FailFraction < 0.5 {
+		t.Errorf("near-unity sigma failed only %.0f%% of trials", 100*res.FailFraction)
+	}
+	if res.GuardBandDB < 0 {
+		t.Errorf("negative guard band %g dB", res.GuardBandDB)
+	}
+	// SigmaFrac = 1 stays rejected (the boundary is exclusive).
+	if _, err := MonteCarlo(d, modeOf, pmin, Params{SigmaFrac: 1, Trials: 10}); err == nil {
+		t.Error("sigma = 1 accepted")
+	}
+}
+
+// TestDesignBelowPminAtNominal: a design whose drive power has sagged
+// below the solved level fails every trial even with perfect
+// fabrication, and the guard band reports exactly the sag.
+func TestDesignBelowPminAtNominal(t *testing.T) {
+	d, modeOf, pmin := solvedDesign(t, 32)
+	const sagDB = 1.0
+	sagged := *d
+	sagged.InGuideMode0UW = d.InGuideMode0UW * math.Pow(10, -sagDB/10)
+	res, err := MonteCarlo(&sagged, modeOf, pmin, Params{SigmaFrac: 0, Trials: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailFraction != 1 {
+		t.Fatalf("sagged design failed only %.0f%% of trials", 100*res.FailFraction)
+	}
+	if math.Abs(res.GuardBandDB-sagDB) > 0.01 {
+		t.Errorf("guard band %g dB, want ~%g (the sag itself)", res.GuardBandDB, sagDB)
+	}
+	if math.Abs(res.MeanWorstShortfallDB-sagDB) > 0.01 {
+		t.Errorf("mean worst shortfall %g dB, want ~%g", res.MeanWorstShortfallDB, sagDB)
+	}
+}

@@ -117,15 +117,28 @@ func Resolve(name string) (Benchmark, error) {
 // (partially) scattered — mirroring that SPLASH thread numbering bears
 // little relation to logical adjacency — and finally per-thread activity
 // skew is applied so some threads communicate much more than others.
-func (b Benchmark) Matrix(n int, seed int64) *trace.Matrix {
+func (b Benchmark) Matrix(n int, seed int64) (*trace.Matrix, error) {
 	rng := rand.New(rand.NewSource(seed))
 	m := b.pattern(n, rng)
 	clearDiagonal(m)
 	bseed := seed ^ int64(nameHash(b.Name))
-	m = scatterIDs(m, b.scatter, rand.New(rand.NewSource(bseed)))
+	m, err := scatterIDs(m, b.scatter, rand.New(rand.NewSource(bseed)))
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", b.Name, err)
+	}
 	m = blendUniform(m, b.bgUniform)
 	applySkew(m, b.skewSigma, rand.New(rand.NewSource(bseed+1)))
-	return m.Normalized()
+	return m.Normalized(), nil
+}
+
+// MustMatrix is Matrix for callers that treat failure as fatal (tests,
+// examples, one-shot tools); it panics on error.
+func (b Benchmark) MustMatrix(n int, seed int64) *trace.Matrix {
+	m, err := b.Matrix(n, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // nameHash is a small FNV-1a so each benchmark scatters differently for
@@ -143,15 +156,15 @@ func nameHash(s string) uint32 {
 // destroying that much of the pattern's thread-ID locality while
 // preserving its logical structure exactly (the matrix is permuted, not
 // resampled).
-func scatterIDs(m *trace.Matrix, fraction float64, rng *rand.Rand) *trace.Matrix {
+func scatterIDs(m *trace.Matrix, fraction float64, rng *rand.Rand) (*trace.Matrix, error) {
 	if fraction <= 0 {
-		return m
+		return m, nil
 	}
 	n := m.N
 	idx := rng.Perm(n)
 	k := int(fraction * float64(n))
 	if k < 2 {
-		return m
+		return m, nil
 	}
 	chosen := append([]int(nil), idx[:k]...)
 	sort.Ints(chosen)
@@ -164,12 +177,13 @@ func scatterIDs(m *trace.Matrix, fraction float64, rng *rand.Rand) *trace.Matrix
 	for i, c := range chosen {
 		perm[c] = shuffled[i]
 	}
+	// perm is a permutation by construction; Permute only fails if that
+	// invariant is broken, which callers surface instead of panicking.
 	out, err := m.Permute(perm)
 	if err != nil {
-		// perm is a permutation by construction; a failure here is a bug.
-		panic(err)
+		return nil, fmt.Errorf("scattering thread IDs: %w", err)
 	}
-	return out
+	return out, nil
 }
 
 // blendUniform mixes the (normalised) structured pattern with a flat
@@ -221,7 +235,10 @@ func (b Benchmark) Trace(n int, cycles uint64, totalFlits int, seed int64) (*tra
 	if cycles == 0 {
 		return nil, fmt.Errorf("workload: zero duration")
 	}
-	m := b.Matrix(n, seed)
+	m, err := b.Matrix(n, seed)
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(seed + 0x5eed))
 	pairs, cum := flatten(m)
 	if len(pairs) == 0 {

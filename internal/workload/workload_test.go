@@ -42,7 +42,7 @@ func TestByName(t *testing.T) {
 func TestMatrixPropertiesAllBenchmarks(t *testing.T) {
 	for _, b := range All() {
 		for _, n := range []int{16, 64, 256} {
-			m := b.Matrix(n, 1)
+			m := b.MustMatrix(n, 1)
 			if m.N != n {
 				t.Fatalf("%s: matrix size %d, want %d", b.Name, m.N, n)
 			}
@@ -72,8 +72,8 @@ func TestMatrixPropertiesAllBenchmarks(t *testing.T) {
 
 func TestMatrixDeterministic(t *testing.T) {
 	for _, b := range All() {
-		a := b.Matrix(64, 42)
-		c := b.Matrix(64, 42)
+		a := b.MustMatrix(64, 42)
+		c := b.MustMatrix(64, 42)
 		if !reflect.DeepEqual(a.Counts, c.Counts) {
 			t.Errorf("%s: Matrix not deterministic for same seed", b.Name)
 		}
@@ -85,7 +85,7 @@ func TestCommunicationShapesDiffer(t *testing.T) {
 	// collapse to the same matrix.
 	ms := map[string]float64{}
 	for _, b := range All() {
-		ms[b.Name] = b.Matrix(256, 1).AvgDistance()
+		ms[b.Name] = b.MustMatrix(256, 1).AvgDistance()
 	}
 	if ms["ocean_c"] >= ms["radix"] {
 		t.Errorf("contiguous ocean (%.1f) should be more local than radix all-to-all (%.1f)",
@@ -104,7 +104,7 @@ func TestAverageCommDistanceNearPaperObservation(t *testing.T) {
 	// random ≈ 85.3·(256/255)… bounded sanity band 40..120).
 	sum := 0.0
 	for _, b := range All() {
-		sum += b.Matrix(256, 1).AvgDistance()
+		sum += b.MustMatrix(256, 1).AvgDistance()
 	}
 	avg := sum / 12
 	if avg < 40 || avg > 120 {
@@ -121,7 +121,7 @@ func TestNonUniformCommunication(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m := b.Matrix(256, 1)
+		m := b.MustMatrix(256, 1)
 		var vals []float64
 		for s := range m.Counts {
 			for d, v := range m.Counts[s] {
@@ -171,7 +171,7 @@ func TestTraceGeneration(t *testing.T) {
 		}
 	}
 	// The empirical matrix must correlate with the target shape.
-	target := b.Matrix(64, 7)
+	target := b.MustMatrix(64, 7)
 	got := tr.Matrix().Normalized()
 	if corr := matrixCorrelation(target.Counts, got.Counts); corr < 0.9 {
 		t.Errorf("trace/shape correlation = %.3f, want >= 0.9", corr)
