@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz
+.PHONY: check vet build test race fuzz golden golden-check
 
 # The tier-1 gate: everything below must pass before merging.
 check: vet build test race
@@ -18,10 +18,24 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages with concurrency or shared
-# state touched by the fault/recovery layer.
+# state: the fault/recovery layer plus the runner's parallel scheduler
+# and artifact cache.
 race:
 	$(GO) test -race ./internal/fault/... ./internal/noc/... \
-		./internal/sim/... ./internal/dynamic/... ./internal/stats/...
+		./internal/sim/... ./internal/dynamic/... ./internal/stats/... \
+		./internal/runner/...
+
+# Regenerate the golden quick-scale benchmark tables. Run after an
+# intentional change to experiment output and commit the diff.
+golden:
+	$(GO) run ./cmd/mnoc bench -scale quick > testdata/golden/bench_quick.txt
+
+# Diff the current quick-scale tables against the checked-in fixture:
+# a deterministic end-to-end check that the single mnoc binary still
+# reproduces the paper's tables byte-for-byte.
+golden-check:
+	$(GO) run ./cmd/mnoc bench -scale quick > /tmp/bench_quick.txt
+	diff -u testdata/golden/bench_quick.txt /tmp/bench_quick.txt
 
 # Short seeded fuzz passes over the two text-format parsers.
 fuzz:

@@ -5,7 +5,7 @@
 // simulation).
 //
 // The figure benchmarks run at the Quick scale (radix 64) so a full
-// -bench=. sweep finishes in minutes; `cmd/mnoc-bench -scale paper`
+// -bench=. sweep finishes in minutes; `mnoc bench -scale paper`
 // regenerates everything at the paper's radix 256.
 package main_test
 
@@ -114,7 +114,10 @@ func BenchmarkSplitterDesign(b *testing.B) {
 // BenchmarkCommAware2ModeSweep measures the exact per-source binary
 // partition sweep over a full radix-256 profile.
 func BenchmarkCommAware2ModeSweep(b *testing.B) {
-	m := workload.All()[0].MustMatrix(256, 1)
+	m, err := workload.All()[0].Matrix(256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
 	p := splitter.DefaultParams(256)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -131,7 +134,10 @@ func BenchmarkQAPTaboo(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m := bench.MustMatrix(64, 1)
+	m, err := bench.Matrix(64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
 	prob, err := mapping.FromTraffic(m, splitter.DefaultParams(64).Layout)
 	if err != nil {
 		b.Fatal(err)
@@ -155,7 +161,10 @@ func BenchmarkPowerEvaluate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m := workload.All()[2].MustMatrix(256, 1)
+	m, err := workload.All()[2].Matrix(256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := net.Evaluate(m, 1e6); err != nil {

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mnoc/internal/exp"
+	"mnoc/internal/runner"
+)
+
+// benchCmd regenerates the paper's tables and figures through the
+// runner engine: entries are scheduled on a bounded worker pool, and
+// with -cache-dir every solved artefact persists so a warm re-run
+// skips the QAP and splitter searches entirely (the run summary on
+// stderr shows the hit/miss and solve counters).
+func benchCmd(args []string) {
+	fs := flag.NewFlagSet("mnoc bench", flag.ExitOnError)
+	var (
+		which      = fs.String("exp", "all", "experiment id, 'all' (paper artefacts), 'ext' (extensions), or 'everything' (ids: "+idList()+")")
+		scale      = fs.String("scale", "paper", "paper (radix-256) or quick (radix-64)")
+		seed       = fs.Int64("seed", 1, "random seed for workloads and heuristics")
+		asJSON     = fs.Bool("json", false, "emit results as a JSON array instead of text tables")
+		parallel   = fs.Int("parallel", runner.DefaultWorkers, "worker goroutines (kept for mnoc-bench parity; -workers wins)")
+		workers    = fs.Int("workers", 0, "worker goroutines for precomputation and experiment scheduling")
+		csvDir     = fs.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
+		cacheDir   = fs.String("cache-dir", "", "persistent artifact cache directory (warm runs skip every solve)")
+		configPath = fs.String("config", "", "JSON runner config file; explicitly-set flags override it")
+	)
+	fs.Parse(args)
+
+	cfg, err := loadBase(*configPath)
+	if err != nil {
+		fail("bench", err)
+	}
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "scale":
+			cfg.Scale = *scale
+			cfg.Options = nil
+		case "seed":
+			cfg.Seed = *seed
+		case "parallel":
+			cfg.Workers = *parallel
+		case "workers":
+			cfg.Workers = *workers
+		case "json":
+			cfg.JSON = *asJSON
+		case "csv":
+			cfg.CSVDir = *csvDir
+		case "cache-dir":
+			cfg.CacheDir = *cacheDir
+		}
+	})
+
+	r, err := runner.New(cfg)
+	if err != nil {
+		fail("bench", err)
+	}
+	entries, err := pickEntries(*which)
+	if err != nil {
+		fail("bench", err)
+	}
+	if err := r.Precompute(); err != nil {
+		fail("bench", err)
+	}
+	if !cfg.JSON {
+		fmt.Printf("mnoc bench: scale=%s radix=%d seed=%d experiments=%d workers=%d\n\n",
+			scaleName(cfg), r.Options().N, r.Options().Seed, len(entries), r.Workers())
+	}
+	if err := r.Run(os.Stdout, entries); err != nil {
+		fail("bench", err)
+	}
+	fmt.Fprintln(os.Stderr, "mnoc bench:", r.Summary())
+}
+
+// loadBase returns the config file's settings, or the zero Config
+// (paper scale, default workers) when no file is given.
+func loadBase(path string) (runner.Config, error) {
+	if path == "" {
+		return runner.Config{}, nil
+	}
+	return runner.LoadConfig(path)
+}
+
+// scaleName names the resolved scale for the run header.
+func scaleName(cfg runner.Config) string {
+	switch {
+	case cfg.Options != nil:
+		return "custom"
+	case cfg.Scale == "":
+		return "paper"
+	default:
+		return cfg.Scale
+	}
+}
+
+func pickEntries(which string) ([]exp.Entry, error) {
+	switch which {
+	case "all":
+		return exp.Registry(), nil
+	case "ext":
+		return exp.Extensions(), nil
+	case "everything":
+		return append(exp.Registry(), exp.Extensions()...), nil
+	}
+	e, err := exp.ByID(which)
+	if err != nil {
+		if e, err = exp.ExtensionByID(which); err != nil {
+			return nil, err
+		}
+	}
+	return []exp.Entry{e}, nil
+}
+
+func idList() string {
+	var ids []string
+	for _, e := range exp.Registry() {
+		ids = append(ids, e.ID)
+	}
+	for _, e := range exp.Extensions() {
+		ids = append(ids, e.ID)
+	}
+	return strings.Join(ids, ",")
+}

@@ -1,0 +1,78 @@
+// Command mnoc is the single entry point to the reproduction: every
+// former mnoc-* tool is a subcommand sharing one execution engine
+// (internal/runner) and, with -cache-dir, one persistent artifact
+// cache.
+//
+// Usage:
+//
+//	mnoc bench [-exp all|ext|everything|<id>] [-scale paper|quick] [-seed N]
+//	           [-json] [-csv dir] [-workers N] [-cache-dir dir] [-config f.json]
+//	mnoc power -i trace.trc | -matrix m.csv [-kind comm4|...] [-qap] [-cache-dir dir]
+//	mnoc topo  [-n 64] [-bench water_s] [-kind comm2|...] [-qap] [-export f] [-cache-dir dir]
+//	mnoc trace gen|info [flags]
+//	mnoc sim   [-bench fft] [-n 64] [-net mnoc|rnoc|cmnoc] [-accesses N]
+//	mnoc fault [-n 16] [-bench syn_uniform] [-scales 0,0.5,1,2,4] [-workers N]
+//	           [-cache-dir dir] [-config f.json]
+//
+// Run `mnoc <subcommand> -h` for the full flag set of each.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+// commands maps each subcommand to its implementation and one-line
+// summary, in help order.
+var commands = []struct {
+	name    string
+	summary string
+	run     func(args []string)
+}{
+	{"bench", "regenerate the paper's tables and figures", benchCmd},
+	{"power", "evaluate a trace or matrix under a power topology", powerCmd},
+	{"topo", "design a power topology and print its layout", topoCmd},
+	{"trace", "generate and inspect packet traces (gen | info)", traceCmd},
+	{"sim", "run the trace-driven multicore simulation", simCmd},
+	{"fault", "sweep fault intensity and report the degradation curve", faultCmd},
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(2)
+	}
+	name, args := os.Args[1], os.Args[2:]
+	switch name {
+	case "help", "-h", "-help", "--help":
+		usage(0)
+	}
+	for _, c := range commands {
+		if c.name == name {
+			c.run(args)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mnoc: unknown subcommand %q\n\n", name)
+	usage(2)
+}
+
+func usage(code int) {
+	w := os.Stderr
+	if code == 0 {
+		w = os.Stdout
+	}
+	fmt.Fprintln(w, "usage: mnoc <subcommand> [flags]")
+	fmt.Fprintln(w)
+	for _, c := range commands {
+		fmt.Fprintf(w, "  %-7s %s\n", c.name, c.summary)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "run 'mnoc <subcommand> -h' for flags")
+	os.Exit(code)
+}
+
+// fail prints a subcommand-scoped error and exits.
+func fail(sub string, err error) {
+	fmt.Fprintf(os.Stderr, "mnoc %s: %v\n", sub, err)
+	os.Exit(1)
+}

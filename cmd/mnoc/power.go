@@ -1,11 +1,3 @@
-// Command mnoc-power evaluates the power of a packet trace (from
-// mnoc-trace or mnoc-sim) under a chosen power topology and thread
-// mapping, and compares against the rNoC and clustered baselines.
-//
-// Usage:
-//
-//	mnoc-power -i fft.trc [-kind comm4|comm2|dist2|dist4|broadcast] [-qap]
-//	mnoc-power -matrix profile.csv -cycles 1e6 [-kind ...]
 package main
 
 import (
@@ -14,39 +6,46 @@ import (
 	"os"
 
 	"mnoc/internal/core"
+	"mnoc/internal/mapping"
 	"mnoc/internal/phys"
 	"mnoc/internal/power"
+	"mnoc/internal/runner"
 	"mnoc/internal/trace"
 )
 
-func main() {
+// powerCmd evaluates the power of a packet trace (from `mnoc trace` or
+// `mnoc sim`) under a chosen power topology and thread mapping, and
+// compares against the rNoC and clustered baselines.
+func powerCmd(args []string) {
+	fs := flag.NewFlagSet("mnoc power", flag.ExitOnError)
 	var (
-		in     = flag.String("i", "", "input trace file (this or -matrix is required)")
-		matrix = flag.String("matrix", "", "input CSV traffic matrix (flits; alternative to -i)")
-		cyc    = flag.Float64("cycles", 1e6, "evaluation window in cycles when using -matrix")
-		kind   = flag.String("kind", "comm4", "design kind: comm2, comm4, dist2, dist4, broadcast")
-		qap    = flag.Bool("qap", true, "apply QAP thread mapping")
-		seed   = flag.Int64("seed", 1, "random seed for the QAP search")
+		in       = fs.String("i", "", "input trace file (this or -matrix is required)")
+		matrix   = fs.String("matrix", "", "input CSV traffic matrix (flits; alternative to -i)")
+		cyc      = fs.Float64("cycles", 1e6, "evaluation window in cycles when using -matrix")
+		kind     = fs.String("kind", "comm4", "design kind: comm2, comm4, dist2, dist4, broadcast")
+		qap      = fs.Bool("qap", true, "apply QAP thread mapping")
+		seed     = fs.Int64("seed", 1, "random seed for the QAP search")
+		cacheDir = fs.String("cache-dir", "", "persistent artifact cache directory (reuses QAP solves across runs)")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
 	var profile *trace.Matrix
 	var cycles float64
 	var source string
 	switch {
 	case *in != "" && *matrix != "":
-		fail(fmt.Errorf("-i and -matrix are mutually exclusive"))
+		fail("power", fmt.Errorf("-i and -matrix are mutually exclusive"))
 	case *in != "":
 		f, err := os.Open(*in)
 		if err != nil {
-			fail(err)
+			fail("power", err)
 		}
 		tr, err := trace.Read(f)
 		if err != nil {
-			fail(err)
+			fail("power", err)
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			fail("power", err)
 		}
 		profile = tr.Matrix()
 		cycles = float64(tr.Cycles)
@@ -54,40 +53,54 @@ func main() {
 	case *matrix != "":
 		f, err := os.Open(*matrix)
 		if err != nil {
-			fail(err)
+			fail("power", err)
 		}
 		m, err := trace.ReadCSV(f)
 		if err != nil {
-			fail(err)
+			fail("power", err)
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			fail("power", err)
 		}
 		profile = m
 		cycles = *cyc
 		source = fmt.Sprintf("%s (n=%d CSV matrix, %.0f cycles)", *matrix, m.N, cycles)
 	default:
-		fail(fmt.Errorf("-i or -matrix is required"))
+		fail("power", fmt.Errorf("-i or -matrix is required"))
 	}
 
+	store, err := runner.NewStore(*cacheDir)
+	if err != nil {
+		fail("power", err)
+	}
 	sys, err := core.NewSystem(profile.N)
 	if err != nil {
-		fail(err)
+		fail("power", err)
 	}
 
 	base, err := sys.BroadcastDesign()
 	if err != nil {
-		fail(err)
+		fail("power", err)
 	}
 	design := base
 	if *qap {
-		if design, err = design.WithQAPMapping(profile, core.QAPOptions{Seed: *seed}); err != nil {
-			fail(err)
+		asg, err := runner.CachedQAP(store, profile, *seed, 0, func() (mapping.Assignment, error) {
+			d, err := design.WithQAPMapping(profile, core.QAPOptions{Seed: *seed})
+			if err != nil {
+				return nil, err
+			}
+			return d.Mapping, nil
+		})
+		if err != nil {
+			fail("power", err)
+		}
+		if design, err = design.WithMapping(asg); err != nil {
+			fail("power", err)
 		}
 	}
 	mapped, err := design.MappedTraffic(profile)
 	if err != nil {
-		fail(err)
+		fail("power", err)
 	}
 	switch *kind {
 	case "comm2", "comm4":
@@ -97,44 +110,44 @@ func main() {
 		}
 		pt, err := sys.CommAwareDesign(mapped, modes)
 		if err != nil {
-			fail(err)
+			fail("power", err)
 		}
 		design, err = pt.WithMapping(design.Mapping)
 		if err != nil {
-			fail(err)
+			fail("power", err)
 		}
 	case "dist2":
 		d, err := sys.DistanceDesign([]int{profile.N / 2, profile.N - 1 - profile.N/2}, power.UniformWeighting(2))
 		if err != nil {
-			fail(err)
+			fail("power", err)
 		}
 		design, err = d.WithMapping(design.Mapping)
 		if err != nil {
-			fail(err)
+			fail("power", err)
 		}
 	case "dist4":
 		q := profile.N / 4
 		d, err := sys.DistanceDesign([]int{q, q, q, profile.N - 1 - 3*q}, power.UniformWeighting(4))
 		if err != nil {
-			fail(err)
+			fail("power", err)
 		}
 		design, err = d.WithMapping(design.Mapping)
 		if err != nil {
-			fail(err)
+			fail("power", err)
 		}
 	case "broadcast":
 		// keep the base design (with optional mapping)
 	default:
-		fail(fmt.Errorf("unknown kind %q", *kind))
+		fail("power", fmt.Errorf("unknown kind %q", *kind))
 	}
 
 	bd, err := design.Power(profile, cycles)
 	if err != nil {
-		fail(err)
+		fail("power", err)
 	}
 	baseBd, err := base.Network.Evaluate(profile, cycles)
 	if err != nil {
-		fail(err)
+		fail("power", err)
 	}
 
 	// The clustered baselines need at least two 4-node clusters.
@@ -143,17 +156,17 @@ func main() {
 	if haveClustered {
 		rnoc, err := power.NewRNoC(profile.N, 4)
 		if err != nil {
-			fail(err)
+			fail("power", err)
 		}
 		if rb, err = rnoc.Evaluate(profile, cycles); err != nil {
-			fail(err)
+			fail("power", err)
 		}
 		cm, err := power.NewCMNoC(profile.N, 4)
 		if err != nil {
-			fail(err)
+			fail("power", err)
 		}
 		if cb, err = cm.Evaluate(profile, cycles); err != nil {
-			fail(err)
+			fail("power", err)
 		}
 	}
 
@@ -172,9 +185,4 @@ func main() {
 		row("c_mNoC", cb)
 	}
 	fmt.Printf("reduction vs base mNoC: %.1f%%\n", 100*(1-bd.TotalUW()/baseBd.TotalUW()))
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mnoc-power:", err)
-	os.Exit(1)
 }

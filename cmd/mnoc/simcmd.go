@@ -1,11 +1,3 @@
-// Command mnoc-sim runs the trace-driven multicore simulation (the
-// Graphite substitute) of a benchmark over a chosen NoC and reports
-// runtime, memory behaviour and the communication trace it produced.
-//
-// Usage:
-//
-//	mnoc-sim [-bench fft] [-n 64] [-net mnoc|rnoc|cmnoc] [-accesses 1000]
-//	         [-trace out.trc] [-seed 1]
 package main
 
 import (
@@ -18,16 +10,20 @@ import (
 	"mnoc/internal/workload"
 )
 
-func main() {
+// simCmd runs the trace-driven multicore simulation (the Graphite
+// substitute) of a benchmark over a chosen NoC and reports runtime,
+// memory behaviour and the communication trace it produced.
+func simCmd(args []string) {
+	fs := flag.NewFlagSet("mnoc sim", flag.ExitOnError)
 	var (
-		bench    = flag.String("bench", "fft", "benchmark name")
-		n        = flag.Int("n", 64, "core count")
-		netKind  = flag.String("net", "mnoc", "network model: mnoc, rnoc, cmnoc")
-		accesses = flag.Int("accesses", 1000, "memory accesses per core")
-		traceOut = flag.String("trace", "", "write the generated packet trace to this file")
-		seed     = flag.Int64("seed", 1, "random seed")
+		bench    = fs.String("bench", "fft", "benchmark name")
+		n        = fs.Int("n", 64, "core count")
+		netKind  = fs.String("net", "mnoc", "network model: mnoc, rnoc, cmnoc")
+		accesses = fs.Int("accesses", 1000, "memory accesses per core")
+		traceOut = fs.String("trace", "", "write the generated packet trace to this file")
+		seed     = fs.Int64("seed", 1, "random seed")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
 	var net noc.Network
 	var err error
@@ -42,25 +38,25 @@ func main() {
 		err = fmt.Errorf("unknown network %q", *netKind)
 	}
 	if err != nil {
-		fail(err)
+		fail("sim", err)
 	}
 
 	b, err := workload.Resolve(*bench)
 	if err != nil {
-		fail(err)
+		fail("sim", err)
 	}
 	cfg := sim.DefaultConfig(*n)
 	streams, err := sim.StreamsFromBenchmark(b, cfg, *accesses, *seed)
 	if err != nil {
-		fail(err)
+		fail("sim", err)
 	}
 	machine, err := sim.NewMachine(cfg, net)
 	if err != nil {
-		fail(err)
+		fail("sim", err)
 	}
 	res, err := machine.Run(streams)
 	if err != nil {
-		fail(err)
+		fail("sim", err)
 	}
 
 	fmt.Printf("benchmark:      %s (%s)\n", b.Name, b.Description)
@@ -76,19 +72,14 @@ func main() {
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fail(err)
+			fail("sim", err)
 		}
 		if err := res.Trace.Write(f); err != nil {
-			fail(err)
+			fail("sim", err)
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			fail("sim", err)
 		}
 		fmt.Printf("trace written:  %s\n", *traceOut)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mnoc-sim:", err)
-	os.Exit(1)
 }

@@ -1,11 +1,3 @@
-// Command mnoc-topo designs a power topology for a workload and prints
-// its adjacency-matrix view (the style of the paper's Figure 5) plus
-// the per-source mode power summary.
-//
-// Usage:
-//
-//	mnoc-topo [-n 64] [-bench water_s] [-kind comm2|comm4|dist2|dist4|cluster|broadcast]
-//	          [-qap] [-render 16] [-seed 1]
 package main
 
 import (
@@ -15,44 +7,64 @@ import (
 
 	"mnoc/internal/core"
 	"mnoc/internal/drivetable"
+	"mnoc/internal/mapping"
 	"mnoc/internal/phys"
 	"mnoc/internal/power"
+	"mnoc/internal/runner"
 )
 
-func main() {
+// topoCmd designs a power topology for a workload and prints its
+// adjacency-matrix view (the style of the paper's Figure 5) plus the
+// per-source mode power summary.
+func topoCmd(args []string) {
+	fs := flag.NewFlagSet("mnoc topo", flag.ExitOnError)
 	var (
-		n      = flag.Int("n", 64, "crossbar radix")
-		bench  = flag.String("bench", "water_s", "workload to profile (one of: "+fmt.Sprint(core.Benchmarks())+")")
-		kind   = flag.String("kind", "comm2", "design kind: comm2, comm4, dist2, dist4, cluster, broadcast")
-		qap    = flag.Bool("qap", false, "apply QAP thread mapping before profiling-driven design")
-		render = flag.Int("render", 16, "how many nodes of the adjacency matrix to print (0 = none)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		export = flag.String("export", "", "write the drive/fabrication table (splitter ratios, mode powers, thread maps) to this file")
+		n        = fs.Int("n", 64, "crossbar radix")
+		bench    = fs.String("bench", "water_s", "workload to profile (one of: "+fmt.Sprint(core.Benchmarks())+")")
+		kind     = fs.String("kind", "comm2", "design kind: comm2, comm4, dist2, dist4, cluster, broadcast")
+		qap      = fs.Bool("qap", false, "apply QAP thread mapping before profiling-driven design")
+		render   = fs.Int("render", 16, "how many nodes of the adjacency matrix to print (0 = none)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		export   = fs.String("export", "", "write the drive/fabrication table (splitter ratios, mode powers, thread maps) to this file")
+		cacheDir = fs.String("cache-dir", "", "persistent artifact cache directory (reuses QAP solves across runs)")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
+	store, err := runner.NewStore(*cacheDir)
+	if err != nil {
+		fail("topo", err)
+	}
 	sys, err := core.NewSystem(*n)
 	if err != nil {
-		fail(err)
+		fail("topo", err)
 	}
 	profile, err := sys.Profile(*bench, *seed)
 	if err != nil {
-		fail(err)
+		fail("topo", err)
 	}
 
 	// Optionally map threads first so the design sees core-indexed
 	// traffic the way the paper's T variants do.
 	design, err := sys.BroadcastDesign()
 	if err != nil {
-		fail(err)
+		fail("topo", err)
 	}
 	if *qap {
-		design, err = design.WithQAPMapping(profile, core.QAPOptions{Seed: *seed})
+		asg, err := runner.CachedQAP(store, profile, *seed, 0, func() (mapping.Assignment, error) {
+			d, err := design.WithQAPMapping(profile, core.QAPOptions{Seed: *seed})
+			if err != nil {
+				return nil, err
+			}
+			return d.Mapping, nil
+		})
 		if err != nil {
-			fail(err)
+			fail("topo", err)
+		}
+		if design, err = design.WithMapping(asg); err != nil {
+			fail("topo", err)
 		}
 		if profile, err = design.MappedTraffic(profile); err != nil {
-			fail(err)
+			fail("topo", err)
 		}
 	}
 
@@ -71,15 +83,15 @@ func main() {
 	case "broadcast":
 		design, err = sys.BroadcastDesign()
 	default:
-		fail(fmt.Errorf("unknown kind %q", *kind))
+		fail("topo", fmt.Errorf("unknown kind %q", *kind))
 	}
 	if err != nil {
-		fail(err)
+		fail("topo", err)
 	}
 
 	bd, err := design.Network.Evaluate(profile, core.ProfileCycles)
 	if err != nil {
-		fail(err)
+		fail("topo", err)
 	}
 	fmt.Printf("design %s on %s (n=%d, qap=%v)\n", design.Topology.Name, *bench, *n, *qap)
 	fmt.Printf("modes: %d  total power: %s (source %s, O/E %s, electrical %s)\n",
@@ -102,30 +114,25 @@ func main() {
 		}
 		fmt.Printf("\nadjacency matrix (nodes 0..%d):\n", hi-1)
 		if err := design.Topology.Render(os.Stdout, 0, hi); err != nil {
-			fail(err)
+			fail("topo", err)
 		}
 	}
 
 	if *export != "" {
 		tbl, err := drivetable.Build(design.Network, design.Mapping)
 		if err != nil {
-			fail(err)
+			fail("topo", err)
 		}
 		f, err := os.Create(*export)
 		if err != nil {
-			fail(err)
+			fail("topo", err)
 		}
 		if err := tbl.Write(f); err != nil {
-			fail(err)
+			fail("topo", err)
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			fail("topo", err)
 		}
 		fmt.Printf("drive table written: %s (%d nodes, %d modes)\n", *export, tbl.N, tbl.Modes)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mnoc-topo:", err)
-	os.Exit(1)
 }

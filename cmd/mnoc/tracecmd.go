@@ -1,10 +1,3 @@
-// Command mnoc-trace generates synthetic SPLASH-2 packet traces and
-// inspects existing trace files.
-//
-// Usage:
-//
-//	mnoc-trace gen  -bench fft -n 64 -cycles 100000 -flits 50000 -o fft.trc
-//	mnoc-trace info -i fft.trc [-heatmap] [-replay mnoc|rnoc|cmnoc|mwsr]
 package main
 
 import (
@@ -18,27 +11,26 @@ import (
 	"mnoc/internal/workload"
 )
 
-func main() {
-	if len(os.Args) < 2 {
-		usage()
+// traceCmd generates synthetic SPLASH-2 packet traces and inspects
+// existing trace files.
+func traceCmd(args []string) {
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "usage: mnoc trace gen|info [flags]")
+		os.Exit(2)
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "gen":
-		gen(os.Args[2:])
+		traceGen(args[1:])
 	case "info":
-		info(os.Args[2:])
+		traceInfo(args[1:])
 	default:
-		usage()
+		fmt.Fprintln(os.Stderr, "usage: mnoc trace gen|info [flags]")
+		os.Exit(2)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mnoc-trace gen|info [flags]")
-	os.Exit(2)
-}
-
-func gen(args []string) {
-	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+func traceGen(args []string) {
+	fs := flag.NewFlagSet("mnoc trace gen", flag.ExitOnError)
 	var (
 		bench  = fs.String("bench", "fft", "benchmark name")
 		n      = fs.Int("n", 64, "node count")
@@ -47,58 +39,54 @@ func gen(args []string) {
 		seed   = fs.Int64("seed", 1, "random seed")
 		out    = fs.String("o", "", "output file (default stdout)")
 	)
-	if err := fs.Parse(args); err != nil {
-		fail(err)
-	}
+	fs.Parse(args)
 	b, err := workload.Resolve(*bench)
 	if err != nil {
-		fail(err)
+		fail("trace", err)
 	}
 	tr, err := b.Trace(*n, *cycles, *flits, *seed)
 	if err != nil {
-		fail(err)
+		fail("trace", err)
 	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fail(err)
+			fail("trace", err)
 		}
 		defer func() {
 			if err := f.Close(); err != nil {
-				fail(err)
+				fail("trace", err)
 			}
 		}()
 		w = f
 	}
 	if err := tr.Write(w); err != nil {
-		fail(err)
+		fail("trace", err)
 	}
-	fmt.Fprintf(os.Stderr, "mnoc-trace: wrote %d packets (%s, n=%d, %d cycles)\n",
+	fmt.Fprintf(os.Stderr, "mnoc trace: wrote %d packets (%s, n=%d, %d cycles)\n",
 		len(tr.Packets), *bench, *n, *cycles)
 }
 
-func info(args []string) {
-	fs := flag.NewFlagSet("info", flag.ExitOnError)
+func traceInfo(args []string) {
+	fs := flag.NewFlagSet("mnoc trace info", flag.ExitOnError)
 	var (
 		in      = fs.String("i", "", "input trace file (required)")
 		heatmap = fs.Bool("heatmap", false, "print the traffic matrix as an ASCII heatmap")
 		replay  = fs.String("replay", "", "replay the trace on a timing model (mnoc, rnoc, cmnoc, mwsr) and print latency stats")
 	)
-	if err := fs.Parse(args); err != nil {
-		fail(err)
-	}
+	fs.Parse(args)
 	if *in == "" {
-		fail(fmt.Errorf("info: -i is required"))
+		fail("trace", fmt.Errorf("info: -i is required"))
 	}
 	f, err := os.Open(*in)
 	if err != nil {
-		fail(err)
+		fail("trace", err)
 	}
 	defer f.Close()
 	tr, err := trace.Read(f)
 	if err != nil {
-		fail(err)
+		fail("trace", err)
 	}
 	m := tr.Matrix()
 	fmt.Printf("nodes:        %d\n", tr.N)
@@ -110,7 +98,7 @@ func info(args []string) {
 	if *heatmap {
 		fmt.Println("traffic matrix (dark = heavy):")
 		if err := stats.Heatmap(os.Stdout, m.Counts, 32); err != nil {
-			fail(err)
+			fail("trace", err)
 		}
 	}
 	if *replay != "" {
@@ -129,20 +117,15 @@ func info(args []string) {
 			err = fmt.Errorf("unknown timing model %q", *replay)
 		}
 		if err != nil {
-			fail(err)
+			fail("trace", err)
 		}
 		st, err := noc.Replay(net, tr)
 		if err != nil {
-			fail(err)
+			fail("trace", err)
 		}
 		fmt.Printf("replay on %s:\n", st.NetworkName)
 		fmt.Printf("  avg latency: %.2f cycles\n", st.AvgLatency)
 		fmt.Printf("  p50/p99/max: %d / %d / %d cycles\n", st.P50Latency, st.P99Latency, st.MaxLatency)
 		fmt.Printf("  finish:      cycle %d\n", st.FinishCycle)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mnoc-trace:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"mnoc/internal/runner/artifact"
+)
+
+// small returns reduced options for cache-behaviour tests.
+func small() Options {
+	return Options{N: 16, Seed: 1, QAPIters: 50, Cycles: 1e6, SimAccesses: 20}
+}
+
+func TestPrecomputeJoinsAllErrors(t *testing.T) {
+	c, err := NewContext(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.precomputeNames([]string{"no_such_bench_a", "fft", "no_such_bench_b"}, 4)
+	if err == nil {
+		t.Fatal("bogus benchmarks precomputed without error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"no_such_bench_a", "no_such_bench_b"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("joined error misses %q: %v", want, msg)
+		}
+	}
+}
+
+func TestWarmStoreSkipsSolves(t *testing.T) {
+	store := artifact.NewMemory()
+	cold, err := NewContextWithStore(small(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Precompute(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cold.Performance("fft"); err != nil {
+		t.Fatal(err)
+	}
+	cs := cold.Solves()
+	if cs.Shapes == 0 || cs.QAP == 0 || cs.Sims == 0 {
+		t.Fatalf("cold run did not solve: %+v", cs)
+	}
+
+	// A second context over the same store must load everything.
+	warm, err := NewContextWithStore(small(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Precompute(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := warm.Performance("fft"); err != nil {
+		t.Fatal(err)
+	}
+	if ws := warm.Solves(); ws != (SolveCounts{}) {
+		t.Fatalf("warm run re-solved: %+v", ws)
+	}
+
+	// Warm values must be identical to cold ones.
+	for _, name := range []string{"fft", "radix"} {
+		cm, err := cold.Mapped(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wm, err := warm.Mapped(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range cm.Counts {
+			for d := range cm.Counts[s] {
+				if cm.Counts[s][d] != wm.Counts[s][d] {
+					t.Fatalf("%s mapped(%d,%d) differs: %v vs %v",
+						name, s, d, cm.Counts[s][d], wm.Counts[s][d])
+				}
+			}
+		}
+	}
+
+	// Different options must not alias the same artefacts.
+	other := small()
+	other.Seed = 2
+	o, err := NewContextWithStore(other, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Shape("fft"); err != nil {
+		t.Fatal(err)
+	}
+	if o.Solves().Shapes != 1 {
+		t.Fatal("different seed hit the cache")
+	}
+}

@@ -1,6 +1,6 @@
 // Package exp regenerates every table and figure of the paper's
 // evaluation (Section 5). Each experiment is a function on a shared
-// Context that returns a printable Table; the cmd/mnoc-bench binary and
+// Context that returns a printable Table; the cmd/mnoc binary (bench subcommand) and
 // the top-level benchmark suite drive them. DESIGN.md §3 maps each
 // experiment to the paper artefact it reproduces, and EXPERIMENTS.md
 // records paper-vs-measured numbers.
@@ -9,13 +9,16 @@ package exp
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"mnoc/internal/mapping"
 	"mnoc/internal/power"
+	"mnoc/internal/runner/artifact"
 	"mnoc/internal/trace"
 	"mnoc/internal/workload"
 )
@@ -117,7 +120,7 @@ func (t *Table) Fprint(w io.Writer) error {
 }
 
 // JSON renders the table as a machine-readable object (used by
-// mnoc-bench -json so downstream plotting does not have to scrape the
+// mnoc bench -json so downstream plotting does not have to scrape the
 // aligned-column text).
 func (t *Table) JSON() ([]byte, error) {
 	return json.MarshalIndent(struct {
@@ -130,7 +133,7 @@ func (t *Table) JSON() ([]byte, error) {
 }
 
 // WriteCSV renders the table as header + rows in CSV (used by
-// mnoc-bench -csv so results plot directly in external tools).
+// mnoc bench -csv so results plot directly in external tools).
 func (t *Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if len(t.Header) > 0 {
@@ -148,24 +151,58 @@ func (t *Table) WriteCSV(w io.Writer) error {
 }
 
 // Context caches the expensive shared artefacts (calibrated traffic,
-// QAP mappings, splitter designs) across experiments. All accessors are
-// safe for concurrent use; Precompute exploits that to build the
-// per-benchmark artefacts in parallel.
+// QAP mappings, splitter designs, simulation runtimes) across
+// experiments. All accessors are safe for concurrent use; Precompute
+// exploits that to build the per-benchmark artefacts in parallel.
+//
+// Artefacts live in an artifact.Store keyed by a content hash of their
+// inputs (options + device-configuration fingerprint + benchmark). The
+// default store is in-memory — the per-run memoisation Context always
+// had — and the runner swaps in a disk store (--cache-dir) so warm
+// re-runs across processes skip every solve. A decoded-value memo and a
+// per-key singleflight sit in front of the store, so each artefact is
+// fetched/solved at most once per process even under the runner's
+// parallel scheduling.
 type Context struct {
 	Opt Options
 	Cfg power.Config
 
+	store  artifact.Store
+	cfgSig string // device-config fingerprint, folded into every key
+
 	mu       sync.Mutex
-	base     *power.MNoC
-	benches  []workload.Benchmark
-	shapes   map[string]*trace.Matrix      // calibrated, thread-indexed
-	mappings map[string]mapping.Assignment // per-benchmark QAP result
-	mapped   map[string]*trace.Matrix      // shapes permuted by mappings
-	networks map[string]*power.MNoC        // keyed design cache
+	memo     map[artifact.Key]any
+	inflight map[artifact.Key]*flight
+
+	base    *power.MNoC
+	benches []workload.Benchmark
+
+	solveShapes, solveQAP, solveNetworks, solveSims atomic.Uint64
 }
 
-// NewContext builds a context for the given options.
+// flight tracks one in-progress artefact fetch/solve so concurrent
+// requesters wait instead of duplicating a minutes-long search.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// SolveCounts reports how many expensive artefacts a context actually
+// computed, as opposed to loading from its artifact store. On a warm
+// cache run every field is zero.
+type SolveCounts struct {
+	Shapes, QAP, Networks, Sims uint64
+}
+
+// NewContext builds a context with a fresh in-memory artifact store.
 func NewContext(opt Options) (*Context, error) {
+	return NewContextWithStore(opt, artifact.NewMemory())
+}
+
+// NewContextWithStore builds a context over the given artifact store
+// (e.g. a disk store shared across runs).
+func NewContextWithStore(opt Options, store artifact.Store) (*Context, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -177,13 +214,89 @@ func NewContext(opt Options) (*Context, error) {
 	return &Context{
 		Opt:      opt,
 		Cfg:      cfg,
+		store:    store,
+		cfgSig:   artifact.Fingerprint(map[string]any{"cfg": cfg}),
+		memo:     make(map[artifact.Key]any),
+		inflight: make(map[artifact.Key]*flight),
 		base:     base,
 		benches:  workload.All(),
-		shapes:   make(map[string]*trace.Matrix),
-		mappings: make(map[string]mapping.Assignment),
-		mapped:   make(map[string]*trace.Matrix),
-		networks: make(map[string]*power.MNoC),
 	}, nil
+}
+
+// Store exposes the context's artifact store (for cache statistics).
+func (c *Context) Store() artifact.Store { return c.store }
+
+// Solves returns the context's solve counters.
+func (c *Context) Solves() SolveCounts {
+	return SolveCounts{
+		Shapes:   c.solveShapes.Load(),
+		QAP:      c.solveQAP.Load(),
+		Networks: c.solveNetworks.Load(),
+		Sims:     c.solveSims.Load(),
+	}
+}
+
+// key starts an artifact key carrying every run-scoping input shared by
+// the solve pipeline: radix, seed, QAP budget, calibration window and
+// the device-configuration fingerprint.
+func (c *Context) key(kind string, version int) *artifact.KeyBuilder {
+	return artifact.NewKey(kind, version).
+		Str("cfg", c.cfgSig).
+		Int("n", c.Opt.N).
+		Int64("seed", c.Opt.Seed).
+		Int("qapiters", c.Opt.QAPIters).
+		Float("cycles", c.Opt.Cycles)
+}
+
+// artifactValue returns the decoded artefact for key. The lookup order
+// is memo → store → build; build runs at most once per key per process
+// (concurrent requesters wait on the flight), and its result is written
+// back to the store. build returns both the value and its encoded blob
+// so a fresh solve is not re-decoded.
+func (c *Context) artifactValue(key artifact.Key,
+	decode func([]byte) (any, error),
+	build func() (any, []byte, error),
+) (any, error) {
+	c.mu.Lock()
+	if v, ok := c.memo[key]; ok {
+		c.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = func() (any, error) {
+		blob, ok, err := c.store.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return decode(blob)
+		}
+		v, blob, err := build()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.store.Put(key, blob); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}()
+
+	c.mu.Lock()
+	if f.err == nil {
+		c.memo[key] = f.val
+	}
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
 }
 
 // Benchmarks returns the benchmark set in Table 4 order.
@@ -194,69 +307,68 @@ func (c *Context) Base() *power.MNoC { return c.base }
 
 // Shape returns the benchmark's calibrated thread-indexed traffic.
 func (c *Context) Shape(name string) (*trace.Matrix, error) {
-	c.mu.Lock()
-	if m, ok := c.shapes[name]; ok {
-		c.mu.Unlock()
-		return m, nil
-	}
-	c.mu.Unlock()
-	b, err := workload.ByName(name)
+	key := c.key(artifact.KindMatrix, artifact.VersionMatrix).Str("bench", name).Sum()
+	v, err := c.artifactValue(key,
+		func(blob []byte) (any, error) { return artifact.DecodeMatrix(blob) },
+		func() (any, []byte, error) {
+			c.solveShapes.Add(1)
+			b, err := workload.ByName(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			shape, err := b.Matrix(c.Opt.N, c.Opt.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			m, _, err := power.ScaleToTarget(c.base, shape, c.Opt.Cycles, b.PaperBaseWatts)
+			if err != nil {
+				return nil, nil, err
+			}
+			return m, artifact.EncodeMatrix(m), nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	shape, err := b.Matrix(c.Opt.N, c.Opt.Seed)
-	if err != nil {
-		return nil, err
-	}
-	m, _, err := power.ScaleToTarget(c.base, shape, c.Opt.Cycles, b.PaperBaseWatts)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if prior, ok := c.shapes[name]; ok { // another goroutine won the race
-		return prior, nil
-	}
-	c.shapes[name] = m
-	return m, nil
+	return v.(*trace.Matrix), nil
 }
 
 // QAPMapping returns the benchmark's taboo-search thread mapping
-// (computed once per context).
+// (solved once, then served from the artifact store).
 func (c *Context) QAPMapping(name string) (mapping.Assignment, error) {
-	c.mu.Lock()
-	if a, ok := c.mappings[name]; ok {
-		c.mu.Unlock()
-		return a, nil
-	}
-	c.mu.Unlock()
-	m, err := c.Shape(name)
+	key := c.key(artifact.KindAssignment, artifact.VersionAssignment).Str("bench", name).Sum()
+	v, err := c.artifactValue(key,
+		func(blob []byte) (any, error) { return artifact.DecodeAssignment(blob) },
+		func() (any, []byte, error) {
+			m, err := c.Shape(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			prob, err := mapping.FromTraffic(m, c.Cfg.Splitter.Layout)
+			if err != nil {
+				return nil, nil, err
+			}
+			c.solveQAP.Add(1)
+			a := prob.Taboo(prob.CenterGreedy(), mapping.TabooOptions{
+				Seed: c.Opt.Seed, Iterations: c.Opt.QAPIters,
+			})
+			return a, artifact.EncodeAssignment(a), nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	prob, err := mapping.FromTraffic(m, c.Cfg.Splitter.Layout)
-	if err != nil {
-		return nil, err
-	}
-	a := prob.Taboo(prob.CenterGreedy(), mapping.TabooOptions{
-		Seed: c.Opt.Seed, Iterations: c.Opt.QAPIters,
-	})
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if prior, ok := c.mappings[name]; ok {
-		return prior, nil
-	}
-	c.mappings[name] = a
-	return a, nil
+	return v.(mapping.Assignment), nil
 }
 
 // Mapped returns the benchmark's calibrated traffic permuted by its QAP
-// mapping (core-indexed).
+// mapping (core-indexed). The permutation is cheap, so it is memoised
+// in-process only — the shape and mapping it derives from are the
+// cached artefacts.
 func (c *Context) Mapped(name string) (*trace.Matrix, error) {
+	key := artifact.NewKey("mapped", 1).Str("bench", name).Sum()
 	c.mu.Lock()
-	if m, ok := c.mapped[name]; ok {
+	if m, ok := c.memo[key]; ok {
 		c.mu.Unlock()
-		return m, nil
+		return m.(*trace.Matrix), nil
 	}
 	c.mu.Unlock()
 	shape, err := c.Shape(name)
@@ -273,10 +385,10 @@ func (c *Context) Mapped(name string) (*trace.Matrix, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if prior, ok := c.mapped[name]; ok {
-		return prior, nil
+	if prior, ok := c.memo[key]; ok { // another goroutine won the race
+		return prior.(*trace.Matrix), nil
 	}
-	c.mapped[name] = m
+	c.memo[key] = m
 	return m, nil
 }
 
@@ -299,25 +411,30 @@ func (c *Context) SampledMatrix(names []string) (*trace.Matrix, error) {
 	return out, nil
 }
 
-// network caches splitter-designed networks by key.
+// network caches splitter-designed networks. The string key names a
+// deterministic design point (e.g. "4M_G_S12"); combined with the
+// options and configuration fingerprint folded in by c.key it content-
+// addresses the solved design, so warm runs skip the splitter solves.
 func (c *Context) network(key string, build func() (*power.MNoC, error)) (*power.MNoC, error) {
-	c.mu.Lock()
-	if n, ok := c.networks[key]; ok {
-		c.mu.Unlock()
-		return n, nil
-	}
-	c.mu.Unlock()
-	n, err := build()
+	akey := c.key(artifact.KindNetwork, artifact.VersionNetwork).Str("design", key).Sum()
+	v, err := c.artifactValue(akey,
+		func(blob []byte) (any, error) { return artifact.DecodeNetwork(c.Cfg, blob) },
+		func() (any, []byte, error) {
+			c.solveNetworks.Add(1)
+			n, err := build()
+			if err != nil {
+				return nil, nil, err
+			}
+			blob, err := artifact.EncodeNetwork(n)
+			if err != nil {
+				return nil, nil, err
+			}
+			return n, blob, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if prior, ok := c.networks[key]; ok {
-		return prior, nil
-	}
-	c.networks[key] = n
-	return n, nil
+	return v.(*power.MNoC), nil
 }
 
 // Precompute builds every benchmark's calibrated traffic and QAP
@@ -326,30 +443,32 @@ func (c *Context) network(key string, build func() (*power.MNoC, error)) (*power
 // full paper-scale context drops from minutes to tens of seconds on a
 // multicore host.
 func (c *Context) Precompute(workers int) error {
+	return c.precomputeNames(workload.Names(), workers)
+}
+
+// precomputeNames is Precompute over an explicit benchmark list. Every
+// worker error is reported (joined in benchmark order), not just the
+// first: a multi-benchmark failure surfaces completely.
+func (c *Context) precomputeNames(names []string, workers int) error {
 	if workers < 1 {
 		workers = 1
 	}
-	names := workload.Names()
 	sem := make(chan struct{}, workers)
-	errs := make(chan error, len(names))
+	errs := make([]error, len(names))
 	var wg sync.WaitGroup
-	for _, name := range names {
+	for i, name := range names {
 		wg.Add(1)
-		go func(name string) {
+		go func(i int, name string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			if _, err := c.Mapped(name); err != nil {
-				errs <- fmt.Errorf("%s: %w", name, err)
+				errs[i] = fmt.Errorf("%s: %w", name, err)
 			}
-		}(name)
+		}(i, name)
 	}
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		return err
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // evaluateWatts runs a network on a (core-indexed) matrix.

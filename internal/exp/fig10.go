@@ -8,6 +8,7 @@ import (
 	"mnoc/internal/noc"
 	"mnoc/internal/phys"
 	"mnoc/internal/power"
+	"mnoc/internal/runner/artifact"
 	"mnoc/internal/sim"
 	"mnoc/internal/splitter"
 	"mnoc/internal/topo"
@@ -15,71 +16,78 @@ import (
 	"mnoc/internal/workload"
 )
 
-// perfResult caches the multicore-simulation runtimes per benchmark.
+// perfResult holds the multicore-simulation runtimes of one benchmark.
 type perfResult struct {
 	mnocCycles uint64
 	rnocCycles uint64
 }
 
-var perfCache = map[string]map[string]perfResult{}
-
-// perfKey identifies a (options, benchmark) pair in the process-wide
-// cache; simulations are deterministic so caching is safe.
-func (c *Context) perfKey() string {
-	return fmt.Sprintf("n%d_s%d_a%d", c.Opt.N, c.Opt.Seed, c.Opt.SimAccesses)
-}
-
 // Performance runs the trace-driven multicore simulation of a benchmark
 // on both the mNoC crossbar and the clustered rNoC and returns the
-// runtimes.
+// runtimes. Results are deterministic and cached as artefacts (keyed by
+// radix, seed and per-core access count), so warm runs skip the
+// simulations entirely.
 func (c *Context) Performance(bench string) (mnocCycles, rnocCycles uint64, err error) {
-	key := c.perfKey()
-	if m, ok := perfCache[key]; ok {
-		if r, ok := m[bench]; ok {
-			return r.mnocCycles, r.rnocCycles, nil
-		}
-	}
-	b, err := workload.ByName(bench)
+	key := artifact.NewKey(artifact.KindPerf, artifact.VersionPerf).
+		Int("n", c.Opt.N).
+		Int64("seed", c.Opt.Seed).
+		Int("accesses", c.Opt.SimAccesses).
+		Str("bench", bench).
+		Sum()
+	v, err := c.artifactValue(key,
+		func(blob []byte) (any, error) {
+			mc, rc, err := artifact.DecodePerf(blob)
+			if err != nil {
+				return nil, err
+			}
+			return perfResult{mnocCycles: mc, rnocCycles: rc}, nil
+		},
+		func() (any, []byte, error) {
+			c.solveSims.Add(1)
+			b, err := workload.ByName(bench)
+			if err != nil {
+				return nil, nil, err
+			}
+			cfg := sim.DefaultConfig(c.Opt.N)
+			streams, err := sim.StreamsFromBenchmark(b, cfg, c.Opt.SimAccesses, c.Opt.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			run := func(net noc.Network) (uint64, error) {
+				m, err := sim.NewMachine(cfg, net)
+				if err != nil {
+					return 0, err
+				}
+				res, err := m.Run(streams)
+				if err != nil {
+					return 0, err
+				}
+				return res.RuntimeCycles, nil
+			}
+			mn, err := noc.NewMNoC(c.Opt.N)
+			if err != nil {
+				return nil, nil, err
+			}
+			rn, err := noc.NewRNoC(c.Opt.N, 4)
+			if err != nil {
+				return nil, nil, err
+			}
+			mc, err := run(mn)
+			if err != nil {
+				return nil, nil, err
+			}
+			rc, err := run(rn)
+			if err != nil {
+				return nil, nil, err
+			}
+			r := perfResult{mnocCycles: mc, rnocCycles: rc}
+			return r, artifact.EncodePerf(mc, rc), nil
+		})
 	if err != nil {
 		return 0, 0, err
 	}
-	cfg := sim.DefaultConfig(c.Opt.N)
-	streams, err := sim.StreamsFromBenchmark(b, cfg, c.Opt.SimAccesses, c.Opt.Seed)
-	if err != nil {
-		return 0, 0, err
-	}
-	run := func(net noc.Network) (uint64, error) {
-		m, err := sim.NewMachine(cfg, net)
-		if err != nil {
-			return 0, err
-		}
-		res, err := m.Run(streams)
-		if err != nil {
-			return 0, err
-		}
-		return res.RuntimeCycles, nil
-	}
-	mn, err := noc.NewMNoC(c.Opt.N)
-	if err != nil {
-		return 0, 0, err
-	}
-	rn, err := noc.NewRNoC(c.Opt.N, 4)
-	if err != nil {
-		return 0, 0, err
-	}
-	mc, err := run(mn)
-	if err != nil {
-		return 0, 0, err
-	}
-	rc, err := run(rn)
-	if err != nil {
-		return 0, 0, err
-	}
-	if perfCache[key] == nil {
-		perfCache[key] = map[string]perfResult{}
-	}
-	perfCache[key][bench] = perfResult{mnocCycles: mc, rnocCycles: rc}
-	return mc, rc, nil
+	r := v.(perfResult)
+	return r.mnocCycles, r.rnocCycles, nil
 }
 
 // bestPTNetwork builds the paper's best overall design, 4M_T_G_S12: a

@@ -15,7 +15,10 @@ func profileFor(t *testing.T, name string, n int) *trace.Matrix {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := b.MustMatrix(n, 1)
+	m, err := b.Matrix(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m.Scale(1e7) // realistic flit volume over the window
 	return m
 }

@@ -222,7 +222,10 @@ func TestSolveConcentratesTrafficAtWaveguideCenter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := bench.MustMatrix(n, 1)
+	m, err := bench.Matrix(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	prob, err := FromTraffic(m, waveguide.NewSerpentine(n))
 	if err != nil {
 		t.Fatal(err)

@@ -154,7 +154,10 @@ func TestSampledWeightingBeatsUniformOnSkewedTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mtx := bench.MustMatrix(n, 1)
+	mtx, err := bench.Matrix(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	mtx.Scale(1e6)
 	tp, err := topo.DistanceBased(n, []int{32, 31})
 	if err != nil {
@@ -350,7 +353,10 @@ func TestScaleToTarget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	shape := workload.All()[0].MustMatrix(64, 1)
+	shape, err := workload.All()[0].Matrix(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	scaled, factor, err := ScaleToTarget(m, shape, 1e6, 7.05)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,272 @@
+package artifact
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mnoc/internal/mapping"
+	"mnoc/internal/power"
+	"mnoc/internal/topo"
+	"mnoc/internal/workload"
+)
+
+func TestKeyDeterminismAndSensitivity(t *testing.T) {
+	k1 := NewKey(KindMatrix, VersionMatrix).Int("n", 64).Int64("seed", 1).Str("bench", "fft").Sum()
+	k2 := NewKey(KindMatrix, VersionMatrix).Int("n", 64).Int64("seed", 1).Str("bench", "fft").Sum()
+	if k1 != k2 {
+		t.Fatalf("same inputs, different keys: %s vs %s", k1, k2)
+	}
+	variants := []Key{
+		NewKey(KindMatrix, VersionMatrix).Int("n", 65).Int64("seed", 1).Str("bench", "fft").Sum(),
+		NewKey(KindMatrix, VersionMatrix).Int("n", 64).Int64("seed", 2).Str("bench", "fft").Sum(),
+		NewKey(KindMatrix, VersionMatrix).Int("n", 64).Int64("seed", 1).Str("bench", "lu_cb").Sum(),
+		NewKey(KindMatrix, VersionMatrix+1).Int("n", 64).Int64("seed", 1).Str("bench", "fft").Sum(),
+		NewKey(KindTrace, VersionMatrix).Int("n", 64).Int64("seed", 1).Str("bench", "fft").Sum(),
+	}
+	for i, v := range variants {
+		if v == k1 {
+			t.Errorf("variant %d collides with the base key", i)
+		}
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	cfg := power.DefaultConfig(16)
+	a := Fingerprint(map[string]any{"cfg": cfg})
+	b := Fingerprint(map[string]any{"cfg": cfg})
+	if a != b {
+		t.Fatalf("fingerprint unstable: %s vs %s", a, b)
+	}
+	other := Fingerprint(map[string]any{"cfg": cfg.WithMIOP(9)})
+	if a == other {
+		t.Fatal("different configs share a fingerprint")
+	}
+}
+
+func testStore(t *testing.T, s Store) {
+	t.Helper()
+	key := NewKey("test", 1).Str("x", "y").Sum()
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("empty store Get = ok=%v err=%v", ok, err)
+	}
+	blob := []byte("hello artifact")
+	if err := s.Put(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("Get = %q, want %q", got, blob)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want 1/1/1", st)
+	}
+}
+
+func TestMemoryStore(t *testing.T) { testStore(t, NewMemory()) }
+
+func TestDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStore(t, s)
+
+	// A second store over the same directory sees the blob (warm run).
+	s2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := NewKey("test", 1).Str("x", "y").Sum()
+	if _, ok, err := s2.Get(key); err != nil || !ok {
+		t.Fatalf("warm Get = ok=%v err=%v", ok, err)
+	}
+	if st := s2.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("warm stats = %+v, want 1 hit 0 misses", st)
+	}
+}
+
+func TestEnvelopeMismatch(t *testing.T) {
+	blob := Envelope(KindMatrix, 1, []byte("payload"))
+	if _, err := Open(blob, KindMatrix, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(blob, KindTrace, 1); err == nil {
+		t.Error("wrong kind accepted")
+	}
+	if _, err := Open(blob, KindMatrix, 2); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := Open([]byte("garbage"), KindMatrix, 1); err == nil {
+		t.Error("corrupt blob accepted")
+	}
+	if _, err := Open(blob[:3], KindMatrix, 1); err == nil {
+		t.Error("truncated blob accepted")
+	}
+}
+
+func TestMatrixRoundtrip(t *testing.T) {
+	b, err := workload.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Matrix(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMatrix(EncodeMatrix(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != m.N {
+		t.Fatalf("N = %d, want %d", got.N, m.N)
+	}
+	for s := range m.Counts {
+		for d := range m.Counts[s] {
+			if got.Counts[s][d] != m.Counts[s][d] {
+				t.Fatalf("entry (%d,%d) = %v, want %v", s, d, got.Counts[s][d], m.Counts[s][d])
+			}
+		}
+	}
+}
+
+func TestAssignmentRoundtrip(t *testing.T) {
+	a := mapping.Assignment{3, 1, 0, 2}
+	got, err := DecodeAssignment(EncodeAssignment(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(a) {
+		t.Fatalf("len = %d, want %d", len(got), len(a))
+	}
+	for i := range a {
+		if got[i] != a[i] {
+			t.Fatalf("got %v, want %v", got, a)
+		}
+	}
+	// A non-permutation must be rejected at decode.
+	bad := EncodeAssignment(mapping.Assignment{0, 0, 1, 1})
+	if _, err := DecodeAssignment(bad); err == nil {
+		t.Error("non-permutation accepted")
+	}
+}
+
+func TestTraceRoundtrip(t *testing.T) {
+	b, err := workload.ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := b.Trace(8, 1000, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrace(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != tr.N || got.Cycles != tr.Cycles || len(got.Packets) != len(tr.Packets) {
+		t.Fatalf("roundtrip header mismatch: %+v vs %+v", got, tr)
+	}
+	for i := range tr.Packets {
+		if got.Packets[i] != tr.Packets[i] {
+			t.Fatalf("packet %d = %+v, want %+v", i, got.Packets[i], tr.Packets[i])
+		}
+	}
+}
+
+func TestNetworkRoundtrip(t *testing.T) {
+	const n = 16
+	cfg := power.DefaultConfig(n)
+	tp, err := topo.DistanceBased(n, []int{n / 2, n - 1 - n/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.ByName("water_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, err := b.Matrix(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range map[string]power.Weighting{
+		"uniform": power.UniformWeighting(tp.Modes),
+		"sampled": power.SampledWeighting(sample),
+	} {
+		net, err := power.NewMNoC(cfg, tp, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := EncodeNetwork(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeNetwork(cfg, blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The decoded design must evaluate bit-identically.
+		want, err := net.Evaluate(sample, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := got.Evaluate(sample, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != have {
+			t.Fatalf("%s: decoded Evaluate = %+v, want %+v", name, have, want)
+		}
+		// The weighting survives: Resolve (the fault-recovery re-solve)
+		// still works on a decoded design.
+		alive := make([]bool, n)
+		for i := range alive {
+			alive[i] = i != 3
+		}
+		r1, err := net.Resolve(alive)
+		if err != nil {
+			t.Fatalf("%s: Resolve on original: %v", name, err)
+		}
+		r2, err := got.Resolve(alive)
+		if err != nil {
+			t.Fatalf("%s: Resolve on decoded: %v", name, err)
+		}
+		b1, err := r1.Evaluate(sample, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := r2.Evaluate(sample, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b1 != b2 {
+			t.Fatalf("%s: resolved Evaluate = %+v, want %+v", name, b2, b1)
+		}
+	}
+}
+
+func TestDiskLayout(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := NewKey("test", 1).Sum()
+	if err := s.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, string(key[:2]), string(key)+".art")
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("expected fan-out layout %s: %v", p, err)
+	}
+}

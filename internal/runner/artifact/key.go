@@ -1,0 +1,103 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"sort"
+	"strconv"
+)
+
+// KeyBuilder accumulates the labelled inputs of an artifact into a
+// canonical byte stream and hashes them. The canonical form is one
+// "name=value\n" line per field in the order added, prefixed by the
+// artifact kind and codec version — so any input change, any version
+// bump, and any kind collision all produce distinct keys.
+type KeyBuilder struct {
+	h hash.Hash
+}
+
+// NewKey starts a key for an artifact of the given kind and codec
+// version. Kind must match the envelope kind the blob is encoded with.
+func NewKey(kind string, version int) *KeyBuilder {
+	b := &KeyBuilder{h: sha256.New()}
+	b.write("kind", kind)
+	b.write("v", strconv.Itoa(version))
+	return b
+}
+
+func (b *KeyBuilder) write(name, value string) {
+	b.h.Write([]byte(name))
+	b.h.Write([]byte{'='})
+	b.h.Write([]byte(value))
+	b.h.Write([]byte{'\n'})
+}
+
+// Str folds a string field into the key.
+func (b *KeyBuilder) Str(name, v string) *KeyBuilder {
+	b.write(name, strconv.Quote(v))
+	return b
+}
+
+// Int folds an int field into the key.
+func (b *KeyBuilder) Int(name string, v int) *KeyBuilder {
+	b.write(name, strconv.Itoa(v))
+	return b
+}
+
+// Int64 folds an int64 field into the key.
+func (b *KeyBuilder) Int64(name string, v int64) *KeyBuilder {
+	b.write(name, strconv.FormatInt(v, 10))
+	return b
+}
+
+// Uint64 folds a uint64 field into the key.
+func (b *KeyBuilder) Uint64(name string, v uint64) *KeyBuilder {
+	b.write(name, strconv.FormatUint(v, 10))
+	return b
+}
+
+// Float folds a float64 field into the key (shortest round-trippable
+// form, so equal values always hash equally).
+func (b *KeyBuilder) Float(name string, v float64) *KeyBuilder {
+	b.write(name, strconv.FormatFloat(v, 'g', -1, 64))
+	return b
+}
+
+// Bytes folds raw bytes (e.g. another blob's content) into the key.
+func (b *KeyBuilder) Bytes(name string, v []byte) *KeyBuilder {
+	b.write(name, hex.EncodeToString(v))
+	return b
+}
+
+// Floats folds a float64 slice into the key.
+func (b *KeyBuilder) Floats(name string, vs []float64) *KeyBuilder {
+	for i, v := range vs {
+		b.Float(fmt.Sprintf("%s[%d]", name, i), v)
+	}
+	return b
+}
+
+// Sum finalises the key.
+func (b *KeyBuilder) Sum() Key {
+	return Key(hex.EncodeToString(b.h.Sum(nil)))
+}
+
+// Fingerprint hashes an arbitrary labelled set of values into a short
+// stable string, for folding a whole configuration struct into a key
+// without enumerating every field at the call site. Values are rendered
+// with %+v (structs of numbers render deterministically) and sorted by
+// label.
+func Fingerprint(fields map[string]any) string {
+	labels := make([]string, 0, len(fields))
+	for l := range fields {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	h := sha256.New()
+	for _, l := range labels {
+		fmt.Fprintf(h, "%s=%+v\n", l, fields[l])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -1,0 +1,149 @@
+// Package runner is the shared execution engine behind the mnoc CLI:
+// one Config covering experiment options, fault-sweep settings and
+// output shape; a content-addressed artifact store (in-memory by
+// default, disk-backed via CacheDir) behind exp.Context; and a bounded
+// worker pool that schedules experiment entries and fault-sweep points
+// with deterministic, order-independent output.
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mnoc/internal/exp"
+)
+
+// Config is the full configuration of a runner invocation. The zero
+// value resolves to a paper-scale run with the default worker count; a
+// JSON file (LoadConfig) or CLI flags fill the rest.
+type Config struct {
+	// Scale picks a preset option set: "paper" (radix 256, the
+	// default) or "quick" (radix 64). Ignored when Options is set.
+	Scale string `json:"scale,omitempty"`
+	// Seed overrides the preset's random seed when non-zero.
+	Seed int64 `json:"seed,omitempty"`
+	// Options, when non-nil, sets the experiment scale explicitly and
+	// wins over Scale.
+	Options *exp.Options `json:"options,omitempty"`
+	// Workers bounds the scheduling pool (experiment entries,
+	// per-benchmark precomputation, fault-sweep points). Values < 1
+	// resolve to DefaultWorkers.
+	Workers int `json:"workers,omitempty"`
+	// CacheDir, when non-empty, backs the artifact store with a
+	// persistent on-disk cache shared across runs.
+	CacheDir string `json:"cache_dir,omitempty"`
+	// JSON emits tables as a JSON array instead of aligned text.
+	JSON bool `json:"json,omitempty"`
+	// CSVDir, when non-empty, additionally writes each table as
+	// <dir>/<id>.csv.
+	CSVDir string `json:"csv_dir,omitempty"`
+	// Fault configures the fault/degradation sweep.
+	Fault FaultConfig `json:"fault,omitempty"`
+}
+
+// FaultConfig configures one fault-intensity sweep (the old mnoc-fault
+// flag set).
+type FaultConfig struct {
+	// N is the crossbar radix.
+	N int `json:"n,omitempty"`
+	// Bench is the workload (SPLASH stand-in or syn_*).
+	Bench string `json:"bench,omitempty"`
+	// Cycles is the trace duration.
+	Cycles uint64 `json:"cycles,omitempty"`
+	// Flits is the total number of flits injected.
+	Flits int `json:"flits,omitempty"`
+	// Seed drives the trace and the fault injector.
+	Seed int64 `json:"seed,omitempty"`
+	// Scales lists the fault-rate multipliers to sweep.
+	Scales []float64 `json:"scales,omitempty"`
+	// SchedulePath replays a saved fault schedule instead of sweeping.
+	SchedulePath string `json:"schedule,omitempty"`
+	// SaveSchedulePath writes the last sweep point's schedule here.
+	SaveSchedulePath string `json:"save_schedule,omitempty"`
+	// Verbose logs every recovery action.
+	Verbose bool `json:"verbose,omitempty"`
+}
+
+// DefaultWorkers is the pool size used when Config.Workers < 1.
+const DefaultWorkers = 4
+
+// DefaultFaultConfig mirrors the historical mnoc-fault flag defaults.
+func DefaultFaultConfig() FaultConfig {
+	return FaultConfig{
+		N:      16,
+		Bench:  "syn_uniform",
+		Cycles: 500_000,
+		Flits:  20_000,
+		Seed:   1,
+		Scales: []float64{0, 0.5, 1, 2, 4},
+	}
+}
+
+// LoadConfig reads a JSON Config from path. Unknown fields are
+// rejected so a typoed setting fails loudly instead of silently
+// running the defaults.
+func LoadConfig(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("runner: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("runner: parsing %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// ResolveOptions turns the Scale/Seed/Options triple into concrete
+// experiment options.
+func (c Config) ResolveOptions() (exp.Options, error) {
+	var opt exp.Options
+	switch {
+	case c.Options != nil:
+		opt = *c.Options
+	case c.Scale == "" || c.Scale == "paper":
+		opt = exp.Paper()
+	case c.Scale == "quick":
+		opt = exp.Quick()
+	default:
+		return exp.Options{}, fmt.Errorf("runner: unknown scale %q (want paper or quick)", c.Scale)
+	}
+	if c.Seed != 0 {
+		opt.Seed = c.Seed
+	}
+	if err := opt.Validate(); err != nil {
+		return exp.Options{}, err
+	}
+	return opt, nil
+}
+
+// ResolveWorkers returns the effective worker-pool size.
+func (c Config) ResolveWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return DefaultWorkers
+}
+
+// Validate checks the fault sweep's settings.
+func (fc FaultConfig) Validate() error {
+	if fc.N < 2 {
+		return fmt.Errorf("runner: fault sweep radix %d, want >= 2", fc.N)
+	}
+	if fc.Cycles == 0 || fc.Flits <= 0 {
+		return fmt.Errorf("runner: non-positive fault trace scale (cycles=%d flits=%d)", fc.Cycles, fc.Flits)
+	}
+	if len(fc.Scales) == 0 && fc.SchedulePath == "" {
+		return fmt.Errorf("runner: fault sweep needs scales or a schedule file")
+	}
+	for _, s := range fc.Scales {
+		if s < 0 {
+			return fmt.Errorf("runner: negative fault scale %g", s)
+		}
+	}
+	return nil
+}

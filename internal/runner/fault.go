@@ -1,0 +1,199 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"mnoc/internal/dynamic"
+	"mnoc/internal/fault"
+	"mnoc/internal/mapping"
+	"mnoc/internal/power"
+	"mnoc/internal/runner/artifact"
+	"mnoc/internal/stats"
+	"mnoc/internal/topo"
+	"mnoc/internal/workload"
+)
+
+// FaultPoint is one sweep point: the schedule both policies saw and
+// the two run results.
+type FaultPoint struct {
+	Scale    float64
+	Schedule *fault.Schedule
+	Baseline *dynamic.FaultResult
+	Recovery *dynamic.FaultResult
+}
+
+// FaultSweepResult is a completed fault-intensity sweep.
+type FaultSweepResult struct {
+	Config  FaultConfig
+	Bench   string // resolved benchmark name
+	Modes   int
+	Packets int // packets offered per point
+	Points  []FaultPoint
+}
+
+// FaultSweep runs the degradation sweep on the runner's store and
+// worker pool.
+func (r *Runner) FaultSweep(fc FaultConfig) (*FaultSweepResult, error) {
+	return FaultSweep(r.store, r.workers, fc)
+}
+
+// FaultSweep runs the degradation sweep: for each fault-rate
+// multiplier, replay the same deterministic schedule under the
+// fault-oblivious and the recovery policies, isolating the recovery
+// ladder. Points run concurrently on up to `workers` goroutines;
+// results come back in scale order, so output is deterministic for a
+// fixed config.
+func FaultSweep(store artifact.Store, workers int, fc FaultConfig) (*FaultSweepResult, error) {
+	if err := fc.Validate(); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tp, err := topo.DistanceBased(fc.N, []int{fc.N / 2, fc.N - 1 - fc.N/2})
+	if err != nil {
+		return nil, err
+	}
+	net, err := power.NewMNoC(power.DefaultConfig(fc.N), tp, power.UniformWeighting(tp.Modes))
+	if err != nil {
+		return nil, err
+	}
+	b, err := workload.Resolve(fc.Bench)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := CachedTrace(store, b, fc.N, fc.Cycles, fc.Flits, fc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	initial := mapping.Identity(fc.N)
+
+	scales := fc.Scales
+	var schedules []*fault.Schedule
+	if fc.SchedulePath != "" {
+		f, err := os.Open(fc.SchedulePath)
+		if err != nil {
+			return nil, err
+		}
+		s, err := fault.Parse(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		schedules = []*fault.Schedule{s}
+		scales = []float64{1}
+	} else {
+		for _, sc := range scales {
+			s, err := fault.DefaultInjectorConfig(fc.Seed).Scale(sc).Generate(fc.N, fc.Cycles)
+			if err != nil {
+				return nil, err
+			}
+			schedules = append(schedules, s)
+		}
+	}
+
+	res := &FaultSweepResult{
+		Config:  fc,
+		Bench:   b.Name,
+		Modes:   tp.Modes,
+		Packets: len(tr.Packets),
+		Points:  make([]FaultPoint, len(schedules)),
+	}
+	errs := make([]error, len(schedules))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, sched := range schedules {
+		wg.Add(1)
+		go func(i int, sched *fault.Schedule) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			base, err := dynamic.RunWithFaults(net, tr, initial, sched, dynamic.ObliviousPolicy())
+			if err != nil {
+				errs[i] = fmt.Errorf("scale %g (oblivious): %w", scales[i], err)
+				return
+			}
+			rec, err := dynamic.RunWithFaults(net, tr, initial, sched, dynamic.DefaultRecoveryPolicy())
+			if err != nil {
+				errs[i] = fmt.Errorf("scale %g (recovery): %w", scales[i], err)
+				return
+			}
+			res.Points[i] = FaultPoint{Scale: scales[i], Schedule: sched, Baseline: base, Recovery: rec}
+		}(i, sched)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Curve converts the sweep into a reliability curve.
+func (res *FaultSweepResult) Curve() *stats.ReliabilityCurve {
+	curve := &stats.ReliabilityCurve{}
+	for _, p := range res.Points {
+		curve.Baseline = append(curve.Baseline, reliabilityPoint(p.Scale, p.Baseline))
+		curve.Recovery = append(curve.Recovery, reliabilityPoint(p.Scale, p.Recovery))
+	}
+	return curve
+}
+
+// Render writes the sweep report (per-point recovery summary, then
+// the reliability curve) in the historical mnoc-fault text format.
+func (res *FaultSweepResult) Render(w io.Writer, verbose bool) error {
+	for _, p := range res.Points {
+		rec := p.Recovery
+		if _, err := fmt.Fprintf(w,
+			"scale %.2f: %d fault events; recovery: %d retries, %d escalations, %d guard resizes, %d migrations, %d re-solves (final guard %.2f dB)\n",
+			p.Scale, len(p.Schedule.Faults), rec.Retries, rec.Escalations,
+			rec.GuardResizes, rec.Migrations, rec.Replans, rec.FinalGuardDB); err != nil {
+			return err
+		}
+		if verbose {
+			for _, a := range rec.Actions {
+				if _, err := fmt.Fprintf(w, "  [cycle %d] %s\n", a.Cycle, a.What); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return res.Curve().Render(w)
+}
+
+// SaveSchedule writes the last sweep point's fault schedule to path.
+func (res *FaultSweepResult) SaveSchedule(path string) error {
+	if len(res.Points) == 0 {
+		return fmt.Errorf("runner: empty sweep")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Points[len(res.Points)-1].Schedule.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// reliabilityPoint converts a run result into a curve point.
+func reliabilityPoint(scale float64, r *dynamic.FaultResult) stats.ReliabilityPoint {
+	return stats.ReliabilityPoint{
+		Scale:         scale,
+		Offered:       r.Offered,
+		Delivered:     r.Delivered,
+		Retries:       r.Retries,
+		PowerW:        r.AvgPowerW,
+		RuntimeCycles: r.RuntimeCycles,
+	}
+}

@@ -1,0 +1,248 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mnoc/internal/exp"
+	"mnoc/internal/mapping"
+	"mnoc/internal/runner/artifact"
+	"mnoc/internal/trace"
+	"mnoc/internal/workload"
+)
+
+// Runner owns one configured evaluation: the artifact store, the
+// experiment context over it, and the worker pool that schedules
+// entries. Output is deterministic for a fixed Config regardless of
+// the worker count: entries run concurrently but their tables are
+// emitted in registry order.
+type Runner struct {
+	cfg     Config
+	opt     exp.Options
+	workers int
+	store   artifact.Store
+	ctx     *exp.Context
+}
+
+// New builds a runner from a resolved Config. With CacheDir set the
+// store persists across processes (warm runs skip every solve);
+// otherwise it is the per-process in-memory store.
+func New(cfg Config) (*Runner, error) {
+	opt, err := cfg.ResolveOptions()
+	if err != nil {
+		return nil, err
+	}
+	store, err := NewStore(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := exp.NewContextWithStore(opt, store)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg, opt: opt, workers: cfg.ResolveWorkers(), store: store, ctx: ctx}, nil
+}
+
+// NewStore builds the artifact store a Config implies: disk-backed
+// when cacheDir is non-empty, in-memory otherwise. Subcommands that do
+// not need the experiment context (power, topo, fault) use this
+// directly.
+func NewStore(cacheDir string) (artifact.Store, error) {
+	if cacheDir != "" {
+		return artifact.NewDisk(cacheDir)
+	}
+	return artifact.NewMemory(), nil
+}
+
+// Context exposes the experiment context.
+func (r *Runner) Context() *exp.Context { return r.ctx }
+
+// Options returns the resolved experiment options.
+func (r *Runner) Options() exp.Options { return r.opt }
+
+// Store exposes the artifact store.
+func (r *Runner) Store() artifact.Store { return r.store }
+
+// Workers returns the resolved pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Precompute builds the per-benchmark artefacts (calibrated traffic +
+// QAP mappings) on the worker pool.
+func (r *Runner) Precompute() error { return r.ctx.Precompute(r.workers) }
+
+// RunEntries executes the experiments on the worker pool and returns
+// their tables in entry order. Every failing entry is reported (errors
+// joined in entry order), not just the first.
+func (r *Runner) RunEntries(entries []exp.Entry) ([]*exp.Table, error) {
+	tables := make([]*exp.Table, len(entries))
+	errs := make([]error, len(entries))
+	sem := make(chan struct{}, r.workers)
+	var wg sync.WaitGroup
+	for i, e := range entries {
+		wg.Add(1)
+		go func(i int, e exp.Entry) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t, err := e.Run(r.ctx)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", e.ID, err)
+				return
+			}
+			tables[i] = t
+		}(i, e)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return tables, nil
+}
+
+// WriteTables renders tables to w in order, honouring the configured
+// output shape (text or JSON array) and the optional CSV directory.
+func (r *Runner) WriteTables(w io.Writer, tables []*exp.Table) error {
+	if r.cfg.JSON {
+		if _, err := fmt.Fprintln(w, "["); err != nil {
+			return err
+		}
+		for i, t := range tables {
+			blob, err := t.JSON()
+			if err != nil {
+				return err
+			}
+			sep := ","
+			if i == len(tables)-1 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, "%s%s\n", blob, sep); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, "]"); err != nil {
+			return err
+		}
+	} else {
+		for _, t := range tables {
+			if err := t.Fprint(w); err != nil {
+				return err
+			}
+		}
+	}
+	if r.cfg.CSVDir != "" {
+		for _, t := range tables {
+			if err := writeCSV(r.cfg.CSVDir, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes entries and writes their tables to w.
+func (r *Runner) Run(w io.Writer, entries []exp.Entry) error {
+	tables, err := r.RunEntries(entries)
+	if err != nil {
+		return err
+	}
+	return r.WriteTables(w, tables)
+}
+
+func writeCSV(dir string, t *exp.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Summary describes the run's cache traffic and solve work in one
+// line, e.g. for printing to stderr after a run. A warm cache run
+// shows misses=0 and all solve counts zero.
+func (r *Runner) Summary() string {
+	st := r.store.Stats()
+	sv := r.ctx.Solves()
+	where := "memory"
+	if d, ok := r.store.(*artifact.Disk); ok {
+		where = d.Dir()
+	}
+	return fmt.Sprintf(
+		"cache [%s]: %d hits, %d misses, %d writes | solves: shapes=%d qap=%d networks=%d sims=%d",
+		where, st.Hits, st.Misses, st.Puts, sv.Shapes, sv.QAP, sv.Networks, sv.Sims)
+}
+
+// BenchTrace returns a benchmark's packet trace through the runner's
+// artifact store.
+func (r *Runner) BenchTrace(b workload.Benchmark, n int, cycles uint64, flits int, seed int64) (*trace.Trace, error) {
+	return CachedTrace(r.store, b, n, cycles, flits, seed)
+}
+
+// CachedTrace returns a benchmark's packet trace through an artifact
+// store, so disk-cached runs (fault sweeps, trace replays) skip the
+// regeneration.
+func CachedTrace(store artifact.Store, b workload.Benchmark, n int, cycles uint64, flits int, seed int64) (*trace.Trace, error) {
+	key := artifact.NewKey(artifact.KindTrace, artifact.VersionTrace).
+		Str("bench", b.Name).
+		Int("n", n).
+		Uint64("cycles", cycles).
+		Int("flits", flits).
+		Int64("seed", seed).
+		Sum()
+	blob, ok, err := store.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return artifact.DecodeTrace(blob)
+	}
+	tr, err := b.Trace(n, cycles, flits, seed)
+	if err != nil {
+		return nil, err
+	}
+	if blob, err = artifact.EncodeTrace(tr); err != nil {
+		return nil, err
+	}
+	if err := store.Put(key, blob); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// CachedQAP returns the QAP thread mapping for a traffic profile
+// through an artifact store, keyed by the profile's content plus the
+// search's seed and iteration budget. solve runs only on a miss — the
+// mnoc power/topo subcommands use this so a --cache-dir run never
+// repeats a taboo search over the same profile.
+func CachedQAP(store artifact.Store, profile *trace.Matrix, seed int64, iters int, solve func() (mapping.Assignment, error)) (mapping.Assignment, error) {
+	key := artifact.NewKey(artifact.KindAssignment, artifact.VersionAssignment).
+		Bytes("matrix", artifact.EncodeMatrix(profile)).
+		Int64("seed", seed).
+		Int("iters", iters).
+		Sum()
+	blob, ok, err := store.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return artifact.DecodeAssignment(blob)
+	}
+	a, err := solve()
+	if err != nil {
+		return nil, err
+	}
+	if err := store.Put(key, artifact.EncodeAssignment(a)); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

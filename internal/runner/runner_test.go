@@ -1,0 +1,219 @@
+package runner
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mnoc/internal/exp"
+)
+
+// testOptions keeps the full registry fast enough for CI while still
+// exercising every experiment.
+func testOptions() *exp.Options {
+	return &exp.Options{N: 16, Seed: 1, QAPIters: 50, Cycles: 1e6, SimAccesses: 20}
+}
+
+// renderRegistry runs the full paper registry under cfg and returns
+// the rendered table output.
+func renderRegistry(t *testing.T, cfg Config) (string, *Runner) {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Run(&buf, exp.Registry()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), r
+}
+
+func TestRunEntriesWorkerDeterminism(t *testing.T) {
+	out1, _ := renderRegistry(t, Config{Options: testOptions(), Workers: 1})
+	out8, _ := renderRegistry(t, Config{Options: testOptions(), Workers: 8})
+	if out1 != out8 {
+		t.Fatalf("workers=1 and workers=8 disagree:\n--- w1 ---\n%s\n--- w8 ---\n%s", out1, out8)
+	}
+	if !strings.Contains(out1, "== table1:") || !strings.Contains(out1, "== fig10:") {
+		t.Fatalf("registry output incomplete:\n%s", out1)
+	}
+}
+
+func TestColdWarmCacheDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	cold, rc := renderRegistry(t, Config{Options: testOptions(), Workers: 8, CacheDir: dir})
+	if s := rc.Context().Solves(); s.Shapes == 0 || s.QAP == 0 || s.Networks == 0 || s.Sims == 0 {
+		t.Fatalf("cold run did not solve: %+v", s)
+	}
+
+	warm, rw := renderRegistry(t, Config{Options: testOptions(), Workers: 8, CacheDir: dir})
+	if warm != cold {
+		t.Fatalf("warm run output differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+	if s := rw.Context().Solves(); s != (exp.SolveCounts{}) {
+		t.Fatalf("warm run re-solved: %+v", s)
+	}
+	st := rw.Store().Stats()
+	if st.Misses != 0 || st.Puts != 0 {
+		t.Fatalf("warm run missed the cache: %+v", st)
+	}
+	if !strings.Contains(rw.Summary(), dir) {
+		t.Fatalf("summary does not name the cache dir: %s", rw.Summary())
+	}
+}
+
+func TestRunEntriesJoinsAllErrors(t *testing.T) {
+	r, err := New(Config{Options: testOptions(), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := func(id string) exp.Entry {
+		return exp.Entry{ID: id, Title: id, Run: func(*exp.Context) (*exp.Table, error) {
+			return nil, os.ErrNotExist
+		}}
+	}
+	ok := exp.Entry{ID: "ok", Title: "ok", Run: func(*exp.Context) (*exp.Table, error) {
+		return &exp.Table{ID: "ok", Title: "ok"}, nil
+	}}
+	_, err = r.RunEntries([]exp.Entry{boom("first"), ok, boom("second")})
+	if err == nil {
+		t.Fatal("failing entries reported no error")
+	}
+	for _, want := range []string{"first", "second"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error misses %q: %v", want, err)
+		}
+	}
+}
+
+func TestFaultSweepDeterminism(t *testing.T) {
+	fc := FaultConfig{
+		N: 16, Bench: "syn_uniform", Cycles: 20_000, Flits: 1_000, Seed: 1,
+		Scales: []float64{0, 1, 2},
+	}
+	render := func(workers int) string {
+		r, err := New(Config{Options: testOptions(), Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.FaultSweep(fc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Render(&buf, false); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("fault sweep differs across worker counts:\n--- w1 ---\n%s\n--- w8 ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "scale 2.00:") {
+		t.Fatalf("sweep output incomplete:\n%s", seq)
+	}
+}
+
+func TestFaultSweepScheduleRoundtrip(t *testing.T) {
+	fc := FaultConfig{
+		N: 16, Bench: "syn_uniform", Cycles: 20_000, Flits: 1_000, Seed: 1,
+		Scales: []float64{2},
+	}
+	r, err := New(Config{Options: testOptions(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.FaultSweep(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "f.sched")
+	if err := res.SaveSchedule(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replaying the saved schedule reproduces the sweep point.
+	replay := fc
+	replay.Scales = nil
+	replay.SchedulePath = path
+	res2, err := r.FaultSweep(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Points) != 1 {
+		t.Fatalf("replay produced %d points, want 1", len(res2.Points))
+	}
+	a, b := res.Points[0].Recovery, res2.Points[0].Recovery
+	if a.Delivered != b.Delivered || a.Retries != b.Retries || a.RuntimeCycles != b.RuntimeCycles {
+		t.Fatalf("replayed schedule diverges: %+v vs %+v", a, b)
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	body := `{
+  "scale": "quick",
+  "seed": 7,
+  "workers": 3,
+  "cache_dir": "/tmp/x",
+  "fault": {"n": 32, "bench": "fft", "cycles": 1000, "flits": 10, "scales": [0, 1]}
+}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := cfg.ResolveOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.N != exp.Quick().N || opt.Seed != 7 {
+		t.Fatalf("resolved options = %+v", opt)
+	}
+	if cfg.ResolveWorkers() != 3 || cfg.Fault.N != 32 || cfg.Fault.Bench != "fft" {
+		t.Fatalf("config = %+v", cfg)
+	}
+
+	// Unknown fields fail loudly.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"scalee": "quick"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(bad); err == nil {
+		t.Fatal("unknown config field accepted")
+	}
+}
+
+func TestResolveOptions(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  Config
+		n    int
+		seed int64
+		ok   bool
+	}{
+		{Config{}, exp.Paper().N, 1, true},
+		{Config{Scale: "paper"}, exp.Paper().N, 1, true},
+		{Config{Scale: "quick", Seed: 9}, exp.Quick().N, 9, true},
+		{Config{Options: testOptions()}, 16, 1, true},
+		{Config{Scale: "huge"}, 0, 0, false},
+	} {
+		opt, err := tc.cfg.ResolveOptions()
+		if tc.ok != (err == nil) {
+			t.Errorf("%+v: err = %v", tc.cfg, err)
+			continue
+		}
+		if err == nil && (opt.N != tc.n || opt.Seed != tc.seed) {
+			t.Errorf("%+v resolved to %+v", tc.cfg, opt)
+		}
+	}
+}

@@ -14,7 +14,11 @@ func ExampleByName() {
 		return
 	}
 	fmt.Printf("%s: %.2f W base power (paper Table 4)\n", b.Name, b.PaperBaseWatts)
-	m := b.MustMatrix(64, 1)
+	m, err := b.Matrix(64, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
 	fmt.Printf("normalised traffic, total = %.0f\n", m.Total())
 	// Output:
 	// radix: 120.34 W base power (paper Table 4)
@@ -29,7 +33,11 @@ func ExampleSynthetic() {
 		fmt.Println(err)
 		return
 	}
-	m := b.MustMatrix(8, 1)
+	m, err := b.Matrix(8, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
 	// Tornado sends each node n/2−1 = 3 hops around the ring.
 	for d, v := range m.Counts[0] {
 		if v > 0 {

@@ -15,7 +15,7 @@ func TestSyntheticKernelsBasics(t *testing.T) {
 			t.Errorf("%s: identity wrong: %+v", name, b)
 		}
 		for _, n := range []int{16, 64} {
-			m := b.MustMatrix(n, 1)
+			m := mustMatrix(t, b, n, 1)
 			if math.Abs(m.Total()-1) > 1e-9 {
 				t.Errorf("%s n=%d: total %v", name, n, m.Total())
 			}
@@ -42,7 +42,7 @@ func TestSyntheticKernelsAreNotScatteredOrSkewed(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := 32
-	m := b.MustMatrix(n, 7)
+	m := mustMatrix(t, b, n, 7)
 	for s := 0; s < n; s++ {
 		for d := 0; d < n; d++ {
 			want := d == (s+1)%n || d == (s+n-1)%n
@@ -59,16 +59,16 @@ func TestSyntheticDistinctPatterns(t *testing.T) {
 	tor, _ := Synthetic("tornado")
 	hot, _ := Synthetic("hotspot")
 
-	if d := uni.MustMatrix(n, 1).AvgDistance(); d < 15 || d > 30 {
+	if d := mustMatrix(t, uni, n, 1).AvgDistance(); d < 15 || d > 30 {
 		t.Errorf("uniform avg distance %v out of expected band", d)
 	}
 	// Tornado sends everyone n/2−1 hops around the ring; in index
 	// distance that's bimodal but never zero.
-	if d := tor.MustMatrix(n, 1).AvgDistance(); d == 0 {
+	if d := mustMatrix(t, tor, n, 1).AvgDistance(); d == 0 {
 		t.Error("tornado has zero distance")
 	}
 	// Hotspot concentrates traffic on node 0's column.
-	m := hot.MustMatrix(n, 1)
+	m := mustMatrix(t, hot, n, 1)
 	col0 := 0.0
 	for s := 1; s < n; s++ {
 		col0 += m.Counts[s][0]
@@ -84,7 +84,7 @@ func TestSyntheticBitKernelsArePermutations(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m := b.MustMatrix(64, 1)
+		m := mustMatrix(t, b, 64, 1)
 		// Each source sends to exactly one destination.
 		for s := 0; s < 64; s++ {
 			nz := 0

@@ -131,16 +131,6 @@ func (b Benchmark) Matrix(n int, seed int64) (*trace.Matrix, error) {
 	return m.Normalized(), nil
 }
 
-// MustMatrix is Matrix for callers that treat failure as fatal (tests,
-// examples, one-shot tools); it panics on error.
-func (b Benchmark) MustMatrix(n int, seed int64) *trace.Matrix {
-	m, err := b.Matrix(n, seed)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
 // nameHash is a small FNV-1a so each benchmark scatters differently for
 // the same caller seed.
 func nameHash(s string) uint32 {

@@ -4,7 +4,19 @@ import (
 	"math"
 	"reflect"
 	"testing"
+
+	"mnoc/internal/trace"
 )
+
+// mustMatrix builds the benchmark's matrix, failing the test on error.
+func mustMatrix(t *testing.T, b Benchmark, n int, seed int64) *trace.Matrix {
+	t.Helper()
+	m, err := b.Matrix(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
 
 func TestAllHasTwelveBenchmarksInTable4Order(t *testing.T) {
 	want := []string{"barnes", "radix", "ocean_c", "ocean_nc", "raytrace", "fft",
@@ -42,7 +54,7 @@ func TestByName(t *testing.T) {
 func TestMatrixPropertiesAllBenchmarks(t *testing.T) {
 	for _, b := range All() {
 		for _, n := range []int{16, 64, 256} {
-			m := b.MustMatrix(n, 1)
+			m := mustMatrix(t, b, n, 1)
 			if m.N != n {
 				t.Fatalf("%s: matrix size %d, want %d", b.Name, m.N, n)
 			}
@@ -72,8 +84,8 @@ func TestMatrixPropertiesAllBenchmarks(t *testing.T) {
 
 func TestMatrixDeterministic(t *testing.T) {
 	for _, b := range All() {
-		a := b.MustMatrix(64, 42)
-		c := b.MustMatrix(64, 42)
+		a := mustMatrix(t, b, 64, 42)
+		c := mustMatrix(t, b, 64, 42)
 		if !reflect.DeepEqual(a.Counts, c.Counts) {
 			t.Errorf("%s: Matrix not deterministic for same seed", b.Name)
 		}
@@ -85,7 +97,7 @@ func TestCommunicationShapesDiffer(t *testing.T) {
 	// collapse to the same matrix.
 	ms := map[string]float64{}
 	for _, b := range All() {
-		ms[b.Name] = b.MustMatrix(256, 1).AvgDistance()
+		ms[b.Name] = mustMatrix(t, b, 256, 1).AvgDistance()
 	}
 	if ms["ocean_c"] >= ms["radix"] {
 		t.Errorf("contiguous ocean (%.1f) should be more local than radix all-to-all (%.1f)",
@@ -104,7 +116,7 @@ func TestAverageCommDistanceNearPaperObservation(t *testing.T) {
 	// random ≈ 85.3·(256/255)… bounded sanity band 40..120).
 	sum := 0.0
 	for _, b := range All() {
-		sum += b.MustMatrix(256, 1).AvgDistance()
+		sum += mustMatrix(t, b, 256, 1).AvgDistance()
 	}
 	avg := sum / 12
 	if avg < 40 || avg > 120 {
@@ -121,7 +133,7 @@ func TestNonUniformCommunication(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m := b.MustMatrix(256, 1)
+		m := mustMatrix(t, b, 256, 1)
 		var vals []float64
 		for s := range m.Counts {
 			for d, v := range m.Counts[s] {
@@ -171,7 +183,7 @@ func TestTraceGeneration(t *testing.T) {
 		}
 	}
 	// The empirical matrix must correlate with the target shape.
-	target := b.MustMatrix(64, 7)
+	target := mustMatrix(t, b, 64, 7)
 	got := tr.Matrix().Normalized()
 	if corr := matrixCorrelation(target.Counts, got.Counts); corr < 0.9 {
 		t.Errorf("trace/shape correlation = %.3f, want >= 0.9", corr)
