@@ -3,7 +3,8 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz golden golden-check
+.PHONY: check vet build test race fuzz golden golden-check \
+	metrics-golden metrics-check
 
 # The tier-1 gate: everything below must pass before merging.
 check: vet build test race
@@ -18,12 +19,12 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages with concurrency or shared
-# state: the fault/recovery layer plus the runner's parallel scheduler
-# and artifact cache.
+# state: the fault/recovery layer plus the runner's parallel scheduler,
+# artifact cache and telemetry registry.
 race:
 	$(GO) test -race ./internal/fault/... ./internal/noc/... \
 		./internal/sim/... ./internal/dynamic/... ./internal/stats/... \
-		./internal/runner/...
+		./internal/runner/... ./internal/telemetry/...
 
 # Regenerate the golden quick-scale benchmark tables. Run after an
 # intentional change to experiment output and commit the diff.
@@ -37,7 +38,28 @@ golden-check:
 	$(GO) run ./cmd/mnoc bench -scale quick > /tmp/bench_quick.txt
 	diff -u testdata/golden/bench_quick.txt /tmp/bench_quick.txt
 
-# Short seeded fuzz passes over the two text-format parsers.
+# Regenerate the golden metric-name list from a quick-scale run. Run
+# after intentionally adding, renaming or removing a metric and commit
+# the diff (docs/TELEMETRY.md documents every name).
+metrics-golden:
+	$(GO) run ./cmd/mnoc bench -scale quick \
+		-metrics-out /tmp/mnoc_metrics.json > /dev/null
+	$(GO) run ./cmd/metricnames /tmp/mnoc_metrics.json \
+		> testdata/golden/metrics_names.txt
+
+# Diff the metric names a quick-scale run registers against the
+# checked-in list: a rename or a silently-dropped instrument fails CI
+# instead of breaking downstream dashboards.
+metrics-check:
+	$(GO) run ./cmd/mnoc bench -scale quick \
+		-metrics-out /tmp/mnoc_metrics.json > /dev/null
+	$(GO) run ./cmd/metricnames /tmp/mnoc_metrics.json \
+		> /tmp/mnoc_metrics_names.txt
+	diff -u testdata/golden/metrics_names.txt /tmp/mnoc_metrics_names.txt
+
+# Short seeded fuzz passes over the text-format parsers and the
+# telemetry exporters.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/fault
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=10s ./internal/drivetable
+	$(GO) test -run=^$$ -fuzz=FuzzExporters -fuzztime=10s ./internal/telemetry

@@ -1,0 +1,36 @@
+// Command metricnames prints the sorted metric names found in a
+// telemetry report file (as written by `mnoc ... -metrics-out`), one
+// per line. CI diffs this against testdata/golden/metrics_names.txt so
+// a renamed or dropped metric fails loudly instead of silently
+// breaking downstream dashboards.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mnoc/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricnames <metrics-report.json>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricnames:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	var rep telemetry.Report
+	dec := json.NewDecoder(f)
+	if err := dec.Decode(&rep); err != nil {
+		fmt.Fprintf(os.Stderr, "metricnames: parsing %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	for _, name := range rep.Metrics.Names() {
+		fmt.Println(name)
+	}
+}

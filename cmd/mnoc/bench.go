@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"mnoc/internal/exp"
 	"mnoc/internal/runner"
@@ -28,6 +29,7 @@ func benchCmd(args []string) {
 		cacheDir   = fs.String("cache-dir", "", "persistent artifact cache directory (warm runs skip every solve)")
 		configPath = fs.String("config", "", "JSON runner config file; explicitly-set flags override it")
 	)
+	tf := addTelemetryFlags(fs)
 	fs.Parse(args)
 
 	cfg, err := loadBase(*configPath)
@@ -51,6 +53,12 @@ func benchCmd(args []string) {
 			cfg.CSVDir = *csvDir
 		case "cache-dir":
 			cfg.CacheDir = *cacheDir
+		case "metrics-out":
+			cfg.MetricsOut = *tf.metricsOut
+		case "trace-out":
+			cfg.TraceOut = *tf.traceOut
+		case "pprof":
+			cfg.PprofAddr = *tf.pprofAddr
 		}
 	})
 
@@ -58,10 +66,12 @@ func benchCmd(args []string) {
 	if err != nil {
 		fail("bench", err)
 	}
+	startPprof("bench", cfg.PprofAddr)
 	entries, err := pickEntries(*which)
 	if err != nil {
 		fail("bench", err)
 	}
+	begin := time.Now()
 	if err := r.Precompute(); err != nil {
 		fail("bench", err)
 	}
@@ -73,6 +83,18 @@ func benchCmd(args []string) {
 		fail("bench", err)
 	}
 	fmt.Fprintln(os.Stderr, "mnoc bench:", r.Summary())
+	meta := map[string]any{
+		"subcommand":  "bench",
+		"scale":       scaleName(cfg),
+		"radix":       r.Options().N,
+		"seed":        r.Options().Seed,
+		"experiments": len(entries),
+		"workers":     r.Workers(),
+		"wall_ms":     time.Since(begin).Milliseconds(),
+	}
+	if err := writeTelemetry(r.Telemetry(), r.Tracer(), cfg.MetricsOut, cfg.TraceOut, meta); err != nil {
+		fail("bench", err)
+	}
 }
 
 // loadBase returns the config file's settings, or the zero Config

@@ -6,8 +6,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"mnoc/internal/runner"
+	"mnoc/internal/telemetry"
 )
 
 // faultCmd sweeps device-fault intensity over a workload and reports
@@ -34,6 +36,7 @@ func faultCmd(args []string) {
 		cacheDir   = fs.String("cache-dir", "", "persistent artifact cache directory (reuses traces across runs)")
 		configPath = fs.String("config", "", "JSON runner config file; explicitly-set flags override its fault section")
 	)
+	tf := addTelemetryFlags(fs)
 	fs.Parse(args)
 
 	base, err := loadBase(*configPath)
@@ -62,6 +65,7 @@ func faultCmd(args []string) {
 		fc.Scales = def.Scales
 	}
 	cfgWorkers, cfgCache := base.ResolveWorkers(), base.CacheDir
+	metricsOut, traceOut, pprofAddr := base.MetricsOut, base.TraceOut, base.PprofAddr
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "n":
@@ -90,6 +94,12 @@ func faultCmd(args []string) {
 			cfgWorkers = *workers
 		case "cache-dir":
 			cfgCache = *cacheDir
+		case "metrics-out":
+			metricsOut = *tf.metricsOut
+		case "trace-out":
+			traceOut = *tf.traceOut
+		case "pprof":
+			pprofAddr = *tf.pprofAddr
 		}
 	})
 	if cfgWorkers < 1 {
@@ -100,7 +110,11 @@ func faultCmd(args []string) {
 	if err != nil {
 		fail("fault", err)
 	}
-	res, err := runner.FaultSweep(store, cfgWorkers, fc)
+	startPprof("fault", pprofAddr)
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(telemetry.DefaultTraceCapacity)
+	begin := time.Now()
+	res, err := runner.FaultSweep(store, cfgWorkers, fc, reg, tracer)
 	if err != nil {
 		fail("fault", err)
 	}
@@ -117,6 +131,19 @@ func faultCmd(args []string) {
 			fail("fault", err)
 		}
 		fmt.Printf("\nwrote fault schedule to %s\n", fc.SaveSchedulePath)
+	}
+
+	meta := map[string]any{
+		"subcommand": "fault",
+		"n":          fc.N,
+		"bench":      res.Bench,
+		"seed":       fc.Seed,
+		"points":     len(res.Points),
+		"workers":    cfgWorkers,
+		"wall_ms":    time.Since(begin).Milliseconds(),
+	}
+	if err := writeTelemetry(reg, tracer, metricsOut, traceOut, meta); err != nil {
+		fail("fault", err)
 	}
 }
 

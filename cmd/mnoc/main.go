@@ -7,12 +7,20 @@
 //
 //	mnoc bench [-exp all|ext|everything|<id>] [-scale paper|quick] [-seed N]
 //	           [-json] [-csv dir] [-workers N] [-cache-dir dir] [-config f.json]
+//	           [-metrics-out m.json] [-trace-out t.json] [-pprof addr]
 //	mnoc power -i trace.trc | -matrix m.csv [-kind comm4|...] [-qap] [-cache-dir dir]
 //	mnoc topo  [-n 64] [-bench water_s] [-kind comm2|...] [-qap] [-export f] [-cache-dir dir]
 //	mnoc trace gen|info [flags]
 //	mnoc sim   [-bench fft] [-n 64] [-net mnoc|rnoc|cmnoc] [-accesses N]
+//	           [-metrics-out m.json] [-trace-out t.json] [-pprof addr]
 //	mnoc fault [-n 16] [-bench syn_uniform] [-scales 0,0.5,1,2,4] [-workers N]
 //	           [-cache-dir dir] [-config f.json]
+//	           [-metrics-out m.json] [-trace-out t.json] [-pprof addr]
+//
+// The observability trio (docs/TELEMETRY.md): -metrics-out writes the
+// end-of-run counters/gauges/histograms as JSON, -trace-out writes the
+// recorded spans (.jsonl = JSON Lines, otherwise Chrome trace JSON for
+// chrome://tracing), -pprof serves net/http/pprof while running.
 //
 // Run `mnoc <subcommand> -h` for the full flag set of each.
 package main

@@ -4,9 +4,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mnoc/internal/noc"
 	"mnoc/internal/sim"
+	"mnoc/internal/telemetry"
 	"mnoc/internal/workload"
 )
 
@@ -23,7 +25,9 @@ func simCmd(args []string) {
 		traceOut = fs.String("trace", "", "write the generated packet trace to this file")
 		seed     = fs.Int64("seed", 1, "random seed")
 	)
+	tf := addTelemetryFlags(fs)
 	fs.Parse(args)
+	startPprof("sim", *tf.pprofAddr)
 
 	var net noc.Network
 	var err error
@@ -54,6 +58,10 @@ func simCmd(args []string) {
 	if err != nil {
 		fail("sim", err)
 	}
+	reg := telemetry.NewRegistry()
+	spanTracer := telemetry.NewTracer(telemetry.DefaultTraceCapacity)
+	machine.SetTelemetry(reg, spanTracer)
+	begin := time.Now()
 	res, err := machine.Run(streams)
 	if err != nil {
 		fail("sim", err)
@@ -81,5 +89,18 @@ func simCmd(args []string) {
 			fail("sim", err)
 		}
 		fmt.Printf("trace written:  %s\n", *traceOut)
+	}
+
+	meta := map[string]any{
+		"subcommand": "sim",
+		"bench":      b.Name,
+		"n":          *n,
+		"net":        *netKind,
+		"accesses":   *accesses,
+		"seed":       *seed,
+		"wall_ms":    time.Since(begin).Milliseconds(),
+	}
+	if err := writeTelemetry(reg, spanTracer, *tf.metricsOut, *tf.traceOut, meta); err != nil {
+		fail("sim", err)
 	}
 }

@@ -216,7 +216,7 @@ func LoadSweep(c *Context) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			st, err := noc.Replay(net, tr)
+			st, err := noc.ReplayObserved(net, tr, c.reg)
 			if err != nil {
 				return nil, err
 			}

@@ -15,10 +15,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mnoc/internal/mapping"
 	"mnoc/internal/power"
 	"mnoc/internal/runner/artifact"
+	"mnoc/internal/telemetry"
 	"mnoc/internal/trace"
 	"mnoc/internal/workload"
 )
@@ -177,6 +179,11 @@ type Context struct {
 	base    *power.MNoC
 	benches []workload.Benchmark
 
+	// reg/tracer are the optional telemetry sinks (Instrument); nil-safe
+	// handles make every metric call a no-op when unset.
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+
 	solveShapes, solveQAP, solveNetworks, solveSims atomic.Uint64
 }
 
@@ -225,6 +232,29 @@ func NewContextWithStore(opt Options, store artifact.Store) (*Context, error) {
 
 // Store exposes the context's artifact store (for cache statistics).
 func (c *Context) Store() artifact.Store { return c.store }
+
+// Instrument attaches telemetry sinks: solve counters (solve.count and
+// per-kind solve.*), artifact decode timings and spans around the
+// expensive builds flow into reg/tracer. Call before any concurrent
+// use of the context (the runner does this at construction). Either
+// argument may be nil.
+func (c *Context) Instrument(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	c.reg = reg
+	c.tracer = tracer
+	c.base.Instrument(reg)
+}
+
+// Telemetry returns the context's metric registry (nil when
+// uninstrumented).
+func (c *Context) Telemetry() *telemetry.Registry { return c.reg }
+
+// noteSolve mirrors one expensive build into the registry: the total
+// solve.count plus the per-kind counter the warm-cache regression
+// asserts on.
+func (c *Context) noteSolve(kind string) {
+	c.reg.Counter("solve.count").Inc()
+	c.reg.Counter("solve." + kind).Inc()
+}
 
 // Solves returns the context's solve counters.
 func (c *Context) Solves() SolveCounts {
@@ -277,7 +307,11 @@ func (c *Context) artifactValue(key artifact.Key,
 			return nil, err
 		}
 		if ok {
-			return decode(blob)
+			begin := time.Now()
+			v, err := decode(blob)
+			c.reg.Histogram("artifact.decode_ms", artifact.GetMSBuckets...).
+				Observe(float64(time.Since(begin)) / float64(time.Millisecond))
+			return v, err
 		}
 		v, blob, err := build()
 		if err != nil {
@@ -312,6 +346,8 @@ func (c *Context) Shape(name string) (*trace.Matrix, error) {
 		func(blob []byte) (any, error) { return artifact.DecodeMatrix(blob) },
 		func() (any, []byte, error) {
 			c.solveShapes.Add(1)
+			c.noteSolve("shapes")
+			defer c.tracer.StartSpan("exp", "solve.shape").Attr("bench", name).End()
 			b, err := workload.ByName(name)
 			if err != nil {
 				return nil, nil, err
@@ -348,6 +384,8 @@ func (c *Context) QAPMapping(name string) (mapping.Assignment, error) {
 				return nil, nil, err
 			}
 			c.solveQAP.Add(1)
+			c.noteSolve("qap")
+			defer c.tracer.StartSpan("exp", "solve.qap").Attr("bench", name).End()
 			a := prob.Taboo(prob.CenterGreedy(), mapping.TabooOptions{
 				Seed: c.Opt.Seed, Iterations: c.Opt.QAPIters,
 			})
@@ -418,9 +456,18 @@ func (c *Context) SampledMatrix(names []string) (*trace.Matrix, error) {
 func (c *Context) network(key string, build func() (*power.MNoC, error)) (*power.MNoC, error) {
 	akey := c.key(artifact.KindNetwork, artifact.VersionNetwork).Str("design", key).Sum()
 	v, err := c.artifactValue(akey,
-		func(blob []byte) (any, error) { return artifact.DecodeNetwork(c.Cfg, blob) },
+		func(blob []byte) (any, error) {
+			n, err := artifact.DecodeNetwork(c.Cfg, blob)
+			if err != nil {
+				return nil, err
+			}
+			n.Instrument(c.reg)
+			return n, nil
+		},
 		func() (any, []byte, error) {
 			c.solveNetworks.Add(1)
+			c.noteSolve("networks")
+			defer c.tracer.StartSpan("exp", "solve.network").Attr("design", key).End()
 			n, err := build()
 			if err != nil {
 				return nil, nil, err
@@ -429,6 +476,7 @@ func (c *Context) network(key string, build func() (*power.MNoC, error)) (*power
 			if err != nil {
 				return nil, nil, err
 			}
+			n.Instrument(c.reg)
 			return n, blob, nil
 		})
 	if err != nil {

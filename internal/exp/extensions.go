@@ -243,6 +243,7 @@ func BroadcastInv(c *Context) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			m.SetTelemetry(c.reg, c.tracer)
 			return m.Run(streams)
 		}
 		uni, err := run(false)
@@ -337,11 +338,11 @@ func MWSRCompare(c *Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	swStats, err := noc.Replay(sw, tr)
+	swStats, err := noc.ReplayObserved(sw, tr, c.reg)
 	if err != nil {
 		return nil, err
 	}
-	mwStats, err := noc.Replay(mw, tr)
+	mwStats, err := noc.ReplayObserved(mw, tr, c.reg)
 	if err != nil {
 		return nil, err
 	}
@@ -482,6 +483,7 @@ func ProtocolAblation(c *Context) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			m.SetTelemetry(c.reg, c.tracer)
 			return m.Run(streams)
 		}
 		mosi, err := run(coherence.MOSI)

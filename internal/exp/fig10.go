@@ -44,6 +44,8 @@ func (c *Context) Performance(bench string) (mnocCycles, rnocCycles uint64, err 
 		},
 		func() (any, []byte, error) {
 			c.solveSims.Add(1)
+			c.noteSolve("sims")
+			defer c.tracer.StartSpan("exp", "solve.sim").Attr("bench", bench).End()
 			b, err := workload.ByName(bench)
 			if err != nil {
 				return nil, nil, err
@@ -58,6 +60,7 @@ func (c *Context) Performance(bench string) (mnocCycles, rnocCycles uint64, err 
 				if err != nil {
 					return 0, err
 				}
+				m.SetTelemetry(c.reg, c.tracer)
 				res, err := m.Run(streams)
 				if err != nil {
 					return 0, err

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"mnoc/internal/phys"
+	"mnoc/internal/telemetry"
 	"mnoc/internal/trace"
 	"mnoc/internal/waveguide"
 )
@@ -329,14 +330,29 @@ type ReplayStats struct {
 	NetworkName string
 }
 
+// ReplayLatencyBuckets are the bucket bounds (cycles) of the
+// noc.replay.latency_cycles histogram recorded by ReplayObserved.
+var ReplayLatencyBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+
 // Replay runs every packet of the trace through the network (packets
 // must be cycle-sorted, as produced by the generators) and reports
 // latency statistics. The network's contention state is reset first.
 func Replay(net Network, tr *trace.Trace) (ReplayStats, error) {
+	return ReplayObserved(net, tr, nil)
+}
+
+// ReplayObserved is Replay with per-packet telemetry: each packet's
+// tail latency lands in the noc.replay.latency_cycles histogram, and
+// the noc.replay.packets/flits counters accumulate across replays.
+// A nil registry degrades to plain Replay.
+func ReplayObserved(net Network, tr *trace.Trace, reg *telemetry.Registry) (ReplayStats, error) {
 	if tr.N != net.N() {
 		return ReplayStats{}, fmt.Errorf("noc: trace for %d nodes, network for %d", tr.N, net.N())
 	}
 	net.Reset()
+	latHist := reg.Histogram("noc.replay.latency_cycles", ReplayLatencyBuckets...)
+	packetsC := reg.Counter("noc.replay.packets")
+	flitsC := reg.Counter("noc.replay.flits")
 	st := ReplayStats{TraceCycles: tr.Cycles, NetworkName: net.Name()}
 	var latSum float64
 	lats := make([]uint64, 0, len(tr.Packets))
@@ -348,6 +364,9 @@ func Replay(net Network, tr *trace.Trace) (ReplayStats, error) {
 		lat := arr - p.Cycle
 		latSum += float64(lat)
 		lats = append(lats, lat)
+		latHist.Observe(float64(lat))
+		packetsC.Inc()
+		flitsC.Add(uint64(p.Flits))
 		if lat > st.MaxLatency {
 			st.MaxLatency = lat
 		}

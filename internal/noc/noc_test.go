@@ -3,6 +3,7 @@ package noc
 import (
 	"testing"
 
+	"mnoc/internal/telemetry"
 	"mnoc/internal/trace"
 	"mnoc/internal/workload"
 )
@@ -360,5 +361,38 @@ func TestReplayPercentiles(t *testing.T) {
 	}
 	if st.MaxLatency <= st.P50Latency {
 		t.Errorf("far packet not visible in max: %d vs %d", st.MaxLatency, st.P50Latency)
+	}
+}
+
+func TestReplayObservedRecordsMetrics(t *testing.T) {
+	m, err := NewMNoC(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{N: 16, Cycles: 1000, Packets: []trace.Packet{
+		{Cycle: 0, Src: 0, Dst: 1, Flits: 1},
+		{Cycle: 5, Src: 2, Dst: 3, Flits: 2},
+	}}
+	reg := telemetry.NewRegistry()
+	st, err := ReplayObserved(m, tr, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Replay(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != plain {
+		t.Fatalf("observed replay diverges: %+v vs %+v", st, plain)
+	}
+	if got := reg.Counter("noc.replay.packets").Value(); got != 2 {
+		t.Errorf("noc.replay.packets = %d, want 2", got)
+	}
+	if got := reg.Counter("noc.replay.flits").Value(); got != 3 {
+		t.Errorf("noc.replay.flits = %d, want 3", got)
+	}
+	snap := reg.Snapshot()
+	if h := snap.Histograms["noc.replay.latency_cycles"]; h.Count != 2 || h.Sum <= 0 {
+		t.Errorf("latency histogram = %+v", h)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"mnoc/internal/device"
 	"mnoc/internal/phys"
 	"mnoc/internal/splitter"
+	"mnoc/internal/telemetry"
 	"mnoc/internal/topo"
 	"mnoc/internal/trace"
 )
@@ -167,7 +168,19 @@ type MNoC struct {
 	// weighting is the design-time mode weighting, kept so the design
 	// can be re-solved (Resolve) after endpoint failures.
 	weighting Weighting
+	// tel is the optional metric sink (Instrument): Evaluate then
+	// reports total and per-mode power draw.
+	tel *telemetry.Registry
 }
+
+// Instrument attaches a metric registry: every Evaluate observes the
+// power.watts histogram, bumps power.evaluations, and records the
+// per-mode source draw in the power.mode<k>.source_uw histograms. A
+// nil registry detaches. Not safe to call concurrently with Evaluate.
+func (m *MNoC) Instrument(reg *telemetry.Registry) { m.tel = reg }
+
+// PowerWattsBuckets are the bucket bounds (watts) of power.watts.
+var PowerWattsBuckets = []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32, 64}
 
 // NewMNoC designs the splitters for every source of the topology under
 // the given design-time weighting.
@@ -306,6 +319,10 @@ func (m *MNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
 	}
 	oePerReceiver := m.Cfg.PD.OEPowerUW()
 	var srcSum, oeSum, flits float64
+	var modeSrc []float64
+	if m.tel != nil {
+		modeSrc = make([]float64, m.Topology.Modes)
+	}
 	for s, row := range mtx.Counts {
 		des := m.Designs[s]
 		reach := m.modeReach[s]
@@ -314,18 +331,31 @@ func (m *MNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
 				continue
 			}
 			mode := m.Topology.ModeOf[s][d]
-			srcSum += v * m.Cfg.QDLED.ElectricalPower(des.ModePowerUW[mode])
+			src := v * m.Cfg.QDLED.ElectricalPower(des.ModePowerUW[mode])
+			srcSum += src
+			if modeSrc != nil {
+				modeSrc[mode] += src
+			}
 			oeSum += v * float64(reach[mode]) * oePerReceiver
 			flits += v
 		}
 	}
 	// Electrical buffering at the two endpoints of every flit.
 	elecPJ := flits * 2 * m.Cfg.Elec.BufferPJPerFlit
-	return Breakdown{
+	b := Breakdown{
 		SourceUW:     srcSum / cycles,
 		OEUW:         oeSum / cycles,
 		ElectricalUW: pjOverCyclesToUW(elecPJ, cycles),
-	}, nil
+	}
+	if m.tel != nil {
+		m.tel.Counter("power.evaluations").Inc()
+		m.tel.Histogram("power.watts", PowerWattsBuckets...).Observe(b.TotalWatts())
+		for mode, uw := range modeSrc {
+			m.tel.Histogram(fmt.Sprintf("power.mode%d.source_uw", mode)).
+				Observe(uw / cycles)
+		}
+	}
+	return b, nil
 }
 
 // pjOverCyclesToUW converts a total energy in pJ spent during a window

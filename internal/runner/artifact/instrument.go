@@ -1,0 +1,82 @@
+package artifact
+
+import (
+	"time"
+
+	"mnoc/internal/telemetry"
+)
+
+// Telemetry metric names emitted by an instrumented store; the decode
+// timings that pair with them live under exp (see docs/TELEMETRY.md).
+const (
+	MetricHit   = "artifact.hit"
+	MetricMiss  = "artifact.miss"
+	MetricPut   = "artifact.put"
+	MetricGetMS = "artifact.get_ms"
+)
+
+// GetMSBuckets are the bucket bounds (milliseconds) of MetricGetMS:
+// memory hits land well under 0.01, disk reads in the 0.1–10 range.
+var GetMSBuckets = []float64{0.01, 0.1, 1, 10, 100, 1000}
+
+// instrumented mirrors a Store's traffic into a telemetry registry. It
+// delegates everything else, so Stats stays the inner store's view.
+type instrumented struct {
+	inner          Store
+	hit, miss, put *telemetry.Counter
+	getMS          *telemetry.Histogram
+}
+
+// Instrument wraps store so every Get/Put also updates the registry's
+// artifact.* metrics. With a nil registry the store is returned as-is.
+func Instrument(store Store, reg *telemetry.Registry) Store {
+	if reg == nil {
+		return store
+	}
+	return &instrumented{
+		inner: store,
+		hit:   reg.Counter(MetricHit),
+		miss:  reg.Counter(MetricMiss),
+		put:   reg.Counter(MetricPut),
+		getMS: reg.Histogram(MetricGetMS, GetMSBuckets...),
+	}
+}
+
+// Unwrap returns the store behind any instrumentation layers (e.g. for
+// a *Disk type assertion to report the cache directory).
+func Unwrap(store Store) Store {
+	for {
+		i, ok := store.(*instrumented)
+		if !ok {
+			return store
+		}
+		store = i.inner
+	}
+}
+
+// Get implements Store.
+func (s *instrumented) Get(key Key) ([]byte, bool, error) {
+	begin := time.Now()
+	blob, ok, err := s.inner.Get(key)
+	s.getMS.Observe(float64(time.Since(begin)) / float64(time.Millisecond))
+	if err == nil {
+		if ok {
+			s.hit.Inc()
+		} else {
+			s.miss.Inc()
+		}
+	}
+	return blob, ok, err
+}
+
+// Put implements Store.
+func (s *instrumented) Put(key Key, blob []byte) error {
+	err := s.inner.Put(key, blob)
+	if err == nil {
+		s.put.Inc()
+	}
+	return err
+}
+
+// Stats implements Store by delegating to the wrapped store.
+func (s *instrumented) Stats() Stats { return s.inner.Stats() }

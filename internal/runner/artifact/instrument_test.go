@@ -1,0 +1,52 @@
+package artifact
+
+import (
+	"testing"
+
+	"mnoc/internal/telemetry"
+)
+
+func TestInstrumentCountsStoreTraffic(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := Instrument(NewMemory(), reg)
+
+	key := NewKey("test", 1).Str("x", "y").Sum()
+	if _, ok, err := s.Get(key); ok || err != nil {
+		t.Fatalf("empty store Get = ok=%v err=%v", ok, err)
+	}
+	if err := s.Put(key, []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key); !ok || err != nil {
+		t.Fatalf("Get after Put = ok=%v err=%v", ok, err)
+	}
+
+	for name, want := range map[string]uint64{
+		MetricHit:  1,
+		MetricMiss: 1,
+		MetricPut:  1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	snap := reg.Snapshot()
+	if h := snap.Histograms[MetricGetMS]; h.Count != 2 {
+		t.Errorf("%s observed %d gets, want 2", MetricGetMS, h.Count)
+	}
+	// The wrapper stays a faithful Store: its own counters still work,
+	// and Unwrap recovers the underlying implementation.
+	if st := s.Stats(); st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("wrapped Stats = %+v", st)
+	}
+	if _, ok := Unwrap(s).(*Memory); !ok {
+		t.Errorf("Unwrap(%T) did not recover *Memory", s)
+	}
+}
+
+func TestInstrumentNilRegistryIsIdentity(t *testing.T) {
+	base := NewMemory()
+	if got := Instrument(base, nil); got != Store(base) {
+		t.Fatalf("Instrument(store, nil) = %T, want the store itself", got)
+	}
+}

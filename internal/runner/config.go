@@ -38,6 +38,16 @@ type Config struct {
 	// CSVDir, when non-empty, additionally writes each table as
 	// <dir>/<id>.csv.
 	CSVDir string `json:"csv_dir,omitempty"`
+	// MetricsOut, when non-empty, writes the end-of-run metrics report
+	// (run metadata + full registry snapshot, JSON) to this file.
+	MetricsOut string `json:"metrics_out,omitempty"`
+	// TraceOut, when non-empty, writes the recorded spans to this file:
+	// JSON Lines when it ends in .jsonl, Chrome trace-event JSON
+	// (loadable in chrome://tracing) otherwise.
+	TraceOut string `json:"trace_out,omitempty"`
+	// PprofAddr, when non-empty, serves net/http/pprof on this address
+	// for the duration of the run (e.g. "localhost:6060").
+	PprofAddr string `json:"pprof,omitempty"`
 	// Fault configures the fault/degradation sweep.
 	Fault FaultConfig `json:"fault,omitempty"`
 }

@@ -13,6 +13,7 @@ import (
 	"mnoc/internal/power"
 	"mnoc/internal/runner/artifact"
 	"mnoc/internal/stats"
+	"mnoc/internal/telemetry"
 	"mnoc/internal/topo"
 	"mnoc/internal/workload"
 )
@@ -35,10 +36,10 @@ type FaultSweepResult struct {
 	Points  []FaultPoint
 }
 
-// FaultSweep runs the degradation sweep on the runner's store and
-// worker pool.
+// FaultSweep runs the degradation sweep on the runner's store, worker
+// pool and telemetry sinks.
 func (r *Runner) FaultSweep(fc FaultConfig) (*FaultSweepResult, error) {
-	return FaultSweep(r.store, r.workers, fc)
+	return FaultSweep(r.store, r.workers, fc, r.tel, r.tracer)
 }
 
 // FaultSweep runs the degradation sweep: for each fault-rate
@@ -46,8 +47,12 @@ func (r *Runner) FaultSweep(fc FaultConfig) (*FaultSweepResult, error) {
 // fault-oblivious and the recovery policies, isolating the recovery
 // ladder. Points run concurrently on up to `workers` goroutines;
 // results come back in scale order, so output is deterministic for a
-// fixed config.
-func FaultSweep(store artifact.Store, workers int, fc FaultConfig) (*FaultSweepResult, error) {
+// fixed config. reg/tracer may be nil; with a registry each point
+// counts into fault.points (failures into fault.point_errors) and
+// records a span. A failing point's error names the point — index,
+// benchmark, scale, policy — so a joined multi-point failure stays
+// attributable.
+func FaultSweep(store artifact.Store, workers int, fc FaultConfig, reg *telemetry.Registry, tracer *telemetry.Tracer) (*FaultSweepResult, error) {
 	if err := fc.Validate(); err != nil {
 		return nil, err
 	}
@@ -108,6 +113,8 @@ func FaultSweep(store artifact.Store, workers int, fc FaultConfig) (*FaultSweepR
 	}
 	errs := make([]error, len(schedules))
 	sem := make(chan struct{}, workers)
+	pointsC := reg.Counter("fault.points")
+	pointErrsC := reg.Counter("fault.point_errors")
 	var wg sync.WaitGroup
 	for i, sched := range schedules {
 		wg.Add(1)
@@ -115,14 +122,27 @@ func FaultSweep(store artifact.Store, workers int, fc FaultConfig) (*FaultSweepR
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// wrap keeps the point attributable once errors.Join merges
+			// the sweep: which point, which workload, which policy.
+			wrap := func(policy string, err error) error {
+				return fmt.Errorf("fault point %d/%d (bench %s, scale %g, %s): %w",
+					i+1, len(schedules), b.Name, scales[i], policy, err)
+			}
+			sp := tracer.StartSpan("fault", "point").
+				Attr("bench", b.Name).
+				Attr("scale", fmt.Sprintf("%g", scales[i]))
+			defer sp.End()
+			pointsC.Inc()
 			base, err := dynamic.RunWithFaults(net, tr, initial, sched, dynamic.ObliviousPolicy())
 			if err != nil {
-				errs[i] = fmt.Errorf("scale %g (oblivious): %w", scales[i], err)
+				pointErrsC.Inc()
+				errs[i] = wrap("oblivious", err)
 				return
 			}
 			rec, err := dynamic.RunWithFaults(net, tr, initial, sched, dynamic.DefaultRecoveryPolicy())
 			if err != nil {
-				errs[i] = fmt.Errorf("scale %g (recovery): %w", scales[i], err)
+				pointErrsC.Inc()
+				errs[i] = wrap("recovery", err)
 				return
 			}
 			res.Points[i] = FaultPoint{Scale: scales[i], Schedule: sched, Baseline: base, Recovery: rec}

@@ -7,10 +7,14 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"mnoc/internal/exp"
 	"mnoc/internal/mapping"
+	"mnoc/internal/noc"
+	"mnoc/internal/power"
 	"mnoc/internal/runner/artifact"
+	"mnoc/internal/telemetry"
 	"mnoc/internal/trace"
 	"mnoc/internal/workload"
 )
@@ -26,26 +30,71 @@ type Runner struct {
 	workers int
 	store   artifact.Store
 	ctx     *exp.Context
+	tel     *telemetry.Registry
+	tracer  *telemetry.Tracer
 }
 
 // New builds a runner from a resolved Config. With CacheDir set the
 // store persists across processes (warm runs skip every solve);
-// otherwise it is the per-process in-memory store.
+// otherwise it is the per-process in-memory store. Every runner owns a
+// telemetry registry and span tracer: the store, experiment context,
+// simulations and worker pool all report into them, and Summary /
+// WriteMetricsReport read them back.
 func New(cfg Config) (*Runner, error) {
 	opt, err := cfg.ResolveOptions()
 	if err != nil {
 		return nil, err
 	}
+	tel := telemetry.NewRegistry()
+	registerRunMetrics(tel)
+	tracer := telemetry.NewTracer(telemetry.DefaultTraceCapacity)
 	store, err := NewStore(cfg.CacheDir)
 	if err != nil {
 		return nil, err
 	}
+	store = artifact.Instrument(store, tel)
 	ctx, err := exp.NewContextWithStore(opt, store)
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{cfg: cfg, opt: opt, workers: cfg.ResolveWorkers(), store: store, ctx: ctx}, nil
+	ctx.Instrument(tel, tracer)
+	return &Runner{
+		cfg: cfg, opt: opt, workers: cfg.ResolveWorkers(),
+		store: store, ctx: ctx, tel: tel, tracer: tracer,
+	}, nil
 }
+
+// registerRunMetrics pre-creates the instrumentation surface shared by
+// every run, so metric reports list the full name set (zero-valued
+// where a path never ran) and the golden-names diff
+// (testdata/golden/metrics_names.txt, `make metrics-check`) is stable
+// across cold and warm caches. Per-mode power histograms are the one
+// dynamic family: they appear as the evaluated designs require.
+func registerRunMetrics(reg *telemetry.Registry) {
+	for _, name := range []string{
+		artifact.MetricHit, artifact.MetricMiss, artifact.MetricPut,
+		"solve.count", "solve.shapes", "solve.qap", "solve.networks", "solve.sims",
+		"runner.entries", "runner.entry_errors",
+		"sim.runs", "sim.accesses", "sim.l2_misses", "sim.packets",
+		"sim.sends", "sim.retries", "sim.nacks", "sim.lost",
+		"noc.replay.packets", "noc.replay.flits",
+		"power.evaluations",
+		"fault.points", "fault.point_errors",
+	} {
+		reg.Counter(name)
+	}
+	reg.Gauge("runner.queue_depth")
+	reg.Gauge("runner.active")
+	reg.Histogram(artifact.MetricGetMS, artifact.GetMSBuckets...)
+	reg.Histogram("artifact.decode_ms", artifact.GetMSBuckets...)
+	reg.Histogram("runner.entry_ms", EntryMSBuckets...)
+	reg.Histogram("noc.replay.latency_cycles", noc.ReplayLatencyBuckets...)
+	reg.Histogram("power.watts", power.PowerWattsBuckets...)
+}
+
+// EntryMSBuckets are the bucket bounds (milliseconds) of the per-entry
+// wall-time histogram runner.entry_ms.
+var EntryMSBuckets = []float64{1, 10, 100, 1000, 10_000, 60_000, 600_000}
 
 // NewStore builds the artifact store a Config implies: disk-backed
 // when cacheDir is non-empty, in-memory otherwise. Subcommands that do
@@ -70,25 +119,51 @@ func (r *Runner) Store() artifact.Store { return r.store }
 // Workers returns the resolved pool size.
 func (r *Runner) Workers() int { return r.workers }
 
+// Telemetry returns the run's metric registry.
+func (r *Runner) Telemetry() *telemetry.Registry { return r.tel }
+
+// Tracer returns the run's span tracer.
+func (r *Runner) Tracer() *telemetry.Tracer { return r.tracer }
+
 // Precompute builds the per-benchmark artefacts (calibrated traffic +
 // QAP mappings) on the worker pool.
 func (r *Runner) Precompute() error { return r.ctx.Precompute(r.workers) }
 
 // RunEntries executes the experiments on the worker pool and returns
 // their tables in entry order. Every failing entry is reported (errors
-// joined in entry order), not just the first.
+// joined in entry order), not just the first. The pool reports into
+// the run's telemetry: runner.queue_depth/active gauges track
+// scheduling, each entry records a span plus its wall time in
+// runner.entry_ms, and runner.entries/entry_errors count outcomes.
 func (r *Runner) RunEntries(entries []exp.Entry) ([]*exp.Table, error) {
 	tables := make([]*exp.Table, len(entries))
 	errs := make([]error, len(entries))
 	sem := make(chan struct{}, r.workers)
+	queued := r.tel.Gauge("runner.queue_depth")
+	active := r.tel.Gauge("runner.active")
+	entriesC := r.tel.Counter("runner.entries")
+	errorsC := r.tel.Counter("runner.entry_errors")
+	entryMS := r.tel.Histogram("runner.entry_ms", EntryMSBuckets...)
 	var wg sync.WaitGroup
 	for i, e := range entries {
 		wg.Add(1)
 		go func(i int, e exp.Entry) {
 			defer wg.Done()
+			queued.Add(1)
 			sem <- struct{}{}
-			defer func() { <-sem }()
+			queued.Add(-1)
+			active.Add(1)
+			defer func() { active.Add(-1); <-sem }()
+			sp := r.tracer.StartSpan("runner", "entry."+e.ID)
+			begin := time.Now()
 			t, err := e.Run(r.ctx)
+			entryMS.Observe(float64(time.Since(begin)) / float64(time.Millisecond))
+			entriesC.Inc()
+			if err != nil {
+				sp.Attr("error", err.Error())
+				errorsC.Inc()
+			}
+			sp.End()
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", e.ID, err)
 				return
@@ -168,18 +243,64 @@ func writeCSV(dir string, t *exp.Table) error {
 }
 
 // Summary describes the run's cache traffic and solve work in one
-// line, e.g. for printing to stderr after a run. A warm cache run
+// line, e.g. for printing to stderr after a run, read from the
+// telemetry registry (the one source of truth since the stderr
+// counters of the original runner were replaced). A warm cache run
 // shows misses=0 and all solve counts zero.
 func (r *Runner) Summary() string {
-	st := r.store.Stats()
-	sv := r.ctx.Solves()
+	c := func(name string) uint64 { return r.tel.Counter(name).Value() }
 	where := "memory"
-	if d, ok := r.store.(*artifact.Disk); ok {
+	if d, ok := artifact.Unwrap(r.store).(*artifact.Disk); ok {
 		where = d.Dir()
 	}
 	return fmt.Sprintf(
 		"cache [%s]: %d hits, %d misses, %d writes | solves: shapes=%d qap=%d networks=%d sims=%d",
-		where, st.Hits, st.Misses, st.Puts, sv.Shapes, sv.QAP, sv.Networks, sv.Sims)
+		where, c(artifact.MetricHit), c(artifact.MetricMiss), c(artifact.MetricPut),
+		c("solve.shapes"), c("solve.qap"), c("solve.networks"), c("solve.sims"))
+}
+
+// MetricsReport bundles run metadata with the registry snapshot — the
+// machine-diffable per-run summary behind the -metrics-out flag.
+func (r *Runner) MetricsReport(meta map[string]any) telemetry.Report {
+	return telemetry.Report{Meta: meta, Metrics: r.tel.Snapshot()}
+}
+
+// WriteMetricsFile writes the metrics report JSON to path.
+func (r *Runner) WriteMetricsFile(path string, meta map[string]any) error {
+	return writeFile(path, func(w io.Writer) error {
+		return r.MetricsReport(meta).WriteJSON(w)
+	})
+}
+
+// WriteTraceFile writes the recorded spans to path: JSON Lines when the
+// path ends in .jsonl, Chrome trace-event JSON (chrome://tracing /
+// Perfetto) otherwise.
+func (r *Runner) WriteTraceFile(path string) error {
+	return WriteTraceFile(r.tracer, path)
+}
+
+// WriteTraceFile exports a tracer to path, picking the format by
+// extension (.jsonl = JSON Lines, anything else = Chrome trace JSON).
+func WriteTraceFile(tracer *telemetry.Tracer, path string) error {
+	return writeFile(path, func(w io.Writer) error {
+		if filepath.Ext(path) == ".jsonl" {
+			return tracer.WriteJSONL(w)
+		}
+		return tracer.WriteChromeTrace(w)
+	})
+}
+
+// writeFile streams body into a freshly created file.
+func writeFile(path string, body func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := body(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // BenchTrace returns a benchmark's packet trace through the runner's

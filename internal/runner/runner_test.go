@@ -2,12 +2,16 @@ package runner
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"mnoc/internal/exp"
+	"mnoc/internal/fault"
+	"mnoc/internal/runner/artifact"
+	"mnoc/internal/telemetry"
 )
 
 // testOptions keeps the full registry fast enough for CI while still
@@ -65,6 +69,136 @@ func TestColdWarmCacheDeterminism(t *testing.T) {
 	}
 	if !strings.Contains(rw.Summary(), dir) {
 		t.Fatalf("summary does not name the cache dir: %s", rw.Summary())
+	}
+
+	// The same invariants, read back through the telemetry registry
+	// instead of the ad-hoc counters: the cold run solves, the warm run
+	// is hits-only.
+	creg, wreg := rc.Telemetry(), rw.Telemetry()
+	if v := creg.Counter("solve.count").Value(); v == 0 {
+		t.Fatal("cold run registry shows zero solves")
+	}
+	if v := creg.Counter(artifact.MetricMiss).Value(); v == 0 {
+		t.Fatal("cold run registry shows zero cache misses")
+	}
+	if v := wreg.Counter(artifact.MetricHit).Value(); v == 0 {
+		t.Fatal("warm run registry shows zero cache hits")
+	}
+	if v := wreg.Counter("solve.count").Value(); v != 0 {
+		t.Fatalf("warm run registry shows %d solves, want 0", v)
+	}
+	if v := wreg.Counter(artifact.MetricMiss).Value(); v != 0 {
+		t.Fatalf("warm run registry shows %d cache misses, want 0", v)
+	}
+	for _, kind := range []string{"shapes", "qap", "networks", "sims"} {
+		if v := wreg.Counter("solve." + kind).Value(); v != 0 {
+			t.Errorf("warm run registry shows %d solve.%s, want 0", v, kind)
+		}
+	}
+	// The decode histogram is the warm path's cost: it must have seen
+	// at least one artifact decode.
+	snap := wreg.Snapshot()
+	if h, ok := snap.Histograms["artifact.decode_ms"]; !ok || h.Count == 0 {
+		t.Fatalf("warm run recorded no artifact decodes: %+v", snap.Histograms["artifact.decode_ms"])
+	}
+}
+
+// TestRunMetricsReportAndTrace drives one run end to end through the
+// machine-readable outputs: the metrics report round-trips as JSON with
+// the eagerly-registered name set, and the trace writers emit loadable
+// JSONL and Chrome trace files.
+func TestRunMetricsReportAndTrace(t *testing.T) {
+	_, r := renderRegistry(t, Config{Options: testOptions(), Workers: 4})
+
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "metrics.json")
+	if err := r.WriteMetricsFile(mpath, map[string]any{"subcommand": "test"}); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep telemetry.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("metrics report is not valid JSON: %v\n%s", err, body)
+	}
+	if rep.Meta["subcommand"] != "test" {
+		t.Fatalf("metadata lost: %+v", rep.Meta)
+	}
+	names := rep.Metrics.Names()
+	for _, want := range []string{"runner.entries", "sim.runs", "solve.count", artifact.MetricHit} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("metrics report misses %q (have %v)", want, names)
+		}
+	}
+	if r.Telemetry().Counter("runner.entries").Value() == 0 {
+		t.Fatal("runner recorded no entries")
+	}
+
+	for _, name := range []string{"trace.jsonl", "trace.json"} {
+		tpath := filepath.Join(dir, name)
+		if err := r.WriteTraceFile(tpath); err != nil {
+			t.Fatal(err)
+		}
+		if fi, err := os.Stat(tpath); err != nil || fi.Size() == 0 {
+			t.Fatalf("trace file %s missing or empty (err=%v)", name, err)
+		}
+	}
+	if r.Tracer().Len() == 0 {
+		t.Fatal("run recorded no spans")
+	}
+}
+
+// TestFaultSweepPointErrorContext regression-tests the sweep's error
+// wrapping: a failing point must name its index, benchmark, scale and
+// policy so a joined multi-point failure stays attributable. The
+// failure vector is a replayed schedule generated for a different radix
+// than the sweep's network.
+func TestFaultSweepPointErrorContext(t *testing.T) {
+	sched, err := fault.DefaultInjectorConfig(1).Generate(8, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "n8.sched")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fc := FaultConfig{
+		N: 16, Bench: "syn_uniform", Cycles: 20_000, Flits: 1_000, Seed: 1,
+		SchedulePath: path,
+	}
+	store, err := NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	_, err = FaultSweep(store, 2, fc, reg, nil)
+	if err == nil {
+		t.Fatal("mismatched-radix schedule did not fail")
+	}
+	for _, want := range []string{"fault point 1/1", "syn_uniform", "oblivious"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("point error misses %q: %v", want, err)
+		}
+	}
+	if v := reg.Counter("fault.point_errors").Value(); v != 1 {
+		t.Errorf("fault.point_errors = %d, want 1", v)
 	}
 }
 

@@ -10,10 +10,12 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"mnoc/internal/cache"
 	"mnoc/internal/coherence"
 	"mnoc/internal/noc"
+	"mnoc/internal/telemetry"
 	"mnoc/internal/trace"
 )
 
@@ -103,11 +105,13 @@ type Result struct {
 	NetworkName   string
 	// Sends counts every network transmission attempt (including retries
 	// of NACKed packets); Retries counts the re-attempts among them;
+	// NACKs counts attempts the fault model rejected non-fatally;
 	// LostPackets counts messages never delivered — NACKed with the retry
-	// budget exhausted, or failed fatally (dead device). All three are 0
+	// budget exhausted, or failed fatally (dead device). All four are 0
 	// on a fault-free network.
 	Sends       uint64
 	Retries     uint64
+	NACKs       uint64
 	LostPackets uint64
 	// Trace is the packet log of every network message.
 	Trace *trace.Trace
@@ -150,7 +154,11 @@ type Machine struct {
 	// packets accumulates the communication trace.
 	packets []trace.Packet
 	// Reliability counters for the current run (see Result).
-	sends, retries, lost uint64
+	sends, retries, nacks, lost uint64
+	// Optional telemetry sinks (SetTelemetry); nil-safe handles make
+	// every metric call a no-op when unset.
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
 }
 
 // NewMachine builds the multicore over the given network model.
@@ -182,15 +190,26 @@ func NewMachine(cfg Config, net noc.Network) (*Machine, error) {
 	return m, nil
 }
 
+// SetTelemetry attaches metric and span sinks: each Run then bumps the
+// sim.* counters (runs, accesses, L2 misses, packets, sends, retries,
+// NACKs, lost) and records one span per simulation. Either argument
+// may be nil. Not safe to call concurrently with Run.
+func (m *Machine) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	m.reg = reg
+	m.tracer = tracer
+}
+
 // Run executes one access stream per core to completion and returns the
 // runtime and trace. streams[i] drives core i.
 func (m *Machine) Run(streams [][]Access) (*Result, error) {
 	if len(streams) != m.cfg.Cores {
 		return nil, fmt.Errorf("sim: %d streams for %d cores", len(streams), m.cfg.Cores)
 	}
+	defer m.tracer.StartSpan("sim", "run."+m.net.Name()).
+		Attr("cores", strconv.Itoa(m.cfg.Cores)).End()
 	m.net.Reset()
 	m.packets = m.packets[:0]
-	m.sends, m.retries, m.lost = 0, 0, 0
+	m.sends, m.retries, m.nacks, m.lost = 0, 0, 0, 0
 
 	h := make(coreHeap, 0, m.cfg.Cores)
 	for i, c := range m.cores {
@@ -238,8 +257,17 @@ func (m *Machine) Run(streams [][]Access) (*Result, error) {
 		NetworkName:   m.net.Name(),
 		Sends:         m.sends,
 		Retries:       m.retries,
+		NACKs:         m.nacks,
 		LostPackets:   m.lost,
 	}
+	m.reg.Counter("sim.runs").Inc()
+	m.reg.Counter("sim.accesses").Add(accesses)
+	m.reg.Counter("sim.l2_misses").Add(misses)
+	m.reg.Counter("sim.packets").Add(uint64(len(m.packets)))
+	m.reg.Counter("sim.sends").Add(m.sends)
+	m.reg.Counter("sim.retries").Add(m.retries)
+	m.reg.Counter("sim.nacks").Add(m.nacks)
+	m.reg.Counter("sim.lost").Add(m.lost)
 	if misses > 0 {
 		res.AvgMemLatency = missLatencySum / float64(misses)
 	}
@@ -385,6 +413,9 @@ func (m *Machine) netSend(at uint64, src, dst, flits int) (uint64, error) {
 			m.packets = append(m.packets, trace.Packet{
 				Cycle: at, Src: int32(src), Dst: int32(dst), Flits: int32(flits),
 			})
+			if !de.Fatal {
+				m.nacks++
+			}
 			if de.Fatal || attempt >= m.cfg.MaxSendRetries {
 				m.lost++
 				return arr, nil

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mnoc/internal/noc"
+	"mnoc/internal/telemetry"
 	"mnoc/internal/workload"
 )
 
@@ -335,5 +336,53 @@ func TestStreamsIncludeGlobalSharing(t *testing.T) {
 	}
 	if res.Directory.BroadcastInvs == 0 {
 		t.Error("no multi-sharer invalidations — global blocks missing from streams")
+	}
+}
+
+func TestRunRecordsTelemetry(t *testing.T) {
+	cores := 8
+	m := newMachine(t, cores)
+	b, err := workload.Resolve("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, err := StreamsFromBenchmark(b, smallConfig(cores), 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(64)
+	m.SetTelemetry(reg, tr)
+	res, err := m.Run(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Registry counters mirror the run result exactly.
+	for name, want := range map[string]uint64{
+		"sim.runs":      1,
+		"sim.accesses":  uint64(res.Accesses),
+		"sim.l2_misses": uint64(res.L2Misses),
+		"sim.packets":   uint64(len(res.Trace.Packets)),
+		"sim.retries":   res.Retries,
+		"sim.nacks":     res.NACKs,
+		"sim.lost":      res.LostPackets,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if reg.Counter("sim.accesses").Value() == 0 {
+		t.Fatal("run recorded no accesses")
+	}
+
+	// The run span names the network and core count.
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("run recorded no spans")
+	}
+	sp := spans[len(spans)-1]
+	if sp.Component != "sim" || sp.Name != "run."+res.NetworkName || sp.Attrs["cores"] != "8" {
+		t.Errorf("run span = %+v", sp)
 	}
 }

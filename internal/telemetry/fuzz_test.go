@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzExporters feeds arbitrary (including invalid-UTF-8) component,
+// span and attribute strings plus hostile timestamps through both
+// exporters: neither may panic, and both must emit valid JSON —
+// encoding/json replaces broken byte sequences rather than producing
+// broken output, and the exporters must preserve that property.
+func FuzzExporters(f *testing.F) {
+	f.Add("runner", "entry.table1", "id", "table1", int64(10), int64(20))
+	f.Add("", "", "", "", int64(0), int64(0))
+	f.Add("a\x00b", "name\xff\xfe", "k\"", "v\\", int64(-5), int64(-1))
+	f.Add("日本語", "emoji 🜚", "newline\n", "tab\tquote\"", int64(1<<60), int64(1<<60))
+	f.Add("</script>", "{\"json\":1}", "nested{", "}", int64(7), int64(0))
+
+	f.Fuzz(func(t *testing.T, comp, name, ak, av string, start, dur int64) {
+		tr := NewTracer(16)
+		tr.Record(Span{Component: comp, Name: name, StartUS: start, DurUS: dur,
+			Attrs: map[string]string{ak: av}})
+		tr.Event(comp, name, ak, av, "odd-trailing-key")
+		tr.StartSpan(comp, name).Attr(ak, av).End()
+
+		var jl bytes.Buffer
+		if err := tr.WriteJSONL(&jl); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		for i, line := range strings.Split(strings.TrimRight(jl.String(), "\n"), "\n") {
+			if !json.Valid([]byte(line)) {
+				t.Fatalf("JSONL line %d invalid: %q", i, line)
+			}
+		}
+
+		var ct bytes.Buffer
+		if err := tr.WriteChromeTrace(&ct); err != nil {
+			t.Fatalf("WriteChromeTrace: %v", err)
+		}
+		var parsed struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(ct.Bytes(), &parsed); err != nil {
+			t.Fatalf("chrome trace invalid JSON: %v", err)
+		}
+		if len(parsed.TraceEvents) < 3 {
+			t.Fatalf("chrome trace lost events: %d", len(parsed.TraceEvents))
+		}
+
+		// The metrics path shares the export machinery: arbitrary metric
+		// names must survive the snapshot round trip too.
+		reg := NewRegistry()
+		reg.Counter(name).Inc()
+		reg.Histogram(comp, float64(start)).Observe(float64(dur))
+		var ms bytes.Buffer
+		if err := (Report{Meta: map[string]any{"k": name}, Metrics: reg.Snapshot()}).WriteJSON(&ms); err != nil {
+			t.Fatalf("Report.WriteJSON: %v", err)
+		}
+		if !json.Valid(ms.Bytes()) {
+			t.Fatalf("metrics report invalid JSON: %s", ms.String())
+		}
+	})
+}

@@ -1,0 +1,208 @@
+// Package telemetry is the repository's zero-dependency observability
+// layer: named counters, gauges and fixed-bucket histograms behind a
+// concurrency-safe Registry, plus a lightweight span tracer (package
+// file tracer.go) recording into a bounded ring buffer with JSONL and
+// Chrome-trace exporters.
+//
+// The design mirrors what PROTEUS-style photonic NoC management loops
+// need — continuous loss/power/latency telemetry cheap enough to leave
+// on — while staying stdlib-only. Every handle type is nil-safe: a nil
+// *Registry hands out nil *Counter/*Gauge/*Histogram whose methods are
+// no-ops, so instrumented code never guards its metric calls. Hot-path
+// cost is one atomic op per counter update.
+//
+// Metric names are dotted lowercase paths (`artifact.hit`,
+// `runner.entry_ms`); docs/TELEMETRY.md lists every name the mnoc
+// binary emits, and testdata/golden/metrics_names.txt pins that set.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Registry is a concurrency-safe namespace of metrics. Metrics are
+// created on first use and live for the registry's lifetime. The zero
+// value is not usable; call NewRegistry. All methods are safe on a nil
+// receiver (they return nil handles, whose methods are no-ops).
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// given bucket upper bounds (an implicit +Inf overflow bucket is always
+// appended). Bounds are sorted and deduplicated; non-finite bounds are
+// dropped. If the name already exists the existing histogram is
+// returned and the bounds argument is ignored, so the first
+// registration fixes the layout.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is a histogram's exported state.
+type HistogramSnapshot struct {
+	// Buckets holds one cumulative-free (per-bucket, not cumulative)
+	// count per bound, last entry being the +Inf overflow bucket.
+	Buckets []BucketCount `json:"buckets"`
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+}
+
+// BucketCount is one histogram bucket: observations v with
+// prev_bound < v <= LE. LE is a string so the +Inf overflow bucket
+// stays representable in JSON.
+type BucketCount struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+// Maps marshal with sorted keys, so WriteJSON output is canonical.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state. A nil registry yields
+// an empty (but non-nil-mapped) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		v := g.Value()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0 // keep the JSON export valid
+		}
+		s.Gauges[name] = v
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Names returns the sorted union of all metric names in the snapshot —
+// the instrumentation surface, diffed against a golden file in CI.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	blob, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	blob = append(blob, '\n')
+	_, err = w.Write(blob)
+	return err
+}
+
+// Report is the per-run structured summary written by the mnoc
+// `-metrics-out` flag: run metadata (subcommand, scale, seed, workers,
+// wall time) plus the full metric snapshot, so benchmark trajectories
+// diff mechanically across runs.
+type Report struct {
+	Meta    map[string]any `json:"meta,omitempty"`
+	Metrics Snapshot       `json:"metrics"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep Report) WriteJSON(w io.Writer) error {
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	blob = append(blob, '\n')
+	_, err = w.Write(blob)
+	return err
+}
+
+// formatBound renders a bucket bound the way the exporters and docs
+// spell it: shortest round-trippable decimal, "+Inf" for the overflow.
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

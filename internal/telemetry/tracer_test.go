@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a now() that advances a fixed step per call.
+func fakeClock(step time.Duration) func() time.Time {
+	t0 := time.Unix(1000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * step)
+	}
+}
+
+func TestTracerRecordsSpans(t *testing.T) {
+	tr := NewTracer(8)
+	tr.now = fakeClock(time.Millisecond)
+	tr.epoch = time.Unix(1000, 0)
+
+	sp := tr.StartSpan("runner", "entry.table1").Attr("id", "table1")
+	d := sp.End()
+	if d <= 0 {
+		t.Errorf("span duration = %v", d)
+	}
+	tr.Event("runner", "done", "entries", "1")
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Name != "entry.table1" || spans[0].DurUS != 1000 || spans[0].Attrs["id"] != "table1" {
+		t.Errorf("span[0] = %+v", spans[0])
+	}
+	if spans[1].DurUS != 0 || spans[1].Attrs["entries"] != "1" {
+		t.Errorf("event = %+v", spans[1])
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Component: "c", Name: fmt.Sprintf("s%d", i)})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("ring holds %d spans, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	spans := tr.Spans()
+	for i, s := range spans {
+		if want := fmt.Sprintf("s%d", 6+i); s.Name != want {
+			t.Errorf("span[%d] = %q, want %q (oldest-first order)", i, s.Name, want)
+		}
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Span{Component: "sim", Name: "run", StartUS: 5, DurUS: 7, Attrs: map[string]string{"net": "mNoC-16"}})
+	tr.Record(Span{Component: "fault", Name: "point"})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	var s Span
+	if err := json.Unmarshal([]byte(lines[0]), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Component != "sim" || s.StartUS != 5 || s.DurUS != 7 || s.Attrs["net"] != "mNoC-16" {
+		t.Errorf("line 0 = %+v", s)
+	}
+}
+
+// chromeTraceFile mirrors the exporter's top-level shape for decoding.
+type chromeTraceFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		TS   int64          `json:"ts"`
+		Dur  int64          `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Span{Component: "runner", Name: "entry.fig8", StartUS: 10, DurUS: 20, Attrs: map[string]string{"id": "fig8"}})
+	tr.Record(Span{Component: "exp", Name: "solve.qap", StartUS: 12, DurUS: 3})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeTraceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// Two metadata rows (exp, runner sorted) + two complete events.
+	if len(f.TraceEvents) != 4 {
+		t.Fatalf("got %d events: %+v", len(f.TraceEvents), f.TraceEvents)
+	}
+	meta := map[string]int{}
+	for _, ev := range f.TraceEvents[:2] {
+		if ev.Ph != "M" || ev.Name != "thread_name" {
+			t.Fatalf("expected metadata event first, got %+v", ev)
+		}
+		meta[ev.Args["name"].(string)] = ev.TID
+	}
+	for _, ev := range f.TraceEvents[2:] {
+		if ev.Ph != "X" || ev.PID != 1 {
+			t.Errorf("complete event = %+v", ev)
+		}
+		if meta[ev.Cat] != ev.TID {
+			t.Errorf("event %q on tid %d, component %q mapped to %d", ev.Name, ev.TID, ev.Cat, meta[ev.Cat])
+		}
+	}
+	if f.TraceEvents[2].TS != 10 || f.TraceEvents[2].Dur != 20 {
+		t.Errorf("ts/dur = %d/%d", f.TraceEvents[2].TS, f.TraceEvents[2].Dur)
+	}
+}
