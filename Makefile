@@ -20,11 +20,12 @@ test:
 
 # Race-detector pass over the packages with concurrency or shared
 # state: the fault/recovery layer plus the runner's parallel scheduler,
-# artifact cache and telemetry registry.
+# artifact cache, telemetry registry and the HTTP server (admission,
+# coalescing, shutdown).
 race:
 	$(GO) test -race ./internal/fault/... ./internal/noc/... \
 		./internal/sim/... ./internal/dynamic/... ./internal/stats/... \
-		./internal/runner/... ./internal/telemetry/...
+		./internal/runner/... ./internal/telemetry/... ./internal/server/...
 
 # Regenerate the golden quick-scale benchmark tables. Run after an
 # intentional change to experiment output and commit the diff.

@@ -10,6 +10,7 @@
 package main_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -54,7 +55,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Run(c); err != nil {
+		if _, err := e.Run(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}

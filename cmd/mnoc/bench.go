@@ -1,9 +1,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -28,6 +30,7 @@ func benchCmd(args []string) {
 		csvDir     = fs.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
 		cacheDir   = fs.String("cache-dir", "", "persistent artifact cache directory (warm runs skip every solve)")
 		configPath = fs.String("config", "", "JSON runner config file; explicitly-set flags override it")
+		failFast   = fs.Bool("fail-fast", false, "cancel the run on the first entry error instead of reporting all failures")
 	)
 	tf := addTelemetryFlags(fs)
 	fs.Parse(args)
@@ -59,8 +62,13 @@ func benchCmd(args []string) {
 			cfg.TraceOut = *tf.traceOut
 		case "pprof":
 			cfg.PprofAddr = *tf.pprofAddr
+		case "fail-fast":
+			cfg.FailFast = *failFast
 		}
 	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	r, err := runner.New(cfg)
 	if err != nil {
@@ -72,14 +80,14 @@ func benchCmd(args []string) {
 		fail("bench", err)
 	}
 	begin := time.Now()
-	if err := r.Precompute(); err != nil {
+	if err := r.Precompute(ctx); err != nil {
 		fail("bench", err)
 	}
 	if !cfg.JSON {
 		fmt.Printf("mnoc bench: scale=%s radix=%d seed=%d experiments=%d workers=%d\n\n",
 			scaleName(cfg), r.Options().N, r.Options().Seed, len(entries), r.Workers())
 	}
-	if err := r.Run(os.Stdout, entries); err != nil {
+	if err := r.Run(ctx, os.Stdout, entries); err != nil {
 		fail("bench", err)
 	}
 	fmt.Fprintln(os.Stderr, "mnoc bench:", r.Summary())

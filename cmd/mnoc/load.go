@@ -1,0 +1,65 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"time"
+
+	"mnoc/internal/server"
+)
+
+// loadCmd drives a running `mnoc serve` with concurrent /v1/solve
+// requests and reports throughput plus latency percentiles — the
+// acceptance harness for the admission controller, coalescing and the
+// artifact cache under concurrency. Any non-200 response counts as a
+// failure and makes the command exit 1.
+func loadCmd(args []string) {
+	fs := flag.NewFlagSet("mnoc load", flag.ExitOnError)
+	var (
+		url         = fs.String("url", "http://localhost:8080", "base URL of the running server")
+		requests    = fs.Int("requests", 1000, "total request count")
+		concurrency = fs.Int("concurrency", 32, "in-flight requests")
+		bench       = fs.String("bench", "", "single-benchmark mix: send only this workload (default: the built-in three-way mix)")
+		kind        = fs.String("kind", "comm4", "design kind for -bench")
+		qap         = fs.Bool("qap", false, "request QAP thread mapping for -bench")
+		timeoutMS   = fs.Int64("timeout-ms", 60_000, "client-side per-request timeout")
+	)
+	fs.Parse(args)
+
+	opts := server.LoadOptions{
+		BaseURL:     *url,
+		Requests:    *requests,
+		Concurrency: *concurrency,
+		Timeout:     time.Duration(*timeoutMS) * time.Millisecond,
+	}
+	if *bench != "" {
+		opts.Mix = []server.SolveRequest{{Bench: *bench, Kind: *kind, QAP: *qap}}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := server.RunLoad(ctx, opts)
+	if err != nil {
+		fail("load", err)
+	}
+	fmt.Println("mnoc load:", res)
+	statuses := make([]int, 0, len(res.Statuses))
+	for s := range res.Statuses {
+		statuses = append(statuses, s)
+	}
+	sort.Ints(statuses)
+	for _, s := range statuses {
+		label := fmt.Sprintf("HTTP %d", s)
+		if s == 0 {
+			label = "transport error"
+		}
+		fmt.Printf("mnoc load:   %-15s %d\n", label, res.Statuses[s])
+	}
+	if res.Failures > 0 {
+		fail("load", fmt.Errorf("%d of %d requests failed", res.Failures, res.Requests))
+	}
+}

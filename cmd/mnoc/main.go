@@ -16,6 +16,17 @@
 //	mnoc fault [-n 16] [-bench syn_uniform] [-scales 0,0.5,1,2,4] [-workers N]
 //	           [-cache-dir dir] [-config f.json]
 //	           [-metrics-out m.json] [-trace-out t.json] [-pprof addr]
+//	mnoc serve [-addr :8080] [-scale paper|quick] [-seed N] [-workers N] [-queue N]
+//	           [-cache-dir dir] [-config f.json] [-default-timeout-ms N]
+//	           [-max-timeout-ms N] [-drain-ms N] [-fail-fast]
+//	mnoc load  [-url http://localhost:8080] [-requests N] [-concurrency N]
+//	           [-bench b [-kind k] [-qap]] [-timeout-ms N]
+//
+// serve exposes the engine over HTTP/JSON (docs/SERVER.md): POST
+// /v1/solve, /v1/evaluate and /v1/bench behind bounded admission,
+// per-request deadlines and request coalescing, plus GET /healthz,
+// /version and /metrics (?format=prom for Prometheus text). load is
+// its companion load generator.
 //
 // The observability trio (docs/TELEMETRY.md): -metrics-out writes the
 // end-of-run counters/gauges/histograms as JSON, -trace-out writes the
@@ -43,6 +54,8 @@ var commands = []struct {
 	{"trace", "generate and inspect packet traces (gen | info)", traceCmd},
 	{"sim", "run the trace-driven multicore simulation", simCmd},
 	{"fault", "sweep fault intensity and report the degradation curve", faultCmd},
+	{"serve", "run the HTTP/JSON evaluation service", serveCmd},
+	{"load", "load-test a running server and report latency percentiles", loadCmd},
 }
 
 func main() {

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"mnoc/internal/server"
+)
+
+// version is stamped via -ldflags "-X main.version=..." in release
+// builds; dev builds report it empty.
+var version string
+
+// serveCmd runs the HTTP/JSON evaluation service (docs/SERVER.md): the
+// same engine as `mnoc bench`, behind bounded admission, per-request
+// deadlines, and request coalescing. SIGINT drains in-flight requests
+// before exiting.
+func serveCmd(args []string) {
+	fs := flag.NewFlagSet("mnoc serve", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address (use :0 for a random port)")
+		scale      = fs.String("scale", "paper", "paper (radix-256) or quick (radix-64)")
+		seed       = fs.Int64("seed", 1, "random seed for workloads and heuristics")
+		workers    = fs.Int("workers", 0, "computation worker pool size (0 = runner default)")
+		queue      = fs.Int("queue", 0, "admission queue depth, waiting+running (0 = 4x workers)")
+		cacheDir   = fs.String("cache-dir", "", "persistent artifact cache directory (warm restarts skip every solve)")
+		configPath = fs.String("config", "", "JSON runner config file; explicitly-set flags override it")
+		defaultTO  = fs.Int64("default-timeout-ms", 60_000, "deadline for requests that send no timeout_ms")
+		maxTO      = fs.Int64("max-timeout-ms", 300_000, "ceiling on client-requested deadlines")
+		drainMS    = fs.Int64("drain-ms", 10_000, "how long shutdown waits for in-flight requests")
+		failFast   = fs.Bool("fail-fast", true, "cancel a /v1/bench run on its first entry error")
+	)
+	fs.Parse(args)
+
+	cfg, err := loadBase(*configPath)
+	if err != nil {
+		fail("serve", err)
+	}
+	cfg.FailFast = *failFast
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "scale":
+			cfg.Scale = *scale
+			cfg.Options = nil
+		case "seed":
+			cfg.Seed = *seed
+		case "workers":
+			cfg.Workers = *workers
+		case "cache-dir":
+			cfg.CacheDir = *cacheDir
+		}
+	})
+
+	s, err := server.New(server.Config{
+		Runner:         cfg,
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		DefaultTimeout: time.Duration(*defaultTO) * time.Millisecond,
+		MaxTimeout:     time.Duration(*maxTO) * time.Millisecond,
+		Version:        version,
+	})
+	if err != nil {
+		fail("serve", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ready := func(bound string) {
+		fmt.Printf("mnoc serve: listening on http://%s (scale=%s radix=%d seed=%d workers=%d)\n",
+			bound, scaleName(cfg), s.Runner().Options().N, s.Runner().Options().Seed, s.Runner().Workers())
+	}
+	err = s.Serve(ctx, *addr, time.Duration(*drainMS)*time.Millisecond, ready)
+	fmt.Fprintln(os.Stderr, "mnoc serve:", s.Runner().Summary())
+	if err != nil {
+		fail("serve", err)
+	}
+}

@@ -17,7 +17,7 @@ func TestPrecomputeJoinsAllErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = c.precomputeNames([]string{"no_such_bench_a", "fft", "no_such_bench_b"}, 4)
+	err = c.precomputeNames(bg, []string{"no_such_bench_a", "fft", "no_such_bench_b"}, 4)
 	if err == nil {
 		t.Fatal("bogus benchmarks precomputed without error")
 	}
@@ -35,10 +35,10 @@ func TestWarmStoreSkipsSolves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cold.Precompute(4); err != nil {
+	if err := cold.Precompute(bg, 4); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := cold.Performance("fft"); err != nil {
+	if _, _, err := cold.Performance(bg, "fft"); err != nil {
 		t.Fatal(err)
 	}
 	cs := cold.Solves()
@@ -51,10 +51,10 @@ func TestWarmStoreSkipsSolves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := warm.Precompute(4); err != nil {
+	if err := warm.Precompute(bg, 4); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := warm.Performance("fft"); err != nil {
+	if _, _, err := warm.Performance(bg, "fft"); err != nil {
 		t.Fatal(err)
 	}
 	if ws := warm.Solves(); ws != (SolveCounts{}) {
@@ -63,11 +63,11 @@ func TestWarmStoreSkipsSolves(t *testing.T) {
 
 	// Warm values must be identical to cold ones.
 	for _, name := range []string{"fft", "radix"} {
-		cm, err := cold.Mapped(name)
+		cm, err := cold.Mapped(bg, name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		wm, err := warm.Mapped(name)
+		wm, err := warm.Mapped(bg, name)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +88,7 @@ func TestWarmStoreSkipsSolves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o.Shape("fft"); err != nil {
+	if _, err := o.Shape(bg, "fft"); err != nil {
 		t.Fatal(err)
 	}
 	if o.Solves().Shapes != 1 {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"mnoc/internal/noc"
@@ -18,7 +19,7 @@ import (
 // covers the nearest unexplored neighbourhood: more modes than 4, and
 // the source-power/O-E tradeoff of Observation 1 interacting with
 // power topologies.
-func DesignSpace(c *Context) (*Table, error) {
+func DesignSpace(ctx context.Context, c *Context) (*Table, error) {
 	n := c.Opt.N
 	// Benchmarks with distinct shapes keep the sweep affordable.
 	benchNames := []string{"barnes", "ocean_c", "fft", "water_ns"}
@@ -55,7 +56,7 @@ func DesignSpace(c *Context) (*Table, error) {
 			}
 			var abs, norm []float64
 			for _, name := range benchNames {
-				mapped, err := c.Mapped(name)
+				mapped, err := c.Mapped(ctx, name)
 				if err != nil {
 					return nil, err
 				}
@@ -105,9 +106,9 @@ func evenPartition(n, modes int) []int {
 // models. The mNoC's relative energy advantage grows accordingly —
 // every headline comparison in this reproduction sits at the most
 // conservative end of this sweep.
-func TrimSweep(c *Context) (*Table, error) {
+func TrimSweep(ctx context.Context, c *Context) (*Table, error) {
 	n := c.Opt.N
-	pt, err := c.bestPTNetwork()
+	pt, err := c.bestPTNetwork(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +124,7 @@ func TrimSweep(c *Context) (*Table, error) {
 	// Average the runtime ratio once (trimming does not change timing).
 	var ratioSum float64
 	for _, b := range c.Benchmarks() {
-		mc, rc, err := c.Performance(b.Name)
+		mc, rc, err := c.Performance(ctx, b.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -140,11 +141,11 @@ func TrimSweep(c *Context) (*Table, error) {
 		var rSum, mSum, pSum float64
 		k := float64(len(c.Benchmarks()))
 		for _, b := range c.Benchmarks() {
-			naive, err := c.Shape(b.Name)
+			naive, err := c.Shape(ctx, b.Name)
 			if err != nil {
 				return nil, err
 			}
-			mapped, err := c.Mapped(b.Name)
+			mapped, err := c.Mapped(ctx, b.Name)
 			if err != nil {
 				return nil, err
 			}
@@ -176,7 +177,7 @@ func TrimSweep(c *Context) (*Table, error) {
 // the clustered rNoC, and the MWSR variant. It locates each design's
 // saturation knee — the flat crossbar sustains the highest load because
 // nothing is shared between sources except destinations.
-func LoadSweep(c *Context) (*Table, error) {
+func LoadSweep(ctx context.Context, c *Context) (*Table, error) {
 	n := c.Opt.N
 	const cycles = 50_000
 	bench, err := workload.Synthetic("uniform")

@@ -7,6 +7,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
@@ -283,10 +284,21 @@ func (c *Context) key(kind string, version int) *artifact.KeyBuilder {
 // (concurrent requesters wait on the flight), and its result is written
 // back to the store. build returns both the value and its encoded blob
 // so a fresh solve is not re-decoded.
-func (c *Context) artifactValue(key artifact.Key,
+//
+// Cancellation semantics: a ctx that is already done fails fast before
+// any lookup, and a requester waiting on another goroutine's flight
+// stops waiting when its ctx fires — the flight itself completes and
+// still warms the memo/store for later requesters. The goroutine that
+// runs build checks ctx between pipeline stages (each nested accessor
+// re-enters artifactValue), so a cancelled solve stops at the next
+// stage boundary rather than running the full pipeline.
+func (c *Context) artifactValue(ctx context.Context, key artifact.Key,
 	decode func([]byte) (any, error),
 	build func() (any, []byte, error),
 ) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	if v, ok := c.memo[key]; ok {
 		c.mu.Unlock()
@@ -294,8 +306,12 @@ func (c *Context) artifactValue(key artifact.Key,
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
-		<-f.done
-		return f.val, f.err
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	c.inflight[key] = f
@@ -340,9 +356,9 @@ func (c *Context) Benchmarks() []workload.Benchmark { return c.benches }
 func (c *Context) Base() *power.MNoC { return c.base }
 
 // Shape returns the benchmark's calibrated thread-indexed traffic.
-func (c *Context) Shape(name string) (*trace.Matrix, error) {
+func (c *Context) Shape(ctx context.Context, name string) (*trace.Matrix, error) {
 	key := c.key(artifact.KindMatrix, artifact.VersionMatrix).Str("bench", name).Sum()
-	v, err := c.artifactValue(key,
+	v, err := c.artifactValue(ctx, key,
 		func(blob []byte) (any, error) { return artifact.DecodeMatrix(blob) },
 		func() (any, []byte, error) {
 			c.solveShapes.Add(1)
@@ -370,12 +386,12 @@ func (c *Context) Shape(name string) (*trace.Matrix, error) {
 
 // QAPMapping returns the benchmark's taboo-search thread mapping
 // (solved once, then served from the artifact store).
-func (c *Context) QAPMapping(name string) (mapping.Assignment, error) {
+func (c *Context) QAPMapping(ctx context.Context, name string) (mapping.Assignment, error) {
 	key := c.key(artifact.KindAssignment, artifact.VersionAssignment).Str("bench", name).Sum()
-	v, err := c.artifactValue(key,
+	v, err := c.artifactValue(ctx, key,
 		func(blob []byte) (any, error) { return artifact.DecodeAssignment(blob) },
 		func() (any, []byte, error) {
-			m, err := c.Shape(name)
+			m, err := c.Shape(ctx, name)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -401,7 +417,7 @@ func (c *Context) QAPMapping(name string) (mapping.Assignment, error) {
 // mapping (core-indexed). The permutation is cheap, so it is memoised
 // in-process only — the shape and mapping it derives from are the
 // cached artefacts.
-func (c *Context) Mapped(name string) (*trace.Matrix, error) {
+func (c *Context) Mapped(ctx context.Context, name string) (*trace.Matrix, error) {
 	key := artifact.NewKey("mapped", 1).Str("bench", name).Sum()
 	c.mu.Lock()
 	if m, ok := c.memo[key]; ok {
@@ -409,11 +425,11 @@ func (c *Context) Mapped(name string) (*trace.Matrix, error) {
 		return m.(*trace.Matrix), nil
 	}
 	c.mu.Unlock()
-	shape, err := c.Shape(name)
+	shape, err := c.Shape(ctx, name)
 	if err != nil {
 		return nil, err
 	}
-	asg, err := c.QAPMapping(name)
+	asg, err := c.QAPMapping(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -432,13 +448,13 @@ func (c *Context) Mapped(name string) (*trace.Matrix, error) {
 
 // SampledMatrix averages the normalised, QAP-mapped traffic of the given
 // benchmarks — the paper's S4/S12 profiling inputs (Section 5.4).
-func (c *Context) SampledMatrix(names []string) (*trace.Matrix, error) {
+func (c *Context) SampledMatrix(ctx context.Context, names []string) (*trace.Matrix, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("exp: empty sample set")
 	}
 	out := trace.NewMatrix(c.Opt.N)
 	for _, name := range names {
-		m, err := c.Mapped(name)
+		m, err := c.Mapped(ctx, name)
 		if err != nil {
 			return nil, err
 		}
@@ -453,9 +469,9 @@ func (c *Context) SampledMatrix(names []string) (*trace.Matrix, error) {
 // deterministic design point (e.g. "4M_G_S12"); combined with the
 // options and configuration fingerprint folded in by c.key it content-
 // addresses the solved design, so warm runs skip the splitter solves.
-func (c *Context) network(key string, build func() (*power.MNoC, error)) (*power.MNoC, error) {
+func (c *Context) network(ctx context.Context, key string, build func() (*power.MNoC, error)) (*power.MNoC, error) {
 	akey := c.key(artifact.KindNetwork, artifact.VersionNetwork).Str("design", key).Sum()
-	v, err := c.artifactValue(akey,
+	v, err := c.artifactValue(ctx, akey,
 		func(blob []byte) (any, error) {
 			n, err := artifact.DecodeNetwork(c.Cfg, blob)
 			if err != nil {
@@ -490,14 +506,16 @@ func (c *Context) network(key string, build func() (*power.MNoC, error)) (*power
 // and deterministic, so parallelism changes wall-clock time only — a
 // full paper-scale context drops from minutes to tens of seconds on a
 // multicore host.
-func (c *Context) Precompute(workers int) error {
-	return c.precomputeNames(workload.Names(), workers)
+func (c *Context) Precompute(ctx context.Context, workers int) error {
+	return c.precomputeNames(ctx, workload.Names(), workers)
 }
 
 // precomputeNames is Precompute over an explicit benchmark list. Every
 // worker error is reported (joined in benchmark order), not just the
-// first: a multi-benchmark failure surfaces completely.
-func (c *Context) precomputeNames(names []string, workers int) error {
+// first: a multi-benchmark failure surfaces completely. A cancelled ctx
+// stops scheduling further benchmarks; the joined error then includes
+// the ctx error exactly once.
+func (c *Context) precomputeNames(ctx context.Context, names []string, workers int) error {
 	if workers < 1 {
 		workers = 1
 	}
@@ -508,15 +526,23 @@ func (c *Context) precomputeNames(names []string, workers int) error {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
 			defer func() { <-sem }()
-			if _, err := c.Mapped(name); err != nil {
+			if _, err := c.Mapped(ctx, name); err != nil &&
+				!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 				errs[i] = fmt.Errorf("%s: %w", name, err)
 			}
 		}(i, name)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 // evaluateWatts runs a network on a (core-indexed) matrix.

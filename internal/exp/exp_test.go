@@ -1,11 +1,16 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
 )
+
+// bg is the ambient context for tests that don't exercise
+// cancellation.
+var bg = context.Background()
 
 // testContext is shared across tests: Quick scale, built once.
 var testCtx *Context
@@ -91,7 +96,7 @@ func TestRegistryCoversAllPaperArtifacts(t *testing.T) {
 }
 
 func TestFig2SharesShift(t *testing.T) {
-	tbl, err := Fig2(ctx(t))
+	tbl, err := Fig2(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +117,7 @@ func TestFig2SharesShift(t *testing.T) {
 }
 
 func TestFig3Exponential(t *testing.T) {
-	tbl, err := Fig3(ctx(t))
+	tbl, err := Fig3(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +141,7 @@ func TestFig3Exponential(t *testing.T) {
 }
 
 func TestFig5RendersBothTopologies(t *testing.T) {
-	tbl, err := Fig5(ctx(t))
+	tbl, err := Fig5(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +156,7 @@ func TestFig5RendersBothTopologies(t *testing.T) {
 }
 
 func TestFig6MiddleCheapest(t *testing.T) {
-	tbl, err := Fig6(ctx(t))
+	tbl, err := Fig6(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +177,7 @@ func TestFig6MiddleCheapest(t *testing.T) {
 }
 
 func TestTable4CalibratedToPaper(t *testing.T) {
-	tbl, err := Table4(ctx(t))
+	tbl, err := Table4(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +198,7 @@ func TestTable4CalibratedToPaper(t *testing.T) {
 }
 
 func TestFig7ProducesFourHeatmaps(t *testing.T) {
-	tbl, err := Fig7(ctx(t))
+	tbl, err := Fig7(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +211,7 @@ func TestFig7ProducesFourHeatmaps(t *testing.T) {
 }
 
 func TestFig8Ladder(t *testing.T) {
-	tbl, err := Fig8(ctx(t))
+	tbl, err := Fig8(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +253,7 @@ func TestFig8Ladder(t *testing.T) {
 }
 
 func TestFig9CommunicationAwareWins(t *testing.T) {
-	tbl, err := Fig9(ctx(t))
+	tbl, err := Fig9(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +289,7 @@ func TestFig9CommunicationAwareWins(t *testing.T) {
 }
 
 func TestAppSpecificBeatsGeneric(t *testing.T) {
-	tbl, err := AppSpecific(ctx(t))
+	tbl, err := AppSpecific(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +308,7 @@ func TestAppSpecificBeatsGeneric(t *testing.T) {
 }
 
 func TestSensitivitySmallVariation(t *testing.T) {
-	tbl, err := Sensitivity(ctx(t))
+	tbl, err := Sensitivity(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,14 +355,14 @@ func TestTablePrinting(t *testing.T) {
 
 func TestSampledMatrixNormalised(t *testing.T) {
 	c := ctx(t)
-	m, err := c.SampledMatrix([]string{"barnes", "fft"})
+	m, err := c.SampledMatrix(bg, []string{"barnes", "fft"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tot := m.Total(); tot < 0.999 || tot > 1.001 {
 		t.Errorf("sampled matrix total = %v, want 1", tot)
 	}
-	if _, err := c.SampledMatrix(nil); err == nil {
+	if _, err := c.SampledMatrix(bg, nil); err == nil {
 		t.Error("empty sample accepted")
 	}
 }
@@ -406,7 +411,7 @@ func TestExtensionsRegistry(t *testing.T) {
 }
 
 func TestConventionalExperiment(t *testing.T) {
-	tbl, err := Conventional(ctx(t))
+	tbl, err := Conventional(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,7 +433,7 @@ func TestConventionalExperiment(t *testing.T) {
 }
 
 func TestJointExperiment(t *testing.T) {
-	tbl, err := Joint(ctx(t))
+	tbl, err := Joint(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -448,7 +453,7 @@ func TestJointExperiment(t *testing.T) {
 }
 
 func TestDynamicExperiment(t *testing.T) {
-	tbl, err := Dynamic(ctx(t))
+	tbl, err := Dynamic(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -467,7 +472,7 @@ func TestDynamicExperiment(t *testing.T) {
 }
 
 func TestBroadcastInvExperiment(t *testing.T) {
-	tbl, err := BroadcastInv(ctx(t))
+	tbl, err := BroadcastInv(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -481,7 +486,7 @@ func TestBroadcastInvExperiment(t *testing.T) {
 }
 
 func TestAlphaGridExperiment(t *testing.T) {
-	tbl, err := AlphaGrid(ctx(t))
+	tbl, err := AlphaGrid(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -502,7 +507,7 @@ func TestAlphaGridExperiment(t *testing.T) {
 }
 
 func TestMWSRExperiment(t *testing.T) {
-	tbl, err := MWSRCompare(ctx(t))
+	tbl, err := MWSRCompare(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -525,7 +530,7 @@ func TestMWSRExperiment(t *testing.T) {
 }
 
 func TestSignalExperiment(t *testing.T) {
-	tbl, err := Signal(ctx(t))
+	tbl, err := Signal(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -548,7 +553,7 @@ func TestSignalExperiment(t *testing.T) {
 }
 
 func TestVariationExperiment(t *testing.T) {
-	tbl, err := Variation(ctx(t))
+	tbl, err := Variation(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -570,7 +575,7 @@ func TestVariationExperiment(t *testing.T) {
 }
 
 func TestProtocolAblationExperiment(t *testing.T) {
-	tbl, err := ProtocolAblation(ctx(t))
+	tbl, err := ProtocolAblation(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -604,7 +609,7 @@ func TestTableJSON(t *testing.T) {
 }
 
 func TestBroadcastInvActuallyCoalesces(t *testing.T) {
-	tbl, err := BroadcastInv(ctx(t))
+	tbl, err := BroadcastInv(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -637,38 +642,38 @@ func TestNewContextRejectsBadOptions(t *testing.T) {
 
 func TestContextShapeUnknownBenchmark(t *testing.T) {
 	c := ctx(t)
-	if _, err := c.Shape("nope"); err == nil {
+	if _, err := c.Shape(bg, "nope"); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if _, err := c.QAPMapping("nope"); err == nil {
+	if _, err := c.QAPMapping(bg, "nope"); err == nil {
 		t.Error("unknown benchmark accepted by QAPMapping")
 	}
-	if _, err := c.Mapped("nope"); err == nil {
+	if _, err := c.Mapped(bg, "nope"); err == nil {
 		t.Error("unknown benchmark accepted by Mapped")
 	}
-	if _, err := c.SampledMatrix([]string{"nope"}); err == nil {
+	if _, err := c.SampledMatrix(bg, []string{"nope"}); err == nil {
 		t.Error("unknown benchmark accepted by SampledMatrix")
 	}
 }
 
 func TestContextCachesAreStable(t *testing.T) {
 	c := ctx(t)
-	a, err := c.Shape("barnes")
+	a, err := c.Shape(bg, "barnes")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.Shape("barnes")
+	b, err := c.Shape(bg, "barnes")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
 		t.Error("Shape not cached")
 	}
-	m1, err := c.QAPMapping("barnes")
+	m1, err := c.QAPMapping(bg, "barnes")
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := c.QAPMapping("barnes")
+	m2, err := c.QAPMapping(bg, "barnes")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -681,11 +686,11 @@ func TestContextCachesAreStable(t *testing.T) {
 
 func TestPerformanceCached(t *testing.T) {
 	c := ctx(t)
-	a1, b1, err := c.Performance("volrend")
+	a1, b1, err := c.Performance(bg, "volrend")
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, b2, err := c.Performance("volrend")
+	a2, b2, err := c.Performance(bg, "volrend")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -695,13 +700,13 @@ func TestPerformanceCached(t *testing.T) {
 	if a1 == 0 || b1 == 0 {
 		t.Error("zero runtimes")
 	}
-	if _, _, err := c.Performance("nope"); err == nil {
+	if _, _, err := c.Performance(bg, "nope"); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
 
 func TestDesignSpaceExperiment(t *testing.T) {
-	tbl, err := DesignSpace(ctx(t))
+	tbl, err := DesignSpace(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -727,7 +732,7 @@ func TestDesignSpaceExperiment(t *testing.T) {
 }
 
 func TestFig10EnergyOrdering(t *testing.T) {
-	tbl, err := Fig10(ctx(t))
+	tbl, err := Fig10(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -754,7 +759,7 @@ func TestFig10EnergyOrdering(t *testing.T) {
 }
 
 func TestTable1SystemRows(t *testing.T) {
-	tbl, err := Table1(ctx(t))
+	tbl, err := Table1(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -787,16 +792,16 @@ func TestPrecomputeParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := par.Precompute(4); err != nil {
+	if err := par.Precompute(bg, 4); err != nil {
 		t.Fatal(err)
 	}
 	serial := ctx(t)
 	for _, name := range []string{"barnes", "radix", "volrend"} {
-		a, err := par.QAPMapping(name)
+		a, err := par.QAPMapping(bg, name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := serial.QAPMapping(name)
+		b, err := serial.QAPMapping(bg, name)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -809,7 +814,7 @@ func TestPrecomputeParallelMatchesSerial(t *testing.T) {
 }
 
 func TestTrimSweepMonotone(t *testing.T) {
-	tbl, err := TrimSweep(ctx(t))
+	tbl, err := TrimSweep(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -831,7 +836,7 @@ func TestTrimSweepMonotone(t *testing.T) {
 }
 
 func TestLoadSweep(t *testing.T) {
-	tbl, err := LoadSweep(ctx(t))
+	tbl, err := LoadSweep(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -878,7 +883,7 @@ func TestFullDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tbl, err := Fig8(c)
+		tbl, err := Fig8(bg, c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -898,7 +903,7 @@ func TestFullDeterminism(t *testing.T) {
 }
 
 func TestSummaryExperiment(t *testing.T) {
-	tbl, err := Summary(ctx(t))
+	tbl, err := Summary(bg, ctx(t))
 	if err != nil {
 		t.Fatal(err)
 	}

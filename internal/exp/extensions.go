@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"mnoc/internal/coherence"
@@ -52,7 +53,7 @@ func ExtensionByID(id string) (Entry, error) {
 // Conventional compares the Section 4.1 conventional-topology mappings
 // against the distance-based design the paper recommends instead,
 // quantifying the waveguide/power-topology mismatch.
-func Conventional(c *Context) (*Table, error) {
+func Conventional(ctx context.Context, c *Context) (*Table, error) {
 	n := c.Opt.N
 	builders := []struct {
 		name  string
@@ -88,7 +89,7 @@ func Conventional(c *Context) (*Table, error) {
 		}
 		var vals []float64
 		for _, bench := range c.Benchmarks() {
-			naive, err := c.Shape(bench.Name)
+			naive, err := c.Shape(ctx, bench.Name)
 			if err != nil {
 				return nil, err
 			}
@@ -124,7 +125,7 @@ func meshDims(n int) (int, int) {
 
 // Joint evaluates the joint mapping+topology optimisation against the
 // paper's sequential pipeline for both topology families.
-func Joint(c *Context) (*Table, error) {
+func Joint(ctx context.Context, c *Context) (*Table, error) {
 	t := &Table{
 		ID:     "joint",
 		Title:  "Joint optimisation vs sequential pipeline (normalized mNoC power)",
@@ -136,7 +137,7 @@ func Joint(c *Context) (*Table, error) {
 	}
 	// A representative subset keeps the experiment affordable.
 	for _, name := range []string{"barnes", "ocean_c", "water_s", "cholesky"} {
-		naive, err := c.Shape(name)
+		naive, err := c.Shape(ctx, name)
 		if err != nil {
 			return nil, err
 		}
@@ -169,7 +170,7 @@ func Joint(c *Context) (*Table, error) {
 
 // Dynamic runs the online controller on a phased workload and reports
 // adaptive vs static power per phase boundary.
-func Dynamic(c *Context) (*Table, error) {
+func Dynamic(ctx context.Context, c *Context) (*Table, error) {
 	n := c.Opt.N
 	tr, err := workload.PhasedTrace(n, []workload.Phase{
 		{Bench: "ocean_c", Cycles: 12_000_000, Flits: 300_000},
@@ -215,7 +216,7 @@ func Dynamic(c *Context) (*Table, error) {
 
 // BroadcastInv measures the Section 7 coherence extension: network
 // packets and runtime with unicast vs broadcast invalidations.
-func BroadcastInv(c *Context) (*Table, error) {
+func BroadcastInv(ctx context.Context, c *Context) (*Table, error) {
 	n := c.Opt.N
 	t := &Table{
 		ID:     "broadcastinv",
@@ -276,23 +277,23 @@ func BroadcastInv(c *Context) (*Table, error) {
 // discussion: point-to-point (MWSR) optics need the least source power,
 // but pay token-arbitration latency on every packet; power topologies
 // recover much of the gap while keeping SWMR's latency.
-func MWSRCompare(c *Context) (*Table, error) {
+func MWSRCompare(ctx context.Context, c *Context) (*Table, error) {
 	n := c.Opt.N
 	mwsr, err := power.NewMWSRNoC(c.Cfg)
 	if err != nil {
 		return nil, err
 	}
-	pt, err := c.bestPTNetwork()
+	pt, err := c.bestPTNetwork(ctx)
 	if err != nil {
 		return nil, err
 	}
 	var vSWMR, vPT, vMWSR []float64
 	for _, b := range c.Benchmarks() {
-		naive, err := c.Shape(b.Name)
+		naive, err := c.Shape(ctx, b.Name)
 		if err != nil {
 			return nil, err
 		}
-		mapped, err := c.Mapped(b.Name)
+		mapped, err := c.Mapped(ctx, b.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -387,7 +388,7 @@ func fourModeAssignment(n, src int) []int {
 // Signal audits a 4-mode splitter design's bit error rates and
 // threshold-circuit margins (Section 3.2.2: sub-mIOP input "should be
 // treated as noise" and rejected by a threshold circuit).
-func Signal(c *Context) (*Table, error) {
+func Signal(ctx context.Context, c *Context) (*Table, error) {
 	n := c.Opt.N
 	src := n / 4
 	modeOf := fourModeAssignment(n, src)
@@ -421,7 +422,7 @@ func Signal(c *Context) (*Table, error) {
 
 // Variation sweeps fabrication error on the same 4-mode design and
 // reports yield loss plus the guard band that restores 99% yield.
-func Variation(c *Context) (*Table, error) {
+func Variation(ctx context.Context, c *Context) (*Table, error) {
 	n := c.Opt.N
 	src := n / 4
 	modeOf := fourModeAssignment(n, src)
@@ -455,7 +456,7 @@ func Variation(c *Context) (*Table, error) {
 // ProtocolAblation quantifies what the Owned state of the paper's MOSI
 // protocol is worth: under MSI every remote read of a dirty line forces
 // a memory writeback, adding packets and DRAM writes.
-func ProtocolAblation(c *Context) (*Table, error) {
+func ProtocolAblation(ctx context.Context, c *Context) (*Table, error) {
 	n := c.Opt.N
 	t := &Table{
 		ID:     "protocol",
@@ -515,7 +516,7 @@ func ProtocolAblation(c *Context) (*Table, error) {
 // iterates in 0.1 steps and notes "better results may be achieved by
 // using steps smaller than 0.1"; our optimiser refines to 0.001. This
 // experiment quantifies what each refinement level is worth.
-func AlphaGrid(c *Context) (*Table, error) {
+func AlphaGrid(ctx context.Context, c *Context) (*Table, error) {
 	p := c.Cfg.Splitter
 	n := c.Opt.N
 	src := n / 4

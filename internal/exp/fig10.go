@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -27,14 +28,14 @@ type perfResult struct {
 // runtimes. Results are deterministic and cached as artefacts (keyed by
 // radix, seed and per-core access count), so warm runs skip the
 // simulations entirely.
-func (c *Context) Performance(bench string) (mnocCycles, rnocCycles uint64, err error) {
+func (c *Context) Performance(ctx context.Context, bench string) (mnocCycles, rnocCycles uint64, err error) {
 	key := artifact.NewKey(artifact.KindPerf, artifact.VersionPerf).
 		Int("n", c.Opt.N).
 		Int64("seed", c.Opt.Seed).
 		Int("accesses", c.Opt.SimAccesses).
 		Str("bench", bench).
 		Sum()
-	v, err := c.artifactValue(key,
+	v, err := c.artifactValue(ctx, key,
 		func(blob []byte) (any, error) {
 			mc, rc, err := artifact.DecodePerf(blob)
 			if err != nil {
@@ -96,9 +97,9 @@ func (c *Context) Performance(bench string) (mnocCycles, rnocCycles uint64, err 
 // bestPTNetwork builds the paper's best overall design, 4M_T_G_S12: a
 // 4-mode communication-aware topology from the 12-benchmark sample with
 // sampled splitter weights.
-func (c *Context) bestPTNetwork() (*power.MNoC, error) {
-	return c.network("4M_G_S12", func() (*power.MNoC, error) {
-		s12, err := c.SampledMatrix(workload.Names())
+func (c *Context) bestPTNetwork(ctx context.Context) (*power.MNoC, error) {
+	return c.network(ctx, "4M_G_S12", func() (*power.MNoC, error) {
+		s12, err := c.SampledMatrix(ctx, workload.Names())
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +115,7 @@ func (c *Context) bestPTNetwork() (*power.MNoC, error) {
 // Fig10 reproduces Figure 10: total NoC energy relative to rNoC for the
 // base mNoC, the clustered c_mNoC, and the best power-topology mNoC
 // (PT_mNoC = 4M_T_G_S12), with the component breakdown.
-func Fig10(c *Context) (*Table, error) {
+func Fig10(ctx context.Context, c *Context) (*Table, error) {
 	n := c.Opt.N
 	rnoc, err := power.NewRNoC(n, 4)
 	if err != nil {
@@ -124,7 +125,7 @@ func Fig10(c *Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	pt, err := c.bestPTNetwork()
+	pt, err := c.bestPTNetwork(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -135,15 +136,15 @@ func Fig10(c *Context) (*Table, error) {
 	var ratioSum float64
 	k := float64(len(c.Benchmarks()))
 	for _, b := range c.Benchmarks() {
-		naive, err := c.Shape(b.Name)
+		naive, err := c.Shape(ctx, b.Name)
 		if err != nil {
 			return nil, err
 		}
-		mapped, err := c.Mapped(b.Name)
+		mapped, err := c.Mapped(ctx, b.Name)
 		if err != nil {
 			return nil, err
 		}
-		mc, rc, err := c.Performance(b.Name)
+		mc, rc, err := c.Performance(ctx, b.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -238,8 +239,8 @@ func MaxRadix(budgetUW float64, lossDBPerCM float64) (int, error) {
 // comparison. Technology rows restate device-model facts; the system
 // rows are measured (energy from Fig10 machinery, performance from the
 // multicore simulation, scalability from MaxRadix).
-func Table1(c *Context) (*Table, error) {
-	fig10, err := Fig10(c)
+func Table1(ctx context.Context, c *Context) (*Table, error) {
+	fig10, err := Fig10(ctx, c)
 	if err != nil {
 		return nil, err
 	}
@@ -268,7 +269,7 @@ func Table1(c *Context) (*Table, error) {
 	// Measured performance ratio.
 	var ratioSum float64
 	for _, b := range c.Benchmarks() {
-		mc, rc, err := c.Performance(b.Name)
+		mc, rc, err := c.Performance(ctx, b.Name)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"mnoc/internal/power"
 	"mnoc/internal/stats"
 	"mnoc/internal/topo"
@@ -14,7 +15,7 @@ type designSpec struct {
 	// mapped selects QAP-mapped (T) vs naive traffic.
 	mapped bool
 	// build returns the splitter-designed network for this spec.
-	build func(c *Context) (*power.MNoC, error)
+	build func(ctx context.Context, c *Context) (*power.MNoC, error)
 }
 
 // halves returns the 2-mode distance partition (the paper's "128
@@ -28,8 +29,8 @@ func quarters(n int) []int {
 	return []int{q, q, q, n - 1 - 3*q}
 }
 
-func distanceNet(c *Context, key string, groups []int, w power.Weighting) (*power.MNoC, error) {
-	return c.network(key, func() (*power.MNoC, error) {
+func distanceNet(ctx context.Context, c *Context, key string, groups []int, w power.Weighting) (*power.MNoC, error) {
+	return c.network(ctx, key, func() (*power.MNoC, error) {
 		t, err := topo.DistanceBased(c.Opt.N, groups)
 		if err != nil {
 			return nil, err
@@ -41,7 +42,7 @@ func distanceNet(c *Context, key string, groups []int, w power.Weighting) (*powe
 // evaluateSpecs runs every spec over every benchmark and returns a table
 // of per-benchmark normalized power (vs the 1M naive base) plus
 // harmonic means.
-func evaluateSpecs(c *Context, id, title string, specs []designSpec, notes []string) (*Table, error) {
+func evaluateSpecs(ctx context.Context, c *Context, id, title string, specs []designSpec, notes []string) (*Table, error) {
 	t := &Table{ID: id, Title: title}
 	t.Header = []string{"benchmark"}
 	for _, s := range specs {
@@ -50,7 +51,7 @@ func evaluateSpecs(c *Context, id, title string, specs []designSpec, notes []str
 	norm := make(map[string][]float64, len(specs)) // spec → per-bench normalized
 
 	for _, b := range c.Benchmarks() {
-		naive, err := c.Shape(b.Name)
+		naive, err := c.Shape(ctx, b.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -60,13 +61,13 @@ func evaluateSpecs(c *Context, id, title string, specs []designSpec, notes []str
 		}
 		row := []string{b.Name}
 		for _, s := range specs {
-			net, err := s.build(c)
+			net, err := s.build(ctx, c)
 			if err != nil {
 				return nil, err
 			}
 			m := naive
 			if s.mapped {
-				if m, err = c.Mapped(b.Name); err != nil {
+				if m, err = c.Mapped(ctx, b.Name); err != nil {
 					return nil, err
 				}
 			}
@@ -96,18 +97,26 @@ func evaluateSpecs(c *Context, id, title string, specs []designSpec, notes []str
 
 // Fig8 reproduces Figure 8: distance-based power topologies with and
 // without QAP thread mapping, normalized to the single-mode base mNoC.
-func Fig8(c *Context) (*Table, error) {
+func Fig8(ctx context.Context, c *Context) (*Table, error) {
 	n := c.Opt.N
 	u2, u4 := power.UniformWeighting(2), power.UniformWeighting(4)
 	specs := []designSpec{
-		{"1M", false, func(*Context) (*power.MNoC, error) { return c.base, nil }},
-		{"1M_T", true, func(*Context) (*power.MNoC, error) { return c.base, nil }},
-		{"2M_N_U", false, func(c *Context) (*power.MNoC, error) { return distanceNet(c, "2M_N_U", halves(n), u2) }},
-		{"2M_T_N_U", true, func(c *Context) (*power.MNoC, error) { return distanceNet(c, "2M_N_U", halves(n), u2) }},
-		{"4M_N_U", false, func(c *Context) (*power.MNoC, error) { return distanceNet(c, "4M_N_U", quarters(n), u4) }},
-		{"4M_T_N_U", true, func(c *Context) (*power.MNoC, error) { return distanceNet(c, "4M_N_U", quarters(n), u4) }},
-		{"2M_C_U", false, func(c *Context) (*power.MNoC, error) {
-			return c.network("2M_C_U", func() (*power.MNoC, error) {
+		{"1M", false, func(context.Context, *Context) (*power.MNoC, error) { return c.base, nil }},
+		{"1M_T", true, func(context.Context, *Context) (*power.MNoC, error) { return c.base, nil }},
+		{"2M_N_U", false, func(ctx context.Context, c *Context) (*power.MNoC, error) {
+			return distanceNet(ctx, c, "2M_N_U", halves(n), u2)
+		}},
+		{"2M_T_N_U", true, func(ctx context.Context, c *Context) (*power.MNoC, error) {
+			return distanceNet(ctx, c, "2M_N_U", halves(n), u2)
+		}},
+		{"4M_N_U", false, func(ctx context.Context, c *Context) (*power.MNoC, error) {
+			return distanceNet(ctx, c, "4M_N_U", quarters(n), u4)
+		}},
+		{"4M_T_N_U", true, func(ctx context.Context, c *Context) (*power.MNoC, error) {
+			return distanceNet(ctx, c, "4M_N_U", quarters(n), u4)
+		}},
+		{"2M_C_U", false, func(ctx context.Context, c *Context) (*power.MNoC, error) {
+			return c.network(ctx, "2M_C_U", func() (*power.MNoC, error) {
 				t, err := topo.Clustered(n, 4)
 				if err != nil {
 					return nil, err
@@ -116,7 +125,7 @@ func Fig8(c *Context) (*Table, error) {
 			})
 		}},
 	}
-	return evaluateSpecs(c, "fig8",
+	return evaluateSpecs(ctx, c, "fig8",
 		"Distance-based power topologies ± QAP thread mapping (normalized mNoC power)",
 		specs,
 		[]string{
@@ -129,19 +138,19 @@ func Fig8(c *Context) (*Table, error) {
 // (N) mode assignment under sampled splitter weights (S4 = lu_cb,
 // radix, raytrace, water_s; S12 = all benchmarks), all with QAP
 // mapping.
-func Fig9(c *Context) (*Table, error) {
+func Fig9(ctx context.Context, c *Context) (*Table, error) {
 	n := c.Opt.N
-	s4, err := c.SampledMatrix(workload.SampleS4)
+	s4, err := c.SampledMatrix(ctx, workload.SampleS4)
 	if err != nil {
 		return nil, err
 	}
-	s12, err := c.SampledMatrix(workload.Names())
+	s12, err := c.SampledMatrix(ctx, workload.Names())
 	if err != nil {
 		return nil, err
 	}
-	commAwareNet := func(key string, sample *trace.Matrix, modes int) func(*Context) (*power.MNoC, error) {
-		return func(c *Context) (*power.MNoC, error) {
-			return c.network(key, func() (*power.MNoC, error) {
+	commAwareNet := func(key string, sample *trace.Matrix, modes int) func(context.Context, *Context) (*power.MNoC, error) {
+		return func(ctx context.Context, c *Context) (*power.MNoC, error) {
+			return c.network(ctx, key, func() (*power.MNoC, error) {
 				var t *topo.Topology
 				var err error
 				if modes == 2 {
@@ -157,9 +166,9 @@ func Fig9(c *Context) (*Table, error) {
 			})
 		}
 	}
-	distSampledNet := func(key string, sample *trace.Matrix, groups []int) func(*Context) (*power.MNoC, error) {
-		return func(c *Context) (*power.MNoC, error) {
-			return distanceNet(c, key, groups, power.SampledWeighting(sample))
+	distSampledNet := func(key string, sample *trace.Matrix, groups []int) func(context.Context, *Context) (*power.MNoC, error) {
+		return func(ctx context.Context, c *Context) (*power.MNoC, error) {
+			return distanceNet(ctx, c, key, groups, power.SampledWeighting(sample))
 		}
 	}
 	specs := []designSpec{
@@ -172,7 +181,7 @@ func Fig9(c *Context) (*Table, error) {
 		{"4M_T_N_S12", true, distSampledNet("4M_N_S12", s12, quarters(n))},
 		{"4M_T_G_S12", true, commAwareNet("4M_G_S12", s12, 4)},
 	}
-	return evaluateSpecs(c, "fig9",
+	return evaluateSpecs(ctx, c, "fig9",
 		"Communication-aware vs distance-based mode assignment (normalized mNoC power)",
 		specs,
 		[]string{
@@ -184,7 +193,7 @@ func Fig9(c *Context) (*Table, error) {
 // AppSpecific reproduces Section 5.5: per-benchmark custom topologies
 // (2- and 4-mode communication-aware designs built from each
 // benchmark's own profile).
-func AppSpecific(c *Context) (*Table, error) {
+func AppSpecific(ctx context.Context, c *Context) (*Table, error) {
 	t := &Table{
 		ID:     "appspecific",
 		Title:  "Application-specific power topologies (normalized mNoC power, QAP mapping)",
@@ -192,7 +201,7 @@ func AppSpecific(c *Context) (*Table, error) {
 	}
 	var v2, v4 []float64
 	for _, b := range c.Benchmarks() {
-		naive, err := c.Shape(b.Name)
+		naive, err := c.Shape(ctx, b.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +209,7 @@ func AppSpecific(c *Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		mapped, err := c.Mapped(b.Name)
+		mapped, err := c.Mapped(ctx, b.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -252,12 +261,12 @@ func AppSpecific(c *Context) (*Table, error) {
 // Sensitivity reproduces Section 5.6: how splitter-design traffic
 // weights (uniform, 66/33, 33/66, S4, S12) change total power for the
 // application-specific 2-mode topology with QAP mapping.
-func Sensitivity(c *Context) (*Table, error) {
-	s4, err := c.SampledMatrix(workload.SampleS4)
+func Sensitivity(ctx context.Context, c *Context) (*Table, error) {
+	s4, err := c.SampledMatrix(ctx, workload.SampleS4)
 	if err != nil {
 		return nil, err
 	}
-	s12, err := c.SampledMatrix(workload.Names())
+	s12, err := c.SampledMatrix(ctx, workload.Names())
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +289,7 @@ func Sensitivity(c *Context) (*Table, error) {
 	for _, wt := range weightings {
 		var vals []float64
 		for _, b := range c.Benchmarks() {
-			naive, err := c.Shape(b.Name)
+			naive, err := c.Shape(ctx, b.Name)
 			if err != nil {
 				return nil, err
 			}
@@ -288,7 +297,7 @@ func Sensitivity(c *Context) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			mapped, err := c.Mapped(b.Name)
+			mapped, err := c.Mapped(ctx, b.Name)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,7 +19,7 @@ import (
 // with radix while electrical buffering does not), so this experiment
 // always evaluates at the paper's full radix regardless of the
 // context's scale.
-func Fig2(c *Context) (*Table, error) {
+func Fig2(ctx context.Context, c *Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig2",
 		Title:  "Percent of mNoC power for QD LED and O/E vs mIOP",
@@ -65,7 +66,7 @@ func uniformTraffic(n int) *trace.Matrix {
 // Fig3 reproduces Figure 3: source power consumption relative to a
 // full-radix broadcast as the maximum broadcast distance grows from 2
 // nodes to N, for a source at the middle of the waveguide.
-func Fig3(c *Context) (*Table, error) {
+func Fig3(ctx context.Context, c *Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig3",
 		Title:  "Source power vs maximum broadcast distance",
@@ -112,7 +113,7 @@ func nearestSet(n, src, k int) []int {
 // Fig5 renders the paper's two example 8-node power topologies: the
 // clustered mapping (Fig. 5a) and the distance-based 4-mode design
 // (Fig. 5b), as adjacency matrices.
-func Fig5(c *Context) (*Table, error) {
+func Fig5(ctx context.Context, c *Context) (*Table, error) {
 	t := &Table{
 		ID:    "fig5",
 		Title: "Example power topologies (8 nodes)",
@@ -141,7 +142,7 @@ func Fig5(c *Context) (*Table, error) {
 // Fig6 reproduces Figure 6: the single-mode (broadcast) power profile
 // across source core positions — minimum at the middle of the
 // serpentine waveguide.
-func Fig6(c *Context) (*Table, error) {
+func Fig6(ctx context.Context, c *Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig6",
 		Title:  "mNoC single-mode power profile vs source position",
@@ -175,7 +176,7 @@ func Fig6(c *Context) (*Table, error) {
 // table therefore also reports each benchmark's implied network
 // intensity and thread-ID communication distance, which are genuine
 // model outputs.
-func Table4(c *Context) (*Table, error) {
+func Table4(ctx context.Context, c *Context) (*Table, error) {
 	t := &Table{
 		ID:     "table4",
 		Title:  "Base mNoC power consumption",
@@ -183,7 +184,7 @@ func Table4(c *Context) (*Table, error) {
 	}
 	var sum, distSum float64
 	for _, b := range c.Benchmarks() {
-		m, err := c.Shape(b.Name)
+		m, err := c.Shape(ctx, b.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -210,17 +211,17 @@ func Table4(c *Context) (*Table, error) {
 // Fig7 reproduces Figure 7 for water_spatial: the traffic matrix before
 // and after taboo thread mapping, and the 2-mode communication-aware
 // mode assignment under each mapping, as ASCII heatmaps.
-func Fig7(c *Context) (*Table, error) {
+func Fig7(ctx context.Context, c *Context) (*Table, error) {
 	const bench = "water_s"
 	t := &Table{
 		ID:    "fig7",
 		Title: "Thread mapping and power topologies (water_spatial)",
 	}
-	naive, err := c.Shape(bench)
+	naive, err := c.Shape(ctx, bench)
 	if err != nil {
 		return nil, err
 	}
-	mapped, err := c.Mapped(bench)
+	mapped, err := c.Mapped(ctx, bench)
 	if err != nil {
 		return nil, err
 	}

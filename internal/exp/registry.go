@@ -1,12 +1,15 @@
 package exp
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Entry is a runnable experiment.
 type Entry struct {
 	ID    string
 	Title string
-	Run   func(*Context) (*Table, error)
+	Run   func(context.Context, *Context) (*Table, error)
 }
 
 // Registry lists every reproduced table and figure in paper order.

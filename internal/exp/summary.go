@@ -1,6 +1,9 @@
 package exp
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Summary computes the paper's headline claims live and places them
 // beside the published numbers — the machine-checked version of the
@@ -8,13 +11,13 @@ import "fmt"
 // total mNoC power by up to 51% ... performance is 10% better than
 // conventional resonator-based photonic NoCs and energy is reduced by
 // 72%".
-func Summary(c *Context) (*Table, error) {
+func Summary(ctx context.Context, c *Context) (*Table, error) {
 	// Power reductions from the Fig. 8/9 machinery.
-	fig8, err := Fig8(c)
+	fig8, err := Fig8(ctx, c)
 	if err != nil {
 		return nil, err
 	}
-	fig9, err := Fig9(c)
+	fig9, err := Fig9(ctx, c)
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +52,7 @@ func Summary(c *Context) (*Table, error) {
 	}
 
 	// Energy and performance from the Fig. 10 machinery.
-	fig10, err := Fig10(c)
+	fig10, err := Fig10(ctx, c)
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +66,7 @@ func Summary(c *Context) (*Table, error) {
 	}
 	var ratioSum float64
 	for _, b := range c.Benchmarks() {
-		mc, rc, err := c.Performance(b.Name)
+		mc, rc, err := c.Performance(ctx, b.Name)
 		if err != nil {
 			return nil, err
 		}

@@ -48,6 +48,11 @@ type Config struct {
 	// PprofAddr, when non-empty, serves net/http/pprof on this address
 	// for the duration of the run (e.g. "localhost:6060").
 	PprofAddr string `json:"pprof,omitempty"`
+	// FailFast cancels a RunEntries batch on the first entry error
+	// instead of letting the remaining entries run to completion. The
+	// serve path defaults this on; bench leaves it off so a partial
+	// failure still reports every failing entry.
+	FailFast bool `json:"fail_fast,omitempty"`
 	// Fault configures the fault/degradation sweep.
 	Fault FaultConfig `json:"fault,omitempty"`
 }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -126,16 +127,28 @@ func (r *Runner) Telemetry() *telemetry.Registry { return r.tel }
 func (r *Runner) Tracer() *telemetry.Tracer { return r.tracer }
 
 // Precompute builds the per-benchmark artefacts (calibrated traffic +
-// QAP mappings) on the worker pool.
-func (r *Runner) Precompute() error { return r.ctx.Precompute(r.workers) }
+// QAP mappings) on the worker pool. It stops early when ctx is done.
+func (r *Runner) Precompute(ctx context.Context) error {
+	return r.ctx.Precompute(ctx, r.workers)
+}
 
 // RunEntries executes the experiments on the worker pool and returns
 // their tables in entry order. Every failing entry is reported (errors
-// joined in entry order), not just the first. The pool reports into
-// the run's telemetry: runner.queue_depth/active gauges track
-// scheduling, each entry records a span plus its wall time in
-// runner.entry_ms, and runner.entries/entry_errors count outcomes.
-func (r *Runner) RunEntries(entries []exp.Entry) ([]*exp.Table, error) {
+// joined in entry order), not just the first — unless Config.FailFast
+// is set, in which case the first error cancels the run context so
+// queued entries never start and in-flight entries abort at their next
+// cancellation point. A done ctx (deadline or caller cancel) has the
+// same draining effect. The pool reports into the run's telemetry:
+// runner.queue_depth/active gauges track scheduling, each entry records
+// a span plus its wall time in runner.entry_ms, and
+// runner.entries/entry_errors count outcomes.
+func (r *Runner) RunEntries(ctx context.Context, entries []exp.Entry) ([]*exp.Table, error) {
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if r.cfg.FailFast {
+		runCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
 	tables := make([]*exp.Table, len(entries))
 	errs := make([]error, len(entries))
 	sem := make(chan struct{}, r.workers)
@@ -150,13 +163,19 @@ func (r *Runner) RunEntries(entries []exp.Entry) ([]*exp.Table, error) {
 		go func(i int, e exp.Entry) {
 			defer wg.Done()
 			queued.Add(1)
-			sem <- struct{}{}
-			queued.Add(-1)
+			select {
+			case sem <- struct{}{}:
+				queued.Add(-1)
+			case <-runCtx.Done():
+				queued.Add(-1)
+				errs[i] = fmt.Errorf("%s: %w", e.ID, runCtx.Err())
+				return
+			}
 			active.Add(1)
 			defer func() { active.Add(-1); <-sem }()
 			sp := r.tracer.StartSpan("runner", "entry."+e.ID)
 			begin := time.Now()
-			t, err := e.Run(r.ctx)
+			t, err := e.Run(runCtx, r.ctx)
 			entryMS.Observe(float64(time.Since(begin)) / float64(time.Millisecond))
 			entriesC.Inc()
 			if err != nil {
@@ -166,6 +185,9 @@ func (r *Runner) RunEntries(entries []exp.Entry) ([]*exp.Table, error) {
 			sp.End()
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", e.ID, err)
+				if cancel != nil {
+					cancel()
+				}
 				return
 			}
 			tables[i] = t
@@ -173,6 +195,9 @@ func (r *Runner) RunEntries(entries []exp.Entry) ([]*exp.Table, error) {
 	}
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return tables, nil
@@ -188,14 +213,14 @@ func (r *Runner) WriteTables(w io.Writer, tables []*exp.Table) error {
 		for i, t := range tables {
 			blob, err := t.JSON()
 			if err != nil {
-				return err
+				return fmt.Errorf("table %s: encode JSON: %w", t.ID, err)
 			}
 			sep := ","
 			if i == len(tables)-1 {
 				sep = ""
 			}
 			if _, err := fmt.Fprintf(w, "%s%s\n", blob, sep); err != nil {
-				return err
+				return fmt.Errorf("table %s: %w", t.ID, err)
 			}
 		}
 		if _, err := fmt.Fprintln(w, "]"); err != nil {
@@ -204,7 +229,7 @@ func (r *Runner) WriteTables(w io.Writer, tables []*exp.Table) error {
 	} else {
 		for _, t := range tables {
 			if err := t.Fprint(w); err != nil {
-				return err
+				return fmt.Errorf("table %s: %w", t.ID, err)
 			}
 		}
 	}
@@ -219,27 +244,32 @@ func (r *Runner) WriteTables(w io.Writer, tables []*exp.Table) error {
 }
 
 // Run executes entries and writes their tables to w.
-func (r *Runner) Run(w io.Writer, entries []exp.Entry) error {
-	tables, err := r.RunEntries(entries)
+func (r *Runner) Run(ctx context.Context, w io.Writer, entries []exp.Entry) error {
+	tables, err := r.RunEntries(ctx, entries)
 	if err != nil {
 		return err
 	}
 	return r.WriteTables(w, tables)
 }
 
+// writeCSV writes one table's CSV file; every error names the table so
+// a failed batch write is attributable without re-running.
 func writeCSV(dir string, t *exp.Table) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+		return fmt.Errorf("table %s: %w", t.ID, err)
 	}
 	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
 	if err != nil {
-		return err
+		return fmt.Errorf("table %s: %w", t.ID, err)
 	}
 	if err := t.WriteCSV(f); err != nil {
 		f.Close()
-		return err
+		return fmt.Errorf("table %s: %w", t.ID, err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("table %s: %w", t.ID, err)
+	}
+	return nil
 }
 
 // Summary describes the run's cache traffic and solve work in one

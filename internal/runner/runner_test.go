@@ -2,6 +2,7 @@ package runner
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -28,11 +29,11 @@ func renderRegistry(t *testing.T, cfg Config) (string, *Runner) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Precompute(); err != nil {
+	if err := r.Precompute(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := r.Run(&buf, exp.Registry()); err != nil {
+	if err := r.Run(context.Background(), &buf, exp.Registry()); err != nil {
 		t.Fatal(err)
 	}
 	return buf.String(), r
@@ -208,14 +209,14 @@ func TestRunEntriesJoinsAllErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := func(id string) exp.Entry {
-		return exp.Entry{ID: id, Title: id, Run: func(*exp.Context) (*exp.Table, error) {
+		return exp.Entry{ID: id, Title: id, Run: func(context.Context, *exp.Context) (*exp.Table, error) {
 			return nil, os.ErrNotExist
 		}}
 	}
-	ok := exp.Entry{ID: "ok", Title: "ok", Run: func(*exp.Context) (*exp.Table, error) {
+	ok := exp.Entry{ID: "ok", Title: "ok", Run: func(context.Context, *exp.Context) (*exp.Table, error) {
 		return &exp.Table{ID: "ok", Title: "ok"}, nil
 	}}
-	_, err = r.RunEntries([]exp.Entry{boom("first"), ok, boom("second")})
+	_, err = r.RunEntries(context.Background(), []exp.Entry{boom("first"), ok, boom("second")})
 	if err == nil {
 		t.Fatal("failing entries reported no error")
 	}
@@ -223,6 +224,94 @@ func TestRunEntriesJoinsAllErrors(t *testing.T) {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("joined error misses %q: %v", want, err)
 		}
+	}
+}
+
+// TestRunEntriesFailFast: with Config.FailFast the first error cancels
+// the run context, so an in-flight entry blocked on ctx aborts; without
+// it, the run context is never cancelled and the entry completes.
+func TestRunEntriesFailFast(t *testing.T) {
+	boom := exp.Entry{ID: "boom", Title: "boom", Run: func(context.Context, *exp.Context) (*exp.Table, error) {
+		return nil, os.ErrNotExist
+	}}
+	waits := exp.Entry{ID: "waits", Title: "waits", Run: func(ctx context.Context, _ *exp.Context) (*exp.Table, error) {
+		<-ctx.Done() // only fail-fast cancellation can release this
+		return nil, ctx.Err()
+	}}
+
+	r, err := New(Config{Options: testOptions(), Workers: 2, FailFast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.RunEntries(context.Background(), []exp.Entry{boom, waits})
+	if err == nil {
+		t.Fatal("fail-fast run reported no error")
+	}
+	for _, want := range []string{"boom", "waits", context.Canceled.Error()} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("fail-fast error misses %q: %v", want, err)
+		}
+	}
+
+	// Without fail-fast the run context stays live, so "checks" takes
+	// its non-cancelled branch and succeeds despite boom's failure.
+	checks := exp.Entry{ID: "checks", Title: "checks", Run: func(ctx context.Context, _ *exp.Context) (*exp.Table, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+			return &exp.Table{ID: "checks", Title: "checks"}, nil
+		}
+	}}
+	r2, err := New(Config{Options: testOptions(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r2.RunEntries(context.Background(), []exp.Entry{boom, checks})
+	if err == nil || strings.Contains(err.Error(), "checks") {
+		t.Fatalf("non-fail-fast error should name only boom: %v", err)
+	}
+}
+
+// errWriter fails every write.
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, os.ErrClosed }
+
+// TestWriteTablesNamesFailingTable regression-tests the output error
+// wrapping: render and CSV failures must name the table that caused
+// them so a batch write stays attributable.
+func TestWriteTablesNamesFailingTable(t *testing.T) {
+	tbl := &exp.Table{ID: "tbl_x", Title: "x", Header: []string{"a"}, Rows: [][]string{{"1"}}}
+
+	r, err := New(Config{Options: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteTables(errWriter{}, []*exp.Table{tbl}); err == nil || !strings.Contains(err.Error(), "table tbl_x") {
+		t.Errorf("text write error does not name the table: %v", err)
+	}
+
+	// CSVDir pointing at an existing file makes MkdirAll fail.
+	blocked := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := New(Config{Options: testOptions(), CSVDir: blocked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rc.WriteTables(&buf, []*exp.Table{tbl}); err == nil || !strings.Contains(err.Error(), "table tbl_x") {
+		t.Errorf("CSV write error does not name the table: %v", err)
+	}
+
+	rj, err := New(Config{Options: testOptions(), JSON: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rj.WriteTables(errWriter{}, []*exp.Table{tbl}); err == nil {
+		t.Errorf("JSON write to failing writer succeeded")
 	}
 }
 

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"context"
+	"errors"
+
+	"mnoc/internal/telemetry"
+)
+
+// errOverloaded is returned when the bounded admission queue is full;
+// the HTTP layer maps it to 429 + Retry-After.
+var errOverloaded = errors.New("server: admission queue full")
+
+// admission is the server's two-stage admission controller: a bounded
+// queue caps how many requests may be waiting or running at once
+// (excess is rejected immediately with errOverloaded — clients should
+// back off, not pile up), and a worker pool caps how many computations
+// run concurrently. Waiting for a worker respects the request context,
+// so a deadline expiring in the queue surfaces as
+// context.DeadlineExceeded without ever occupying a worker.
+type admission struct {
+	queue    chan struct{} // admitted (waiting or running)
+	workers  chan struct{} // running
+	rejected *telemetry.Counter
+	queued   *telemetry.Gauge
+	inflight *telemetry.Gauge
+}
+
+func newAdmission(queueDepth, workers int, reg *telemetry.Registry) *admission {
+	return &admission{
+		queue:    make(chan struct{}, queueDepth),
+		workers:  make(chan struct{}, workers),
+		rejected: reg.Counter("server.rejected"),
+		queued:   reg.Gauge("server.queue_depth"),
+		inflight: reg.Gauge("server.inflight"),
+	}
+}
+
+// do runs fn under admission control.
+func (a *admission) do(ctx context.Context, fn func(context.Context) (any, error)) (any, error) {
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.rejected.Inc()
+		return nil, errOverloaded
+	}
+	a.queued.Add(1)
+	defer func() { a.queued.Add(-1); <-a.queue }()
+	select {
+	case a.workers <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	a.inflight.Add(1)
+	defer func() { a.inflight.Add(-1); <-a.workers }()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return fn(ctx)
+}

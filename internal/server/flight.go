@@ -1,0 +1,92 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"mnoc/internal/telemetry"
+)
+
+// flightGroup coalesces identical concurrent requests: the first
+// caller for a key becomes the leader and runs fn once; later callers
+// with the same key join the in-flight computation and share its
+// result (and therefore its single artifact-cache write). Unlike
+// x/sync/singleflight the computation runs on its own goroutine under
+// its own context, detached from any one request: a waiter whose
+// request context expires leaves without cancelling the work, and only
+// when the LAST waiter leaves is the flight context cancelled so an
+// abandoned computation stops at its next cancellation checkpoint.
+type flightGroup struct {
+	mu        sync.Mutex
+	flights   map[string]*flight
+	coalesced *telemetry.Counter // joins onto an existing flight
+}
+
+type flight struct {
+	done    chan struct{} // closed when fn returns
+	val     any
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+func newFlightGroup(coalesced *telemetry.Counter) *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight), coalesced: coalesced}
+}
+
+// Do returns fn's result for key, running fn at most once per flight.
+// ctx bounds this caller's wait, not the computation; the computation
+// is cancelled only when every waiter has left.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		f.waiters++
+		g.coalesced.Inc()
+		g.mu.Unlock()
+		return g.wait(ctx, key, f)
+	}
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.flights[key] = f
+	g.mu.Unlock()
+	go func() {
+		f.val, f.err = fn(fctx)
+		close(f.done)
+		cancel()
+		g.mu.Lock()
+		// Only remove our own entry: a fully-abandoned flight may have
+		// been deleted already, and a new flight may own the key.
+		if g.flights[key] == f {
+			delete(g.flights, key)
+		}
+		g.mu.Unlock()
+	}()
+	return g.wait(ctx, key, f)
+}
+
+// wait blocks until the flight completes or ctx expires; leaving early
+// releases this caller's claim on the flight.
+func (g *flightGroup) wait(ctx context.Context, key string, f *flight) (any, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		g.leave(key, f)
+		return nil, ctx.Err()
+	}
+}
+
+// leave drops one waiter; the last one out cancels the computation and
+// unpublishes the flight so new requests start fresh instead of
+// joining a dying one.
+func (g *flightGroup) leave(key string, f *flight) {
+	g.mu.Lock()
+	f.waiters--
+	if f.waiters == 0 {
+		f.cancel()
+		if g.flights[key] == f {
+			delete(g.flights, key)
+		}
+	}
+	g.mu.Unlock()
+}

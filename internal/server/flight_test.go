@@ -1,0 +1,173 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mnoc/internal/telemetry"
+)
+
+// TestFlightGroupCoalesces: with the leader's fn parked on a channel,
+// every concurrent Do for the same key joins the one flight — fn runs
+// once, the coalesced counter counts the joins, and all callers get
+// the leader's result.
+func TestFlightGroupCoalesces(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g := newFlightGroup(reg.Counter("server.coalesced"))
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	runs := 0
+	fn := func(context.Context) (any, error) {
+		runs++
+		close(started)
+		<-release
+		return "result", nil
+	}
+
+	leaderDone := make(chan struct{})
+	var leaderVal any
+	var leaderErr error
+	go func() {
+		defer close(leaderDone)
+		leaderVal, leaderErr = g.Do(context.Background(), "k", fn)
+	}()
+	<-started // fn is running; the flight is published
+
+	const joiners = 7
+	var wg sync.WaitGroup
+	vals := make([]any, joiners)
+	errs := make([]error, joiners)
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], errs[i] = g.Do(context.Background(), "k", func(context.Context) (any, error) {
+				t.Error("joiner ran its own fn")
+				return nil, nil
+			})
+		}(i)
+	}
+	// Joins happen-before each waiter blocks on done, and the counter is
+	// bumped under the group lock at join time.
+	waitFor(t, func() bool { return reg.Counter("server.coalesced").Value() == joiners })
+	close(release)
+	<-leaderDone
+	wg.Wait()
+
+	if runs != 1 {
+		t.Errorf("fn ran %d times, want 1", runs)
+	}
+	if leaderVal != "result" || leaderErr != nil {
+		t.Errorf("leader got (%v, %v)", leaderVal, leaderErr)
+	}
+	for i := 0; i < joiners; i++ {
+		if vals[i] != "result" || errs[i] != nil {
+			t.Errorf("joiner %d got (%v, %v)", i, vals[i], errs[i])
+		}
+	}
+	g.mu.Lock()
+	if len(g.flights) != 0 {
+		t.Errorf("%d flights left in the map", len(g.flights))
+	}
+	g.mu.Unlock()
+}
+
+// TestFlightGroupLastWaiterCancels: when the only waiter abandons the
+// flight, the computation's context is cancelled and the key is
+// unpublished so the next Do starts a fresh flight.
+func TestFlightGroupLastWaiterCancels(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g := newFlightGroup(reg.Counter("server.coalesced"))
+
+	started := make(chan struct{})
+	cancelled := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		close(cancelled)
+		return nil, ctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Do(ctx, "k", fn)
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned waiter got %v, want context.Canceled", err)
+	}
+	// The last waiter leaving cancels the flight context...
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight context never cancelled")
+	}
+	// ...and unpublishes the key, so a new Do runs fresh rather than
+	// joining the dying flight.
+	val, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return "fresh", nil
+	})
+	if val != "fresh" || err != nil {
+		t.Fatalf("fresh Do got (%v, %v)", val, err)
+	}
+	if got := reg.Counter("server.coalesced").Value(); got != 0 {
+		t.Errorf("coalesced = %d, want 0", got)
+	}
+}
+
+// TestAdmissionOverload: a full queue rejects immediately; a request
+// whose deadline expires while waiting for a worker surfaces
+// context.DeadlineExceeded without running fn.
+func TestAdmissionOverload(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := newAdmission(1, 1, reg)
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a.do(context.Background(), func(context.Context) (any, error) {
+			close(started)
+			<-block
+			return nil, nil
+		})
+	}()
+	<-started // queue and worker both held
+
+	if _, err := a.do(context.Background(), nil); !errors.Is(err, errOverloaded) {
+		t.Fatalf("got %v, want errOverloaded", err)
+	}
+	if got := reg.Counter("server.rejected").Value(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+
+	close(block)
+	<-done
+
+	// Queue free, worker occupied directly: a deadline fires while
+	// queued and fn never runs.
+	a.workers <- struct{}{}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := a.do(ctx, func(context.Context) (any, error) {
+		t.Error("fn ran despite expired deadline")
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	<-a.workers
+
+	// Both stages released their slots.
+	if _, err := a.do(context.Background(), func(context.Context) (any, error) { return 1, nil }); err != nil {
+		t.Fatalf("admission did not recover: %v", err)
+	}
+}

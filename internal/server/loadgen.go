@@ -1,0 +1,172 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mnoc/internal/telemetry"
+)
+
+// LoadOptions configures one load-generation run against a live
+// server (`mnoc load`).
+type LoadOptions struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Requests is the total request count.
+	Requests int
+	// Concurrency is the number of in-flight requests.
+	Concurrency int
+	// Mix lists the request bodies to cycle through deterministically
+	// (request i sends Mix[i%len]). Empty gets DefaultMix.
+	Mix []SolveRequest
+	// Timeout bounds each request on the client side.
+	Timeout time.Duration
+}
+
+// DefaultMix cycles three cache-friendly solves across design kinds.
+func DefaultMix() []SolveRequest {
+	return []SolveRequest{
+		{Bench: "fft", Kind: "comm4", QAP: true},
+		{Bench: "barnes", Kind: "dist4"},
+		{Bench: "water_s", Kind: "comm2", QAP: true},
+	}
+}
+
+// LoadResult summarises a load run. Latency percentiles come from a
+// client-side telemetry histogram (load.request_ms) via
+// HistogramSnapshot.Quantile.
+type LoadResult struct {
+	Requests   int           `json:"requests"`
+	Failures   int           `json:"failures"`
+	Wall       time.Duration `json:"-"`
+	WallMS     int64         `json:"wall_ms"`
+	Throughput float64       `json:"throughput_rps"`
+	P50MS      float64       `json:"p50_ms"`
+	P90MS      float64       `json:"p90_ms"`
+	P99MS      float64       `json:"p99_ms"`
+	// Statuses counts responses by HTTP status (0 = transport error).
+	Statuses map[int]int `json:"statuses"`
+}
+
+// String renders the one-line human summary `mnoc load` prints.
+func (r *LoadResult) String() string {
+	return fmt.Sprintf(
+		"%d requests, %d failures in %.2fs (%.1f req/s) | latency p50=%.2fms p90=%.2fms p99=%.2fms",
+		r.Requests, r.Failures, r.Wall.Seconds(), r.Throughput, r.P50MS, r.P90MS, r.P99MS)
+}
+
+// loadMSBuckets is the client-side latency layout: finer than the
+// server's at the sub-millisecond end, since warm-cache solves are
+// fast.
+var loadMSBuckets = []float64{0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10_000}
+
+// RunLoad fires opts.Requests POST /v1/solve requests at the server
+// and reports throughput plus latency percentiles. The request mix is
+// deterministic, so a repeat run against a warm server is pure cache
+// hits — the acceptance check that coalescing plus the artifact cache
+// hold up under concurrency.
+func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
+	if opts.Requests <= 0 {
+		return nil, fmt.Errorf("server: load needs requests > 0, got %d", opts.Requests)
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Concurrency > opts.Requests {
+		opts.Concurrency = opts.Requests
+	}
+	if len(opts.Mix) == 0 {
+		opts.Mix = DefaultMix()
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 60 * time.Second
+	}
+	bodies := make([][]byte, len(opts.Mix))
+	for i, m := range opts.Mix {
+		blob, err := json.Marshal(m)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = blob
+	}
+	url := opts.BaseURL + "/v1/solve"
+	client := &http.Client{Timeout: opts.Timeout}
+
+	reg := telemetry.NewRegistry()
+	lat := reg.Histogram("load.request_ms", loadMSBuckets...)
+	var failures atomic.Int64
+	var mu sync.Mutex
+	statuses := make(map[int]int)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opts.Requests || ctx.Err() != nil {
+					return
+				}
+				status := fire(ctx, client, url, bodies[i%len(bodies)], lat)
+				if status != http.StatusOK {
+					failures.Add(1)
+				}
+				mu.Lock()
+				statuses[status]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(begin)
+
+	snap := reg.Snapshot().Histograms["load.request_ms"]
+	sent := int(next.Load())
+	if sent > opts.Requests {
+		sent = opts.Requests
+	}
+	res := &LoadResult{
+		Requests:   sent,
+		Failures:   int(failures.Load()),
+		Wall:       wall,
+		WallMS:     wall.Milliseconds(),
+		Throughput: float64(sent) / wall.Seconds(),
+		P50MS:      snap.Quantile(0.50),
+		P90MS:      snap.Quantile(0.90),
+		P99MS:      snap.Quantile(0.99),
+		Statuses:   statuses,
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// fire sends one request and returns its HTTP status (0 on transport
+// failure), recording the latency.
+func fire(ctx context.Context, client *http.Client, url string, body []byte, lat *telemetry.Histogram) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	begin := time.Now()
+	resp, err := client.Do(req)
+	lat.Observe(float64(time.Since(begin)) / float64(time.Millisecond))
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}

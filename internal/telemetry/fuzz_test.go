@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -62,5 +63,28 @@ func FuzzExporters(f *testing.F) {
 		if !json.Valid(ms.Bytes()) {
 			t.Fatalf("metrics report invalid JSON: %s", ms.String())
 		}
+
+		// The Prometheus text exporter must sanitise the same hostile
+		// names into the exposition-format charset: every non-comment
+		// line is `name value` or `name_bucket{le="..."} value` with a
+		// parseable float/int value.
+		reg.Gauge(ak).Set(float64(start))
+		var prom bytes.Buffer
+		if err := reg.Snapshot().WritePrometheus(&prom); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		for i, line := range strings.Split(strings.TrimRight(prom.String(), "\n"), "\n") {
+			if line == "" || strings.HasPrefix(line, "# TYPE ") {
+				continue
+			}
+			if !promLineRE.MatchString(line) {
+				t.Fatalf("prometheus line %d malformed: %q", i, line)
+			}
+		}
 	})
 }
+
+// promLineRE matches one Prometheus sample line: sanitised metric
+// name, optional {le="..."} label, and a decimal value.
+var promLineRE = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]*"\})? (-?\d+(\.\d+)?([eE][-+]?\d+)?|[-+]?Inf|NaN)$`)

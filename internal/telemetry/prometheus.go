@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters as `counter`, gauges as
+// `gauge`, histograms as `histogram` with cumulative `_bucket{le=...}`
+// series plus `_sum` and `_count`. Metric families are emitted in
+// sorted name order so the output is canonical for a given snapshot.
+// Dotted metric names are sanitised to the Prometheus charset
+// ([a-zA-Z0-9_:]), e.g. `artifact.get_ms` becomes `artifact_get_ms`.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(&b, "%s %d\n", pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(&b, "%s %s\n", pn, promFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		var cum uint64
+		for _, bkt := range h.Buckets {
+			cum += bkt.Count
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", pn, bkt.LE, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promName maps a dotted metric name onto the Prometheus name charset:
+// every rune outside [a-zA-Z0-9_:] becomes '_', and a leading digit is
+// prefixed with '_'. Empty names become "_".
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects; non-finite
+// values export as 0 to match the JSON snapshot's sanitising.
+func promFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded
+// distribution by linear interpolation inside the bucket that holds
+// the target rank — the standard fixed-bucket estimate (what
+// Prometheus's histogram_quantile computes server-side). The lowest
+// bucket interpolates from 0; a rank landing in the +Inf overflow
+// bucket reports the largest finite bound (there is no upper edge to
+// interpolate towards). Returns 0 when the histogram is empty or q is
+// out of range.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	var cum uint64
+	lower := 0.0
+	for _, bkt := range h.Buckets {
+		prev := cum
+		cum += bkt.Count
+		if float64(cum) < rank || bkt.Count == 0 {
+			if le, err := strconv.ParseFloat(bkt.LE, 64); err == nil && !math.IsInf(le, 0) {
+				lower = le
+			}
+			continue
+		}
+		le, err := strconv.ParseFloat(bkt.LE, 64)
+		if err != nil || math.IsInf(le, 1) {
+			// Overflow bucket: no finite upper edge.
+			return lower
+		}
+		frac := (rank - float64(prev)) / float64(bkt.Count)
+		return lower + (le-lower)*frac
+	}
+	return lower
+}

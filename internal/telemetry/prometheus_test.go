@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("artifact.hit").Add(3)
+	reg.Gauge("runner.active").Set(2.5)
+	h := reg.Histogram("runner.entry_ms", 1, 10, 100)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5000)
+
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE artifact_hit counter\nartifact_hit 3\n",
+		"# TYPE runner_active gauge\nrunner_active 2.5\n",
+		"# TYPE runner_entry_ms histogram\n",
+		"runner_entry_ms_bucket{le=\"1\"} 1\n",
+		"runner_entry_ms_bucket{le=\"10\"} 2\n",
+		"runner_entry_ms_bucket{le=\"100\"} 2\n",
+		"runner_entry_ms_bucket{le=\"+Inf\"} 3\n",
+		"runner_entry_ms_sum 5005.5\n",
+		"runner_entry_ms_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts: the le="10" line must include the
+	// le="1" observations (2, not 1) — checked above.
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"artifact.get_ms": "artifact_get_ms",
+		"power.mode0":     "power_mode0",
+		"0weird":          "_0weird",
+		"":                "_",
+		"ok:name":         "ok:name",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q", 10, 20, 40)
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // all in (0,10]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(15) // all in (10,20]
+	}
+	s := reg.Snapshot().Histograms["q"]
+
+	// Median rank (10 of 20) is the upper edge of the first bucket.
+	if got := s.Quantile(0.5); math.Abs(got-10) > 1e-9 {
+		t.Errorf("p50 = %g, want 10", got)
+	}
+	// p75 (rank 15) interpolates halfway through the second bucket.
+	if got := s.Quantile(0.75); math.Abs(got-15) > 1e-9 {
+		t.Errorf("p75 = %g, want 15", got)
+	}
+	// p100 is the top of the last occupied bucket.
+	if got := s.Quantile(1); math.Abs(got-20) > 1e-9 {
+		t.Errorf("p100 = %g, want 20", got)
+	}
+	// Overflow-bucket ranks clamp to the largest finite bound.
+	h.Observe(1e9)
+	s = reg.Snapshot().Histograms["q"]
+	if got := s.Quantile(1); math.Abs(got-40) > 1e-9 {
+		t.Errorf("overflow p100 = %g, want 40", got)
+	}
+	// Degenerate inputs.
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+	if got := s.Quantile(-1); got != 0 {
+		t.Errorf("q<0 = %g, want 0", got)
+	}
+	if got := s.Quantile(math.NaN()); got != 0 {
+		t.Errorf("q=NaN = %g, want 0", got)
+	}
+}
