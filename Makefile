@@ -3,14 +3,20 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz golden golden-check \
+.PHONY: check vet lint build test race fuzz golden golden-check \
 	metrics-golden metrics-check
 
 # The tier-1 gate: everything below must pass before merging.
-check: vet build test race
+check: vet lint build test race
 
 vet:
 	$(GO) vet ./...
+
+# The domain lint suite (cmd/mnoclint, docs/LINT.md): determinism,
+# unit-safety, metric-name cardinality, context threading and error
+# wrapping. Pure stdlib, so it runs offline like everything else here.
+lint:
+	$(GO) run ./cmd/mnoclint ./...
 
 build:
 	$(GO) build ./...
@@ -18,14 +24,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the packages with concurrency or shared
-# state: the fault/recovery layer plus the runner's parallel scheduler,
-# artifact cache, telemetry registry and the HTTP server (admission,
-# coalescing, shutdown).
+# Race-detector pass over the whole tree: cheap enough now that the
+# heavy solves are cached, and it catches races in packages that only
+# become concurrent indirectly (e.g. exp entries on the runner pool).
 race:
-	$(GO) test -race ./internal/fault/... ./internal/noc/... \
-		./internal/sim/... ./internal/dynamic/... ./internal/stats/... \
-		./internal/runner/... ./internal/telemetry/... ./internal/server/...
+	$(GO) test -race ./...
 
 # Regenerate the golden quick-scale benchmark tables. Run after an
 # intentional change to experiment output and commit the diff.

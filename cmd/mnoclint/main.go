@@ -1,0 +1,102 @@
+// Command mnoclint runs the repository's domain lint suite: five
+// analyzers enforcing determinism of the golden-producing packages,
+// µW/W/dB unit safety, fixed-cardinality telemetry names, context
+// threading and cross-package error wrapping. It is pure stdlib
+// (go/parser + go/types with the source importer) and needs no
+// network or tool downloads.
+//
+// Usage:
+//
+//	mnoclint [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module root.
+// Diagnostics print as file:line:col: analyzer: message; the exit
+// status is 1 when any diagnostic is reported, 2 on usage or load
+// errors. Findings are suppressed by an adjacent
+// //mnoclint:allow <analyzer> <reason> directive (see docs/LINT.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mnoc/internal/analysis"
+	"mnoc/internal/analysis/registry"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mnoclint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := registry.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mnoclint:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewModuleLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mnoclint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mnoclint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mnoclint:", err)
+		os.Exit(2)
+	}
+	if len(diags) == 0 {
+		return
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d.String())
+	}
+	os.Exit(1)
+}
+
+// findModuleRoot walks upward from the working directory to the
+// nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,129 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against expectations written in the fixtures
+// themselves, mirroring the golang.org/x/tools analysistest convention:
+//
+//	reg.Counter("svc." + kind) // want `not a constant string`
+//
+// Fixture packages live under testdata/src/<path> next to the test and
+// are loaded with the fixture loader, so they may import lightweight
+// stand-ins (phys, telemetry, ...) that also live under testdata/src.
+// Each `// want` comment holds one or more quoted regular expressions
+// (double- or back-quoted); every expectation must be matched by a
+// diagnostic on that line, and every diagnostic must match an
+// expectation, or the test fails. The regexp is matched against
+// "analyzer: message" so expectations can pin the analyzer name too.
+package analysistest
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mnoc/internal/analysis"
+)
+
+// want is one expectation: a regexp that must match a diagnostic
+// reported at file:line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// wantMarker introduces expectations inside fixture source.
+const wantMarker = "// want "
+
+// quotedRE extracts the quoted regexps after a want marker.
+var quotedRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads the fixture packages named by pkgs from testdata/src, runs
+// the analyzer over them, and checks the diagnostics (including
+// malformed-directive findings from the engine) against the fixtures'
+// `// want` comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	RunAnalyzers(t, []*analysis.Analyzer{a}, pkgs...)
+}
+
+// RunAnalyzers is Run for a set of analyzers sharing one fixture tree.
+func RunAnalyzers(t *testing.T, analyzers []*analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewFixtureLoader("testdata/src")
+	loaded, err := loader.Load(pkgs...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := analysis.Run(loaded, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	wants := collectWants(t, loaded)
+
+	for _, d := range diags {
+		if w := match(wants, d); w == nil {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// match finds and consumes the first unhit expectation covering d.
+func match(wants []*want, d analysis.Diagnostic) *want {
+	text := d.Analyzer + ": " + d.Message
+	for _, w := range wants {
+		if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(text) {
+			w.hit = true
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants scans every fixture file for want comments.
+func collectWants(t *testing.T, pkgs []*analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			filename := pkg.Fset.Position(f.Package).Filename
+			src, err := os.ReadFile(filename)
+			if err != nil {
+				t.Fatalf("reading fixture: %v", err)
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				idx := strings.Index(line, wantMarker)
+				if idx < 0 {
+					continue
+				}
+				rest := line[idx+len(wantMarker):]
+				quoted := quotedRE.FindAllString(rest, -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s:%d: want comment with no quoted regexp", filename, i+1)
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %s: %v", filename, i+1, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: compiling %s: %v", filename, i+1, q, err)
+					}
+					wants = append(wants, &want{file: filename, line: i + 1, re: re, raw: q})
+				}
+			}
+		}
+	}
+	return wants
+}

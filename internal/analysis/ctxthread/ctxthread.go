@@ -1,0 +1,71 @@
+// Package ctxthread enforces the context-threading convention the
+// HTTP service depends on: once a function has accepted a
+// context.Context, every blocking call below it must observe that
+// context's deadline and cancellation. Minting a fresh
+// context.Background() (or TODO()) inside such a function silently
+// detaches the subtree from the caller's deadline — the exact bug the
+// per-request deadline plumbing of the serve path exists to prevent.
+// Binaries under cmd/ (package main) are exempt: that is where root
+// contexts are legitimately created.
+package ctxthread
+
+import (
+	"go/ast"
+
+	"mnoc/internal/analysis"
+)
+
+// Analyzer is the context-threading rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxthread",
+	Doc: "a function that receives a context.Context may not call " +
+		"context.Background or context.TODO (non-main packages); thread the parameter",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !receivesContext(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, name := range []string{"Background", "TODO"} {
+					if analysis.IsPkgFunc(pass.Info, call, "context", name) {
+						pass.Reportf(call.Pos(),
+							"%s already receives a context.Context but calls context.%s, detaching this subtree from the caller's deadline and cancellation; thread the parameter (or derive with context.WithoutCancel if detaching is the point)",
+							fd.Name.Name, name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// receivesContext reports whether fd declares a parameter of type
+// context.Context.
+func receivesContext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if tv.Type.String() == "context.Context" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxthread_test
+
+import (
+	"testing"
+
+	"mnoc/internal/analysis/analysistest"
+	"mnoc/internal/analysis/ctxthread"
+)
+
+func TestCtxThread(t *testing.T) {
+	analysistest.Run(t, ctxthread.Analyzer, "svc", "mainpkg")
+}

@@ -1,0 +1,15 @@
+// Package main is exempt from ctxthread: binaries are where root
+// contexts are legitimately created.
+package main
+
+import "context"
+
+func run(ctx context.Context) error {
+	_, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	return nil
+}
+
+func main() {
+	_ = run(context.Background())
+}

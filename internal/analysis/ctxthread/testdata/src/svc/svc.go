@@ -1,0 +1,26 @@
+// Package svc exercises the ctxthread analyzer: a function that
+// already receives a context may not mint a fresh root context.
+package svc
+
+import "context"
+
+func Handle(ctx context.Context) error {
+	bg := context.Background() // want `ctxthread: Handle already receives a context.Context but calls context.Background`
+	_ = bg
+	todo := context.TODO() // want `ctxthread: Handle already receives a context.Context but calls context.TODO`
+	_ = todo
+	return work(ctx)
+}
+
+func Root() context.Context {
+	return context.Background() // no context parameter: fine
+}
+
+func work(ctx context.Context) error {
+	return ctx.Err() // threading the parameter: fine
+}
+
+func Detached(ctx context.Context, fn func(context.Context)) {
+	//mnoclint:allow ctxthread fixture: the subtree deliberately outlives the caller
+	fn(context.Background())
+}

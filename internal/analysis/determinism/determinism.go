@@ -1,0 +1,137 @@
+// Package determinism flags nondeterminism in the golden-producing
+// packages. The paper tables (testdata/golden/*) must reproduce
+// byte-for-byte across runs and worker counts, so the packages that
+// compute or emit them — exp, power, workload, stats, runner — may not
+// read the wall clock, draw from the globally-seeded math/rand source,
+// or print while ranging over a map.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mnoc/internal/analysis"
+)
+
+// Analyzer is the determinism rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now, global math/rand and map-ordered output in the " +
+		"golden-producing packages (exp, power, workload, stats, runner)",
+	Run: run,
+}
+
+// goldenPackages are the package names whose output feeds the golden
+// tables of testdata/golden/.
+var goldenPackages = map[string]bool{
+	"exp":      true,
+	"power":    true,
+	"workload": true,
+	"stats":    true,
+	"runner":   true,
+}
+
+// seededConstructors are the math/rand functions that do NOT touch the
+// global source and are therefore fine: they build explicitly seeded
+// generators.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// outputCallNames match calls that emit bytes in map-iteration order:
+// fmt printing and io writing verbs.
+func isOutputCallName(name string) bool {
+	switch {
+	case strings.HasPrefix(name, "Print"),
+		strings.HasPrefix(name, "Fprint"),
+		strings.HasPrefix(name, "Write"):
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !goldenPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"time.Now in golden-producing package %s: wall-clock values make output nondeterministic; inject the timestamp or keep it out of emitted tables",
+				pass.Pkg.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level functions draw from the shared global source;
+		// methods on an explicitly seeded *rand.Rand are fine.
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() == nil && !seededConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"global math/rand.%s in golden-producing package %s: use rand.New(rand.NewSource(seed)) so runs reproduce",
+				fn.Name(), pass.Pkg.Name())
+		}
+	}
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	// Does the body emit output directly? Accumulating into a slice or
+	// map and sorting afterwards is the deterministic idiom and is not
+	// flagged.
+	var bad ast.Node
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if isOutputCallName(name) {
+			bad = call
+		}
+		return true
+	})
+	if bad != nil {
+		pass.Reportf(rng.Pos(),
+			"output inside range over unsorted map in golden-producing package %s: map order is random per run; collect keys, sort, then emit",
+			pass.Pkg.Name())
+	}
+}

@@ -1,0 +1,51 @@
+// Package exp is a fixture named after a golden-producing package, so
+// the determinism analyzer checks it.
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func Timestamp() int64 {
+	return time.Now().Unix() // want `determinism: time\.Now in golden-producing package exp`
+}
+
+func Jitter() float64 {
+	return rand.Float64() // want `determinism: global math/rand\.Float64 in golden-producing package exp`
+}
+
+func Shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // explicitly seeded: fine
+	return r.Float64()
+}
+
+func Emit(m map[string]int) {
+	for k, v := range m { // want `output inside range over unsorted map in golden-producing package exp`
+		fmt.Println(k, v)
+	}
+}
+
+func Accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m { // accumulation without output: fine
+		total += v
+	}
+	return total
+}
+
+func EmitSlice(xs []string) {
+	for _, x := range xs { // ranging a slice is ordered: fine
+		fmt.Println(x)
+	}
+}
+
+func Allowed() int64 {
+	//mnoclint:allow determinism fixture: wall clock feeds a log line, never a table
+	return time.Now().Unix()
+}

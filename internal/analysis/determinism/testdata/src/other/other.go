@@ -1,0 +1,16 @@
+// Package other is not a golden-producing package, so wall clocks and
+// the global rand source are fine here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Timestamp() int64 {
+	return time.Now().Unix()
+}
+
+func Jitter() float64 {
+	return rand.Float64()
+}

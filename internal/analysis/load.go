@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, ready for analyzers.
+type Package struct {
+	// Fset is the loader's file set, shared by every package it loads.
+	Fset *token.FileSet
+	// Path is the import path the package was loaded under.
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files are the non-test source files, sorted by filename.
+	Files []*ast.File
+	// Types and Info hold the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages from source. Module-local
+// import paths resolve to directories under the module root (or, for
+// fixture loaders, under an arbitrary source root); everything else is
+// delegated to the compiler's source importer, which type-checks the
+// standard library from GOROOT/src and therefore works offline.
+//
+// Test files (*_test.go) are never loaded: the lint suite targets the
+// code that produces shipped artifacts, and tests legitimately use
+// wall clocks, hand-unrolled unit math and context.Background.
+type Loader struct {
+	Fset *token.FileSet
+
+	root       string // directory that anchors resolution
+	modulePath string // module import-path prefix; "" for fixture loaders
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+	// loading guards against import cycles during recursive loads.
+	loading map[string]bool
+}
+
+func newLoader(root, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		root:       root,
+		modulePath: modulePath,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}
+}
+
+// NewModuleLoader returns a Loader rooted at moduleDir, reading the
+// module path from go.mod.
+func NewModuleLoader(moduleDir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading module file: %w", err)
+	}
+	mod := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			mod = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if mod == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", moduleDir)
+	}
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: resolving module dir: %w", err)
+	}
+	return newLoader(abs, mod), nil
+}
+
+// NewFixtureLoader returns a Loader whose import paths resolve
+// directly to subdirectories of root — the testdata/src convention
+// used by the analyzer fixture tests.
+func NewFixtureLoader(root string) *Loader {
+	return newLoader(root, "")
+}
+
+// dirFor maps an import path to a local source directory, or ok=false
+// when the path belongs to the standard library (or is otherwise not
+// ours to load).
+func (l *Loader) dirFor(path string) (string, bool) {
+	if l.modulePath != "" {
+		if path == l.modulePath {
+			return l.root, true
+		}
+		if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+			return filepath.Join(l.root, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, true
+	}
+	return "", false
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom, chaining module-local
+// paths to recursive source loads and everything else to the standard
+// library importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if d, ok := l.dirFor(path); ok {
+		pkg, err := l.load(path, d)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// Load parses and type-checks the packages named by patterns. A
+// pattern is an import path relative to the loader root ("./x/y" or
+// "x/y"), optionally ending in "/..." to walk a subtree; the bare
+// pattern "./..." loads the whole tree. Results are returned sorted
+// by import path, deduplicated.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	paths := map[string]string{} // import path -> dir
+	for _, pat := range patterns {
+		if err := l.expand(pat, paths); err != nil {
+			return nil, err
+		}
+	}
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	out := make([]*Package, 0, len(sorted))
+	for _, p := range sorted {
+		pkg, err := l.load(p, paths[p])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// expand resolves one pattern into import-path -> dir entries.
+func (l *Loader) expand(pat string, into map[string]string) error {
+	walk := false
+	if pat == "..." || strings.HasSuffix(pat, "/...") {
+		walk = true
+		pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+	}
+	rel := strings.TrimPrefix(pat, "./")
+	base := filepath.Join(l.root, filepath.FromSlash(rel))
+	if !walk {
+		path := l.importPath(rel)
+		if !hasGoFiles(base) {
+			return fmt.Errorf("analysis: no buildable Go files in %s", base)
+		}
+		into[path] = base
+		return nil
+	}
+	return filepath.WalkDir(base, func(dir string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if dir != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(dir) {
+			return nil
+		}
+		sub, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return err
+		}
+		into[l.importPath(filepath.ToSlash(sub))] = dir
+		return nil
+	})
+}
+
+// importPath turns a root-relative slash path into the import path the
+// package will be loaded under.
+func (l *Loader) importPath(rel string) string {
+	rel = strings.Trim(rel, "/")
+	if l.modulePath == "" {
+		return rel
+	}
+	if rel == "" || rel == "." {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + rel
+}
+
+// hasGoFiles reports whether dir contains at least one non-test .go
+// file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// load parses and type-checks the package in dir under import path
+// path, memoized per loader.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Fset: l.Fset, Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,60 @@
+// Package metricnames keeps the telemetry name set fixed-cardinality.
+// The golden files testdata/golden/metrics_names*.txt pin every
+// counter, gauge and histogram name a run registers; a name built with
+// fmt.Sprintf over request data would explode that set (and any
+// downstream dashboard) one label at a time. Registration calls on the
+// telemetry registry must therefore pass a constant string — a
+// literal, a package-level constant, or a concatenation of those.
+package metricnames
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"mnoc/internal/analysis"
+)
+
+// Analyzer is the fixed-cardinality metric-name rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc: "telemetry Counter/Gauge/Histogram names must be constant strings " +
+		"(literals or named constants), never computed at run time",
+	Run: run,
+}
+
+// registrars are the telemetry.Registry methods whose first argument
+// is a metric name.
+var registrars = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+func run(pass *analysis.Pass) error {
+	// telemetry itself may loop over names in its registry internals.
+	if analysis.PackageMatches(pass.Pkg, "telemetry") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.Info, call)
+			if fn == nil || !registrars[fn.Name()] || !analysis.PackageMatches(fn.Pkg(), "telemetry") {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.Info.Types[arg]
+			if ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				return true
+			}
+			pass.Reportf(arg.Pos(),
+				"metric name passed to telemetry %s is not a constant string: dynamic names are cardinality bombs and break the golden name set (testdata/golden/metrics_names*.txt); use a literal or package-level const",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

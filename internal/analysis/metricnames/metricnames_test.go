@@ -1,0 +1,12 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"mnoc/internal/analysis/analysistest"
+	"mnoc/internal/analysis/metricnames"
+)
+
+func TestMetricNames(t *testing.T) {
+	analysistest.Run(t, metricnames.Analyzer, "svc", "telemetry")
+}

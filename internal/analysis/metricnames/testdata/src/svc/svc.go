@@ -1,0 +1,39 @@
+// Package svc exercises the metricnames analyzer: registrar calls must
+// receive constant metric names.
+package svc
+
+import (
+	"fmt"
+
+	"telemetry"
+)
+
+const evalName = "svc.evaluations"
+
+const prefix = "svc."
+
+func Record(reg *telemetry.Registry, kind string, mode int) {
+	reg.Counter("svc.requests").Inc()  // literal: fine
+	reg.Counter(evalName).Inc()        // named constant: fine
+	reg.Counter(prefix + "solves")     // constant concatenation: fine
+	reg.Counter("svc." + kind).Inc()   // want `metricnames: metric name passed to telemetry Counter is not a constant string`
+	reg.Gauge(fmt.Sprintf("m%d", mode)) // want `metricnames: metric name passed to telemetry Gauge is not a constant string`
+	reg.Histogram(histName(mode), 1, 10) // want `metricnames: metric name passed to telemetry Histogram is not a constant string`
+}
+
+func histName(mode int) string { return fmt.Sprintf("svc.mode%d", mode) }
+
+// Counter shadows the registrar name on an unrelated type; calls to it
+// are not registrations.
+type local struct{}
+
+func (local) Counter(name string) int { return len(name) }
+
+func Unrelated(l local, kind string) int {
+	return l.Counter("x." + kind) // not the telemetry registry: fine
+}
+
+func Allowed(reg *telemetry.Registry, mode int) {
+	//mnoclint:allow metricnames fixture: mode count is bounded and pinned by a golden
+	reg.Counter(fmt.Sprintf("svc.mode%d", mode)).Inc()
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"fmt"
+)
+
+// Run applies every analyzer to every package, filters findings
+// through the packages' //mnoclint:allow directives, and returns the
+// surviving diagnostics sorted by position. Malformed directives are
+// returned as diagnostics themselves (analyzer "mnoclint") and cannot
+// be suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		// Directive index per file, plus malformed-directive findings.
+		fileSup := map[string]suppressions{}
+		for _, f := range pkg.Files {
+			filename := pkg.Fset.Position(f.Package).Filename
+			fileSup[filename] = parseDirectives(pkg.Fset, f, known, func(d Diagnostic) {
+				out = append(out, d)
+			})
+		}
+
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				report:   func(d Diagnostic) { raw = append(raw, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		for _, d := range raw {
+			if sup, ok := fileSup[d.Pos.Filename]; ok && sup.allows(d.Analyzer, d.Pos.Line) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}

@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mnoc/internal/analysis"
+	"mnoc/internal/analysis/registry"
+)
+
+// TestRepositoryLintClean loads the whole module and runs the full
+// analyzer suite over it — exactly what `mnoclint ./...` does — and
+// fails on any finding. This pins the repository's lint-clean state:
+// a change that reintroduces a wall clock in exp or an unwrapped error
+// in runner fails here, not just in the CI lint job.
+func TestRepositoryLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module")
+	}
+	loader, err := analysis.NewModuleLoader("../..")
+	if err != nil {
+		t.Fatalf("module loader: %v", err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the walk is missing the tree", len(pkgs))
+	}
+	diags, err := analysis.Run(pkgs, registry.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

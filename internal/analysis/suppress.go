@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces a suppression comment. The grammar is
+//
+//	//mnoclint:allow <analyzer> <reason...>
+//
+// attached either at the end of the offending line or as a standalone
+// comment on the line immediately above it. The analyzer name must be
+// one of the analyzers in the run, and the reason is mandatory: an
+// unexplained suppression is itself a diagnostic, never a silent pass.
+const DirectivePrefix = "//mnoclint:"
+
+// directiveAnalyzer is the pseudo-analyzer name malformed-directive
+// diagnostics are reported under. It is reserved: directives cannot
+// suppress it.
+const directiveAnalyzer = "mnoclint"
+
+// directive is one parsed //mnoclint:allow comment.
+type directive struct {
+	pos      token.Pos
+	line     int
+	analyzer string
+	reason   string
+}
+
+// suppressions indexes the well-formed allow directives of one file:
+// line number -> analyzer names allowed on that line and the next.
+type suppressions map[int]map[string]bool
+
+// parseDirectives scans a file's comments for mnoclint directives.
+// Well-formed allow directives are returned as suppressions; malformed
+// ones (unknown verb, missing analyzer, missing reason, analyzer not
+// in the run) are reported as diagnostics under the reserved
+// "mnoclint" analyzer name.
+func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, report func(Diagnostic)) suppressions {
+	sup := suppressions{}
+	bad := func(pos token.Pos, format string, args ...any) {
+		report(Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: directiveAnalyzer,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+			if !ok {
+				continue
+			}
+			verb, args, _ := strings.Cut(rest, " ")
+			if verb != "allow" {
+				bad(c.Pos(), "unknown directive %q: only %sallow is recognized", DirectivePrefix+verb, DirectivePrefix)
+				continue
+			}
+			name, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+			reason = strings.TrimSpace(reason)
+			if name == "" {
+				bad(c.Pos(), "malformed allow directive: missing analyzer name (want %sallow <analyzer> <reason>)", DirectivePrefix)
+				continue
+			}
+			if !known[name] {
+				bad(c.Pos(), "allow directive names unknown analyzer %q", name)
+				continue
+			}
+			if reason == "" {
+				bad(c.Pos(), "allow directive for %q has no reason: every suppression must say why", name)
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if sup[line] == nil {
+				sup[line] = map[string]bool{}
+			}
+			sup[line][name] = true
+		}
+	}
+	return sup
+}
+
+// allows reports whether a diagnostic from analyzer at line is covered
+// by a directive on the same line or the line directly above.
+func (s suppressions) allows(analyzer string, line int) bool {
+	return s[line][analyzer] || s[line-1][analyzer]
+}

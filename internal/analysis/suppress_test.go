@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string, known map[string]bool) (suppressions, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing: %v", err)
+	}
+	var got []Diagnostic
+	sup := parseDirectives(fset, f, known, func(d Diagnostic) { got = append(got, d) })
+	return sup, got
+}
+
+func TestParseDirectivesWellFormed(t *testing.T) {
+	const src = `package p
+
+//mnoclint:allow determinism clock feeds telemetry only
+var a = 1
+
+func f() {
+	_ = a //mnoclint:allow units same-line directive
+}
+`
+	known := map[string]bool{"determinism": true, "units": true}
+	sup, got := parseSrc(t, src, known)
+	if len(got) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", got)
+	}
+	// The line-3 directive covers line 3 and the line below it.
+	if !sup.allows("determinism", 3) || !sup.allows("determinism", 4) {
+		t.Error("directive does not cover its own line and the next")
+	}
+	if sup.allows("determinism", 5) {
+		t.Error("directive leaks two lines down")
+	}
+	if sup.allows("units", 4) {
+		t.Error("directive suppresses an analyzer it does not name")
+	}
+	if !sup.allows("units", 7) {
+		t.Error("same-line directive not registered")
+	}
+}
+
+func TestParseDirectivesMalformed(t *testing.T) {
+	const src = `package p
+
+//mnoclint:deny determinism x
+//mnoclint:allow
+//mnoclint:allow nosuch reason here
+//mnoclint:allow determinism
+`
+	known := map[string]bool{"determinism": true}
+	sup, got := parseSrc(t, src, known)
+
+	wantMsgs := []string{
+		"unknown directive",
+		"missing analyzer name",
+		"unknown analyzer",
+		"has no reason",
+	}
+	if len(got) != len(wantMsgs) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(got), len(wantMsgs), got)
+	}
+	for i, msg := range wantMsgs {
+		if got[i].Analyzer != "mnoclint" {
+			t.Errorf("diag %d analyzer = %q, want mnoclint", i, got[i].Analyzer)
+		}
+		if !strings.Contains(got[i].Message, msg) {
+			t.Errorf("diag %d = %q, want mention of %q", i, got[i].Message, msg)
+		}
+		if got[i].Pos.Line != i+3 {
+			t.Errorf("diag %d at line %d, want %d", i, got[i].Pos.Line, i+3)
+		}
+	}
+	// None of the malformed directives registers a suppression.
+	for line := 1; line <= 8; line++ {
+		if sup.allows("determinism", line) {
+			t.Errorf("malformed directive registered a suppression at line %d", line)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+// Package alpha is an engine-test fixture.
+package alpha
+
+func A() int {
+	return 1
+}

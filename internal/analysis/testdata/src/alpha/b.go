@@ -1,0 +1,6 @@
+// Second file of alpha: positions must resolve per file.
+package alpha
+
+func B() int {
+	return 2
+}

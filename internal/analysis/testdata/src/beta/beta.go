@@ -1,0 +1,18 @@
+// Package beta exercises cross-package loading and directives.
+package beta
+
+import "alpha"
+
+func C() int {
+	//mnoclint:allow flagret covered by the engine test
+	return alpha.A()
+}
+
+func D() int {
+	return alpha.B()
+}
+
+//mnoclint:nonsense not a verb
+//mnoclint:allow
+//mnoclint:allow unknownanalyzer some reason
+//mnoclint:allow flagret

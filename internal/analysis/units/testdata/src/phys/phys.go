@@ -1,0 +1,10 @@
+// Package phys is a fixture stand-in for the repository's conversion
+// layer: mentioning anything from it marks a unit crossing as
+// deliberate.
+package phys
+
+// Watt is the µW-per-W conversion factor.
+const Watt = 1e6
+
+// DBToLinear converts a decibel quantity to a linear ratio.
+func DBToLinear(db float64) float64 { return db }

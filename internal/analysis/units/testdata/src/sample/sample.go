@@ -1,0 +1,64 @@
+// Package sample exercises the units analyzer: µW/W/dB suffixed
+// identifiers may not cross-assign or cross-add without going through
+// phys.
+package sample
+
+import "phys"
+
+type Breakdown struct {
+	SourceUW float64
+}
+
+func Direct(totalWatts float64) float64 {
+	var powerUW float64
+	powerUW = totalWatts // want `units: µW-suffixed "powerUW" assigned from a W-carrying expression`
+	return powerUW
+}
+
+func Declared(lossDB float64) float64 {
+	var marginUW = lossDB // want `units: µW-suffixed "marginUW" assigned from a dB-carrying expression`
+	return marginUW
+}
+
+func Converted(totalWatts float64) float64 {
+	powerUW := totalWatts * phys.Watt // routed through phys: fine
+	return powerUW
+}
+
+func Field(b *Breakdown, lossDB float64) {
+	b.SourceUW = lossDB // want `units: µW-suffixed "SourceUW" assigned from a dB-carrying expression`
+}
+
+func Literal(totalWatts float64) Breakdown {
+	return Breakdown{SourceUW: totalWatts} // want `units: µW-suffixed "SourceUW" assigned from a W-carrying expression`
+}
+
+func Compare(marginDB, budgetUW float64) bool {
+	return marginDB > budgetUW // want `units: dB and µW quantities mixed by ">"`
+}
+
+func Sum(totalWatts, extraUW float64) float64 {
+	return extraUW + totalWatts // want `units: µW and W quantities mixed by "\+"`
+}
+
+func CompareConverted(marginDB, budgetUW float64) bool {
+	return phys.DBToLinear(marginDB) > budgetUW // phys in the expression: fine
+}
+
+func Scaled(gainDB, refUW float64) float64 {
+	return refUW * gainDB // multiplication legitimately changes units: fine
+}
+
+func SameClass(aUW, bUW float64) float64 {
+	return aUW + bUW // same class on both sides: fine
+}
+
+func Acronym(THDB int, n int) int {
+	return THDB + n // no lower-case/digit before the suffix: not a unit name
+}
+
+func Allowed(totalWatts float64) float64 {
+	//mnoclint:allow units fixture exercises the directive path
+	rawUW := totalWatts
+	return rawUW
+}

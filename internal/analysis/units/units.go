@@ -1,0 +1,240 @@
+// Package units flags optical-power unit slips. The code base carries
+// power as float64 microwatts (see internal/phys); identifiers say
+// which unit they hold through a suffix convention — `UW` (µW),
+// `Watts` (W), `DB`/`DBM` (decibel quantities). Mixing two of those
+// classes in one assignment or arithmetic expression without going
+// through the phys conversion layer is exactly the silent unit slip
+// that corrupts every downstream loss-budget figure, so it is a lint
+// error. Routing the value through anything in phys (DBToLinear,
+// LossToTransmission, the Watt/MilliWatt constants, ...) marks the
+// conversion as deliberate and satisfies the rule.
+package units
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mnoc/internal/analysis"
+)
+
+// Analyzer is the unit-safety rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "units",
+	Doc: "forbid mixing µW/W/dB-suffixed identifiers in one assignment or " +
+		"expression unless the value is routed through the phys conversion helpers",
+	Run: run,
+}
+
+// class is a unit family; mixing two distinct classes is the error.
+type class string
+
+const (
+	classUW    class = "µW"
+	classWatts class = "W"
+	classDB    class = "dB"
+)
+
+// classOf returns the unit class an identifier name declares through
+// its suffix, or "" when the name carries no unit. Suffix matching
+// requires a lower-case letter or digit before the suffix (SourceUW,
+// loss3DB) so all-caps acronyms do not false-positive.
+func classOf(name string) class {
+	for _, s := range []struct {
+		suffix string
+		cls    class
+	}{
+		{"UW", classUW},
+		{"Watts", classWatts},
+		{"DBM", classDB},
+		{"DBm", classDB},
+		{"DB", classDB},
+	} {
+		if rest, ok := strings.CutSuffix(name, s.suffix); ok {
+			if rest == "" {
+				return s.cls // bare "UW"/"DB" parameter names
+			}
+			last := rest[len(rest)-1]
+			if last >= 'a' && last <= 'z' || last >= '0' && last <= '9' {
+				return s.cls
+			}
+		}
+	}
+	switch strings.ToLower(name) {
+	case "uw":
+		return classUW
+	case "watts":
+		return classWatts
+	case "db", "dbm":
+		return classDB
+	}
+	return ""
+}
+
+func run(pass *analysis.Pass) error {
+	// phys itself is the conversion layer: its whole job is crossing
+	// unit boundaries.
+	if analysis.PackageMatches(pass.Pkg, "phys") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						checkFlow(pass, n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						checkFlow(pass, n.Names[i], n.Values[i])
+					}
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok {
+					checkFlow(pass, key, n.Value)
+				}
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFlow flags rhs flowing into a unit-suffixed lhs while
+// mentioning a different unit class, unless the expression goes
+// through phys.
+func checkFlow(pass *analysis.Pass, lhs ast.Expr, rhs ast.Expr) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		id = selectorIdent(lhs)
+		if id == nil {
+			return
+		}
+	}
+	want := classOf(id.Name)
+	if want == "" || !numericIdent(pass, id) {
+		return
+	}
+	got := foreignClass(rhs, want)
+	if got == "" {
+		return
+	}
+	if analysis.MentionsPackage(pass.Info, rhs, "phys") {
+		return
+	}
+	pass.Reportf(rhs.Pos(),
+		"%s-suffixed %q assigned from a %s-carrying expression without a phys conversion: route the value through the phys helpers (DBToLinear, LossToTransmission, phys.Watt, ...)",
+		want, id.Name, got)
+}
+
+// checkBinary flags arithmetic/comparison whose two operands carry
+// different unit classes with no phys routing in sight.
+func checkBinary(pass *analysis.Pass, b *ast.BinaryExpr) {
+	switch b.Op.String() {
+	case "+", "-", "<", ">", "<=", ">=", "==", "!=":
+	default:
+		// Multiplication and division legitimately change units
+		// (power × time, ratio scaling); additive and comparison
+		// operators are the ones that require operands in the same
+		// unit.
+		return
+	}
+	l := soleClass(b.X)
+	r := soleClass(b.Y)
+	if l == "" || r == "" || l == r {
+		return
+	}
+	if !numericExpr(pass, b.X) || !numericExpr(pass, b.Y) {
+		return
+	}
+	if analysis.MentionsPackage(pass.Info, b, "phys") {
+		return
+	}
+	pass.Reportf(b.Pos(),
+		"%s and %s quantities mixed by %q without a phys conversion: convert one side first (phys.DBToLinear / phys.Watt / ...)",
+		l, r, b.Op)
+}
+
+// numericIdent reports whether id resolves to a numerically-typed
+// object; unit classes only make sense on numbers.
+func numericIdent(pass *analysis.Pass, id *ast.Ident) bool {
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return isNumericType(obj.Type())
+}
+
+// numericExpr reports whether e's resolved type is numeric.
+func numericExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && isNumericType(tv.Type)
+}
+
+func isNumericType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// selectorIdent returns the field identifier of a selector lhs
+// (b.SourceUW = ...), or nil.
+func selectorIdent(e ast.Expr) *ast.Ident {
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		return sel.Sel
+	}
+	return nil
+}
+
+// foreignClass returns a unit class found inside e that differs from
+// want, or "".
+func foreignClass(e ast.Expr, want class) class {
+	var got class
+	ast.Inspect(e, func(n ast.Node) bool {
+		if got != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if c := classOf(id.Name); c != "" && c != want {
+			got = c
+		}
+		return true
+	})
+	return got
+}
+
+// soleClass returns the single unit class mentioned inside e, or ""
+// when e mentions zero classes or more than one (a mixed subtree is
+// reported where the mixing happens, not again at every enclosing
+// node).
+func soleClass(e ast.Expr) class {
+	classes := map[class]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if c := classOf(id.Name); c != "" {
+				classes[c] = true
+			}
+		}
+		return true
+	})
+	if len(classes) != 1 {
+		return ""
+	}
+	for c := range classes {
+		return c
+	}
+	return ""
+}

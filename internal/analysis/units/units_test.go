@@ -1,0 +1,12 @@
+package units_test
+
+import (
+	"testing"
+
+	"mnoc/internal/analysis/analysistest"
+	"mnoc/internal/analysis/units"
+)
+
+func TestUnits(t *testing.T) {
+	analysistest.Run(t, units.Analyzer, "sample", "phys")
+}

@@ -1,0 +1,8 @@
+// Package dep is the foreign error origin for the wrapcheck fixtures.
+package dep
+
+import "errors"
+
+func Fetch() error { return errors.New("boom") }
+
+func Value() (int, error) { return 0, errors.New("boom") }

@@ -1,0 +1,75 @@
+// Package runner is a fixture named after a checked orchestration
+// package: its exported functions must wrap cross-package errors.
+package runner
+
+import (
+	"errors"
+	"fmt"
+
+	"dep"
+)
+
+// ErrBudget is a package-local sentinel; returning it raw is fine.
+var ErrBudget = errors.New("runner: budget exceeded")
+
+func Leak() error {
+	err := dep.Fetch()
+	if err != nil {
+		return err // want `wrapcheck: error from dep\.Fetch returned unwrapped across the runner package boundary`
+	}
+	return nil
+}
+
+func Direct() error {
+	return dep.Fetch() // want `wrapcheck: result of dep\.Fetch returned directly across the runner package boundary`
+}
+
+func Tuple() (int, error) {
+	v, err := dep.Value()
+	if err != nil {
+		return 0, err // want `wrapcheck: error from dep\.Value returned unwrapped`
+	}
+	return v, nil
+}
+
+func Wrapped() error {
+	if err := dep.Fetch(); err != nil {
+		return fmt.Errorf("runner: fetch: %w", err)
+	}
+	return nil
+}
+
+func Rebound() error {
+	err := dep.Fetch()
+	if err != nil {
+		err = fmt.Errorf("runner: fetch: %w", err) // re-assignment clears the raw origin
+		return err
+	}
+	return nil
+}
+
+func Sentinel() error {
+	return ErrBudget
+}
+
+func Local() error {
+	return helper() // same-package origin: fine
+}
+
+func Spawn() func() error {
+	return func() error {
+		return dep.Fetch() // function literals are out of scope
+	}
+}
+
+func helper() error { return errors.New("runner: helper") }
+
+func unexported() error {
+	return dep.Fetch() // only the exported surface is checked
+}
+
+func Allowed() error {
+	err := dep.Fetch()
+	//mnoclint:allow wrapcheck fixture keeps the raw error on purpose
+	return err
+}

@@ -1,0 +1,186 @@
+// Package wrapcheck enforces error wrapping at the API surface of the
+// orchestration layers. An error that crosses a package boundary out
+// of runner, server or exp unwrapped arrives at the operator as a bare
+// "file does not exist" with no bench, table or artifact-key context —
+// the failure-triage path (runner aggregation, fault-sweep point
+// errors, HTTP error bodies) depends on every hop adding its frame via
+// fmt.Errorf("...: %w", err) or a typed error. This analyzer flags
+// exported functions in those packages that return an error obtained
+// from another package verbatim.
+package wrapcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mnoc/internal/analysis"
+)
+
+// Analyzer is the error-wrapping rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "wrapcheck",
+	Doc: "exported functions of runner, server and exp must wrap errors " +
+		"from other packages (%w or typed error) before returning them",
+	Run: run,
+}
+
+// checkedPackages are the layers whose exported surface must add
+// context to every outbound error.
+var checkedPackages = map[string]bool{
+	"runner": true,
+	"server": true,
+	"exp":    true,
+}
+
+// exemptOriginPkgs produce errors that are self-describing or are the
+// wrapping machinery itself: re-wrapping fmt.Errorf output, errors.New
+// sentinels, or ctx.Err() adds nothing.
+var exemptOriginPkgs = map[string]bool{
+	"errors":  true,
+	"fmt":     true,
+	"context": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !checkedPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !returnsError(pass, fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// returnsError reports whether fd's signature includes an error result.
+func returnsError(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	res := obj.Type().(*types.Signature).Results()
+	for i := 0; i < res.Len(); i++ {
+		if analysis.IsErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc walks fd's body in source order, tracking which
+// error-typed locals currently hold a raw cross-package error, and
+// reports returns that leak one. Function literals are skipped whole:
+// their returns are not fd's returns, and goroutine/closure error
+// plumbing has its own conventions.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	raw := map[types.Object]string{} // error var -> "pkg.Func" origin
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			recordAssign(pass, n, raw)
+		case *ast.ReturnStmt:
+			checkReturn(pass, n, raw)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// crossPkgOrigin returns a "pkg.Func" label when call invokes a
+// function or method defined outside the package under analysis (and
+// outside the exempt error/fmt/context machinery) that can yield an
+// error needing context; otherwise "".
+func crossPkgOrigin(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if fn.Pkg() == pass.Pkg || exemptOriginPkgs[fn.Pkg().Name()] {
+		return ""
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+// recordAssign updates the raw set for one assignment: error locals
+// assigned from a cross-package call become raw; any other assignment
+// clears them (wrapping via fmt.Errorf, local constructors, etc.).
+func recordAssign(pass *analysis.Pass, as *ast.AssignStmt, raw map[types.Object]string) {
+	origin := ""
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			origin = crossPkgOrigin(pass, call)
+		}
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil || !analysis.IsErrorType(obj.Type()) {
+			continue
+		}
+		if origin != "" {
+			raw[obj] = origin
+		} else {
+			delete(raw, obj)
+		}
+	}
+}
+
+// checkReturn flags results that are raw cross-package errors: either
+// a tracked local or a direct `return otherpkg.F()` pass-through.
+func checkReturn(pass *analysis.Pass, ret *ast.ReturnStmt, raw map[types.Object]string) {
+	for _, res := range ret.Results {
+		switch res := ast.Unparen(res).(type) {
+		case *ast.Ident:
+			if origin, ok := raw[pass.Info.Uses[res]]; ok {
+				pass.Reportf(res.Pos(),
+					"error from %s returned unwrapped across the %s package boundary: add context with fmt.Errorf(\"...: %%w\", err) or a typed error",
+					origin, pass.Pkg.Name())
+			}
+		case *ast.CallExpr:
+			origin := crossPkgOrigin(pass, res)
+			if origin == "" {
+				continue
+			}
+			if tv, ok := pass.Info.Types[res]; ok && resultHasError(tv.Type) {
+				pass.Reportf(res.Pos(),
+					"result of %s returned directly across the %s package boundary: capture the error and wrap it with %%w or a typed error",
+					origin, pass.Pkg.Name())
+			}
+		}
+	}
+}
+
+// resultHasError reports whether a call-result type includes an error.
+func resultHasError(t types.Type) bool {
+	if analysis.IsErrorType(t) {
+		return true
+	}
+	tup, ok := t.(*types.Tuple)
+	if !ok {
+		return false
+	}
+	for i := 0; i < tup.Len(); i++ {
+		if analysis.IsErrorType(tup.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package wrapcheck_test
+
+import (
+	"testing"
+
+	"mnoc/internal/analysis/analysistest"
+	"mnoc/internal/analysis/wrapcheck"
+)
+
+func TestWrapcheck(t *testing.T) {
+	analysistest.Run(t, wrapcheck.Analyzer, "runner", "dep")
+}

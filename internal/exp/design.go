@@ -95,7 +95,7 @@ func (c *Context) EvaluateDesign(ctx context.Context, kind, bench string, mapped
 	}
 	b, err := net.Evaluate(m, c.Opt.Cycles)
 	if err != nil {
-		return power.Breakdown{}, 0, err
+		return power.Breakdown{}, 0, fmt.Errorf("exp: evaluating design %s on %s: %w", kind, bench, err)
 	}
 	return b, baseW, nil
 }

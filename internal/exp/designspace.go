@@ -38,7 +38,7 @@ func DesignSpace(ctx context.Context, c *Context) (*Table, error) {
 		cfg := c.Cfg.WithMIOP(miop)
 		base, err := power.NewBaseMNoC(cfg)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: designspace: base mNoC at mIOP %.0f: %w", miop, err)
 		}
 		for _, modes := range []int{1, 2, 4, 8} {
 			var net *power.MNoC
@@ -48,10 +48,10 @@ func DesignSpace(ctx context.Context, c *Context) (*Table, error) {
 				groups := evenPartition(n, modes)
 				tp, err := topo.DistanceBased(n, groups)
 				if err != nil {
-					return nil, err
+					return nil, fmt.Errorf("exp: designspace: %d-mode topology: %w", modes, err)
 				}
 				if net, err = power.NewMNoC(cfg, tp, power.UniformWeighting(modes)); err != nil {
-					return nil, err
+					return nil, fmt.Errorf("exp: designspace: %d-mode network: %w", modes, err)
 				}
 			}
 			var abs, norm []float64
@@ -73,7 +73,7 @@ func DesignSpace(ctx context.Context, c *Context) (*Table, error) {
 			}
 			h, err := stats.HarmonicMean(norm)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exp: designspace: reduction mean: %w", err)
 			}
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprintf("%.0f", miop),
@@ -135,7 +135,7 @@ func TrimSweep(ctx context.Context, c *Context) (*Table, error) {
 	for _, trim := range []float64{20, 40, 60, 80, 100} {
 		rnoc, err := power.NewRNoC(n, 4)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: trimsweep: rNoC model: %w", err)
 		}
 		rnoc.Ring.TrimmingUWPerRing = trim
 		var rSum, mSum, pSum float64
@@ -151,15 +151,15 @@ func TrimSweep(ctx context.Context, c *Context) (*Table, error) {
 			}
 			rb, err := rnoc.Evaluate(naive, c.Opt.Cycles)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exp: trimsweep: rNoC on %s: %w", b.Name, err)
 			}
 			mb, err := c.base.Evaluate(naive, c.Opt.Cycles)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exp: trimsweep: base mNoC on %s: %w", b.Name, err)
 			}
 			pb, err := pt.Evaluate(mapped, c.Opt.Cycles)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exp: trimsweep: PT mNoC on %s: %w", b.Name, err)
 			}
 			rSum += rb.TotalWatts() / k
 			mSum += mb.TotalWatts() * tM / k
@@ -182,7 +182,7 @@ func LoadSweep(ctx context.Context, c *Context) (*Table, error) {
 	const cycles = 50_000
 	bench, err := workload.Synthetic("uniform")
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: loadsweep: uniform workload: %w", err)
 	}
 	t := &Table{
 		ID:     "loadsweep",
@@ -197,7 +197,7 @@ func LoadSweep(ctx context.Context, c *Context) (*Table, error) {
 		packets := int(load * float64(n) * cycles / 4)
 		tr, err := bench.Trace(n, cycles, packets, c.Opt.Seed)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: loadsweep: trace at load %.2f: %w", load, err)
 		}
 		for i := range tr.Packets {
 			tr.Packets[i].Flits = 4
@@ -215,11 +215,11 @@ func LoadSweep(ctx context.Context, c *Context) (*Table, error) {
 				net, err = noc.NewMWSR(n)
 			}
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exp: loadsweep: %s network: %w", mk, err)
 			}
 			st, err := noc.ReplayObserved(net, tr, c.reg)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exp: loadsweep: replay on %s: %w", mk, err)
 			}
 			row = append(row, f2(st.AvgLatency))
 		}

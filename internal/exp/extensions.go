@@ -85,7 +85,7 @@ func Conventional(ctx context.Context, c *Context) (*Table, error) {
 		}
 		net, err := power.NewMNoC(c.Cfg, tp, power.UniformWeighting(tp.Modes))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: conventional: %s network: %w", b.name, err)
 		}
 		var vals []float64
 		for _, bench := range c.Benchmarks() {
@@ -105,7 +105,7 @@ func Conventional(ctx context.Context, c *Context) (*Table, error) {
 		}
 		h, err := stats.HarmonicMean(vals)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: conventional: %s mean: %w", b.name, err)
 		}
 		t.Rows = append(t.Rows, []string{b.name, fmt.Sprintf("%d", tp.Modes), f3(h)})
 	}
@@ -152,7 +152,7 @@ func Joint(ctx context.Context, c *Context) (*Table, error) {
 				QAPIters: c.Opt.QAPIters / 2, Seed: c.Opt.Seed, Cycles: c.Opt.Cycles,
 			})
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exp: joint family-%d optimisation on %s: %w", fam, name, err)
 			}
 			seq := res.PowerTrailW[0]
 			best := seq
@@ -178,22 +178,22 @@ func Dynamic(ctx context.Context, c *Context) (*Table, error) {
 		{Bench: "barnes", Cycles: 12_000_000, Flits: 300_000},
 	}, c.Opt.Seed)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: dynamic: phased trace: %w", err)
 	}
 	for i := range tr.Packets {
 		tr.Packets[i].Flits *= 16 // cache-line bursts
 	}
 	tp, err := topo.DistanceBased(n, halves(n))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: dynamic: topology: %w", err)
 	}
 	net, err := power.NewMNoC(c.Cfg, tp, power.UniformWeighting(2))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: dynamic: network: %w", err)
 	}
 	res, err := dynamic.Run(net, tr, mapping.Identity(n), dynamic.DefaultPolicy())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: dynamic: controller run: %w", err)
 	}
 	t := &Table{
 		ID:     "dynamic",
@@ -226,12 +226,12 @@ func BroadcastInv(ctx context.Context, c *Context) (*Table, error) {
 	for _, name := range []string{"ocean_c", "fft", "water_ns"} {
 		b, err := workload.ByName(name)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: broadcastinv: benchmark %s: %w", name, err)
 		}
 		cfg := sim.DefaultConfig(n)
 		streams, err := sim.StreamsFromBenchmark(b, cfg, c.Opt.SimAccesses, c.Opt.Seed)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: broadcastinv: streams for %s: %w", name, err)
 		}
 		run := func(broadcast bool) (*sim.Result, error) {
 			cfg := sim.DefaultConfig(n)
@@ -281,7 +281,7 @@ func MWSRCompare(ctx context.Context, c *Context) (*Table, error) {
 	n := c.Opt.N
 	mwsr, err := power.NewMWSRNoC(c.Cfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: mwsr: network model: %w", err)
 	}
 	pt, err := c.bestPTNetwork(ctx)
 	if err != nil {
@@ -303,11 +303,11 @@ func MWSRCompare(ctx context.Context, c *Context) (*Table, error) {
 		}
 		ptB, err := pt.Evaluate(mapped, c.Opt.Cycles)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: mwsr: PT network on %s: %w", b.Name, err)
 		}
 		mwB, err := mwsr.Evaluate(mapped, c.Opt.Cycles)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: mwsr: MWSR network on %s: %w", b.Name, err)
 		}
 		vSWMR = append(vSWMR, 1.0)
 		vPT = append(vPT, ptB.TotalWatts()/baseW)
@@ -315,37 +315,37 @@ func MWSRCompare(ctx context.Context, c *Context) (*Table, error) {
 	}
 	hPT, err := stats.HarmonicMean(vPT)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: mwsr: PT mean: %w", err)
 	}
 	hMW, err := stats.HarmonicMean(vMWSR)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: mwsr: MWSR mean: %w", err)
 	}
 
 	// Latency comparison on one representative trace.
 	b, err := workload.ByName("fft")
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: mwsr: latency benchmark: %w", err)
 	}
 	tr, err := b.Trace(n, 100_000, 20_000, c.Opt.Seed)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: mwsr: latency trace: %w", err)
 	}
 	sw, err := noc.NewMNoC(n)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: mwsr: SWMR network: %w", err)
 	}
 	mw, err := noc.NewMWSR(n)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: mwsr: MWSR network: %w", err)
 	}
 	swStats, err := noc.ReplayObserved(sw, tr, c.reg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: mwsr: SWMR replay: %w", err)
 	}
 	mwStats, err := noc.ReplayObserved(mw, tr, c.reg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: mwsr: MWSR replay: %w", err)
 	}
 
 	return &Table{
@@ -394,15 +394,15 @@ func Signal(ctx context.Context, c *Context) (*Table, error) {
 	modeOf := fourModeAssignment(n, src)
 	d, err := splitter.Solve(c.Cfg.Splitter, src, modeOf, []float64{0.55, 0.25, 0.15, 0.05})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: signal: splitter design: %w", err)
 	}
 	link, err := signal.NewLink(c.Cfg.Splitter.PminUW)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: signal: link model: %w", err)
 	}
 	rep, err := signal.Audit(d, modeOf, link, 1e-9)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: signal: audit: %w", err)
 	}
 	t := &Table{
 		ID:     "signal",
@@ -428,12 +428,12 @@ func Variation(ctx context.Context, c *Context) (*Table, error) {
 	modeOf := fourModeAssignment(n, src)
 	d, err := splitter.Solve(c.Cfg.Splitter, src, modeOf, []float64{0.55, 0.25, 0.15, 0.05})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: variation: splitter design: %w", err)
 	}
 	sigmas := []float64{0.01, 0.02, 0.05, 0.10}
 	results, err := variation.Sweep(d, modeOf, c.Cfg.Splitter.PminUW, sigmas, 500, c.Opt.Seed)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: variation: sweep: %w", err)
 	}
 	t := &Table{
 		ID:     "variation",
@@ -466,12 +466,12 @@ func ProtocolAblation(ctx context.Context, c *Context) (*Table, error) {
 	for _, name := range []string{"ocean_c", "water_ns"} {
 		b, err := workload.ByName(name)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: protocol: benchmark %s: %w", name, err)
 		}
 		baseCfg := sim.DefaultConfig(n)
 		streams, err := sim.StreamsFromBenchmark(b, baseCfg, c.Opt.SimAccesses, c.Opt.Seed)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: protocol: streams for %s: %w", name, err)
 		}
 		run := func(p coherence.Protocol) (*sim.Result, error) {
 			cfg := sim.DefaultConfig(n)
@@ -524,7 +524,7 @@ func AlphaGrid(ctx context.Context, c *Context) (*Table, error) {
 	weights := []float64{0.55, 0.25, 0.15, 0.05}
 	costs, err := splitter.ModeCosts(p, src, modeOf, 4)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: alphagrid: mode costs: %w", err)
 	}
 	t := &Table{
 		ID:     "alphagrid",

@@ -119,11 +119,11 @@ func Fig10(ctx context.Context, c *Context) (*Table, error) {
 	n := c.Opt.N
 	rnoc, err := power.NewRNoC(n, 4)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: fig10: rNoC model: %w", err)
 	}
 	cmnoc, err := power.NewCMNoC(n, 4)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: fig10: c_mNoC model: %w", err)
 	}
 	pt, err := c.bestPTNetwork(ctx)
 	if err != nil {
@@ -153,19 +153,19 @@ func Fig10(ctx context.Context, c *Context) (*Table, error) {
 
 		bR, err := rnoc.Evaluate(naive, c.Opt.Cycles)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: fig10: rNoC eval: %w", err)
 		}
 		bM, err := c.base.Evaluate(naive, c.Opt.Cycles)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: fig10: base mNoC eval: %w", err)
 		}
 		bC, err := cmnoc.Evaluate(naive, c.Opt.Cycles)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: fig10: c_mNoC eval: %w", err)
 		}
 		bP, err := pt.Evaluate(mapped, c.Opt.Cycles)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: fig10: PT mNoC eval: %w", err)
 		}
 		// rNoC and c_mNoC share the clustered timing (runtime 1); the
 		// flat crossbars run tM of that.
@@ -222,7 +222,7 @@ func MaxRadix(budgetUW float64, lossDBPerCM float64) (int, error) {
 		p := splitter.ParamsFromDevices(l, device.DefaultPhotodetector(), device.DefaultChromophore(), 1.0, 0.2)
 		d, err := splitter.BroadcastDesign(p, radix/2)
 		if err != nil {
-			return 0, err
+			return 0, fmt.Errorf("exp: radix-%d broadcast design: %w", radix, err)
 		}
 		if led.ElectricalPower(d.ModePowerUW[0]) > budgetUW {
 			break

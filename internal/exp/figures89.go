@@ -2,6 +2,8 @@ package exp
 
 import (
 	"context"
+	"fmt"
+
 	"mnoc/internal/power"
 	"mnoc/internal/stats"
 	"mnoc/internal/topo"
@@ -222,11 +224,11 @@ func AppSpecific(ctx context.Context, c *Context) (*Table, error) {
 				tp, err = topo.CommAware(mapped, topo.ScalePartition(topo.Paper4ModePartition, c.Opt.N), "C4_"+b.Name)
 			}
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exp: comm-aware %d-mode topology for %s: %w", modes, b.Name, err)
 			}
 			net, err := power.NewMNoC(c.Cfg, tp, power.SampledWeighting(mapped))
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exp: comm-aware %d-mode network for %s: %w", modes, b.Name, err)
 			}
 			w, err := c.evaluateWatts(net, mapped)
 			if err != nil {
@@ -244,11 +246,11 @@ func AppSpecific(ctx context.Context, c *Context) (*Table, error) {
 	}
 	h2, err := stats.HarmonicMean(v2)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: 2-mode mean: %w", err)
 	}
 	h4, err := stats.HarmonicMean(v4)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: 4-mode mean: %w", err)
 	}
 	t.Rows = append(t.Rows, []string{"hmean", f3(h2), f3(h4)})
 	t.Notes = []string{
@@ -303,11 +305,11 @@ func Sensitivity(ctx context.Context, c *Context) (*Table, error) {
 			}
 			tp, err := topo.CommAware2Mode(mapped, c.Cfg.Splitter, "sens_"+b.Name)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exp: sensitivity topology for %s: %w", b.Name, err)
 			}
 			net, err := power.NewMNoC(c.Cfg, tp, wt.w(mapped))
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exp: sensitivity network for %s (%s): %w", b.Name, wt.name, err)
 			}
 			w, err := c.evaluateWatts(net, mapped)
 			if err != nil {
@@ -317,7 +319,7 @@ func Sensitivity(ctx context.Context, c *Context) (*Table, error) {
 		}
 		h, err := stats.HarmonicMean(vals)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: sensitivity mean for %s: %w", wt.name, err)
 		}
 		t.Rows = append(t.Rows, []string{wt.name, f3(h)})
 	}

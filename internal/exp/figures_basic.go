@@ -34,11 +34,11 @@ func Fig2(ctx context.Context, c *Context) (*Table, error) {
 		cfg := power.DefaultConfig(paperN).WithMIOP(miop)
 		net, err := power.NewBaseMNoC(cfg)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: base mNoC at mIOP %.0f: %w", miop, err)
 		}
 		b, err := net.Evaluate(mtx, c.Opt.Cycles)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: eval at mIOP %.0f: %w", miop, err)
 		}
 		tot := b.TotalUW()
 		t.Rows = append(t.Rows, []string{
@@ -80,7 +80,7 @@ func Fig3(ctx context.Context, c *Context) (*Table, error) {
 	p := c.Cfg.Splitter
 	full, err := splitter.ReachPower(p, src, nearestSet(n, src, n-1))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: full-reach power: %w", err)
 	}
 	for d := 2; d <= n; d *= 2 {
 		reach := d - 1 // reaching "d nodes" includes the source itself
@@ -89,7 +89,7 @@ func Fig3(ctx context.Context, c *Context) (*Table, error) {
 		}
 		pw, err := splitter.ReachPower(p, src, nearestSet(n, src, reach))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: reach-%d power: %w", d, err)
 		}
 		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", d), f3(pw / full)})
 	}
@@ -120,20 +120,20 @@ func Fig5(ctx context.Context, c *Context) (*Table, error) {
 	}
 	clustered, err := topo.Clustered(8, 4)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: fig5: clustered topology: %w", err)
 	}
 	distance, err := topo.DistanceBased(8, []int{2, 2, 2, 1})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: fig5: distance topology: %w", err)
 	}
 	var sb strings.Builder
 	sb.WriteString("(a) Clustered power topology:\n")
 	if err := clustered.Render(&sb, 0, 8); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: fig5: rendering clustered: %w", err)
 	}
 	sb.WriteString("\n(b) Distance-based power topology (2 nearest per mode):\n")
 	if err := distance.Render(&sb, 0, 8); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: fig5: rendering distance: %w", err)
 	}
 	t.Notes = strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
 	return t, nil

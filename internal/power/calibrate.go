@@ -45,8 +45,10 @@ func ScaleToTarget(m *MNoC, shape *trace.Matrix, cycles, targetWatts float64) (*
 }
 
 // EnergyUJ converts a power breakdown over a runtime of `cycles` clock
-// cycles into energy in microjoules (µW × ns = fJ; 1e9 fJ = 1 µJ... we
-// carry it directly: E[µJ] = P[µW] · t[s]).
+// cycles into energy in microjoules: E[µJ] = P[µW] · t[s] with
+// t = cycles / f_clk. Because 1 µW · 1 s = 1 µJ, the µ prefix carries
+// straight through and scaling the breakdown by the runtime in seconds
+// needs no further conversion factor.
 func EnergyUJ(b Breakdown, cycles float64) Breakdown {
 	seconds := cycles / (phys.ClockGHz * 1e9)
 	return b.Scale(seconds)

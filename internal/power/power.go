@@ -351,6 +351,7 @@ func (m *MNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
 		m.tel.Counter("power.evaluations").Inc()
 		m.tel.Histogram("power.watts", PowerWattsBuckets...).Observe(b.TotalWatts())
 		for mode, uw := range modeSrc {
+			//mnoclint:allow metricnames mode count is bounded by the topology (at most a handful per design) and the resulting names are pinned by testdata/golden/metrics_names.txt
 			m.tel.Histogram(fmt.Sprintf("power.mode%d.source_uw", mode)).
 				Observe(uw / cycles)
 		}

@@ -394,6 +394,14 @@ func TestEnergyUJ(t *testing.T) {
 	if math.Abs(e.SourceUW-1e6) > 1e-3 {
 		t.Errorf("energy = %v µJ, want 1e6", e.SourceUW)
 	}
+	// E[µJ] = P[µW] · t[s] with no extra factor: 4 µW over 2.5e9
+	// cycles (0.5 s at 5 GHz) is 2 µJ, and every component scales the
+	// same way.
+	b2 := Breakdown{SourceUW: 4, OEUW: 8}
+	e2 := EnergyUJ(b2, 2.5e9)
+	if math.Abs(e2.SourceUW-2) > 1e-12 || math.Abs(e2.OEUW-4) > 1e-12 {
+		t.Errorf("energy = %+v, want SourceUW=2 OEUW=4", e2)
+	}
 }
 
 func TestBreakdownArithmetic(t *testing.T) {

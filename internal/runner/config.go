@@ -131,7 +131,7 @@ func (c Config) ResolveOptions() (exp.Options, error) {
 		opt.Seed = c.Seed
 	}
 	if err := opt.Validate(); err != nil {
-		return exp.Options{}, err
+		return exp.Options{}, fmt.Errorf("runner: %s-scale options: %w", c.Scale, err)
 	}
 	return opt, nil
 }

@@ -61,15 +61,15 @@ func FaultSweep(store artifact.Store, workers int, fc FaultConfig, reg *telemetr
 	}
 	tp, err := topo.DistanceBased(fc.N, []int{fc.N / 2, fc.N - 1 - fc.N/2})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("runner: fault sweep topology: %w", err)
 	}
 	net, err := power.NewMNoC(power.DefaultConfig(fc.N), tp, power.UniformWeighting(tp.Modes))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("runner: fault sweep network: %w", err)
 	}
 	b, err := workload.Resolve(fc.Bench)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("runner: fault sweep benchmark %q: %w", fc.Bench, err)
 	}
 	tr, err := CachedTrace(store, b, fc.N, fc.Cycles, fc.Flits, fc.Seed)
 	if err != nil {
@@ -82,15 +82,15 @@ func FaultSweep(store artifact.Store, workers int, fc FaultConfig, reg *telemetr
 	if fc.SchedulePath != "" {
 		f, err := os.Open(fc.SchedulePath)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("runner: opening fault schedule: %w", err)
 		}
 		s, err := fault.Parse(f)
 		if err != nil {
 			f.Close()
-			return nil, err
+			return nil, fmt.Errorf("runner: parsing fault schedule %s: %w", fc.SchedulePath, err)
 		}
 		if err := f.Close(); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("runner: closing fault schedule: %w", err)
 		}
 		schedules = []*fault.Schedule{s}
 		scales = []float64{1}
@@ -98,7 +98,7 @@ func FaultSweep(store artifact.Store, workers int, fc FaultConfig, reg *telemetr
 		for _, sc := range scales {
 			s, err := fault.DefaultInjectorConfig(fc.Seed).Scale(sc).Generate(fc.N, fc.Cycles)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("runner: generating fault schedule at scale %g: %w", sc, err)
 			}
 			schedules = append(schedules, s)
 		}
@@ -187,7 +187,10 @@ func (res *FaultSweepResult) Render(w io.Writer, verbose bool) error {
 	if _, err := fmt.Fprintln(w); err != nil {
 		return err
 	}
-	return res.Curve().Render(w)
+	if err := res.Curve().Render(w); err != nil {
+		return fmt.Errorf("runner: rendering reliability curve: %w", err)
+	}
+	return nil
 }
 
 // SaveSchedule writes the last sweep point's fault schedule to path.
@@ -197,13 +200,16 @@ func (res *FaultSweepResult) SaveSchedule(path string) error {
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("runner: creating schedule file: %w", err)
 	}
 	if err := res.Points[len(res.Points)-1].Schedule.Write(f); err != nil {
 		f.Close()
-		return err
+		return fmt.Errorf("runner: writing schedule %s: %w", path, err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("runner: closing schedule %s: %w", path, err)
+	}
+	return nil
 }
 
 // reliabilityPoint converts a run result into a curve point.

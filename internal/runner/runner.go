@@ -56,7 +56,7 @@ func New(cfg Config) (*Runner, error) {
 	store = artifact.Instrument(store, tel)
 	ctx, err := exp.NewContextWithStore(opt, store)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("runner: building experiment context: %w", err)
 	}
 	ctx.Instrument(tel, tracer)
 	return &Runner{
@@ -82,6 +82,7 @@ func registerRunMetrics(reg *telemetry.Registry) {
 		"power.evaluations",
 		"fault.points", "fault.point_errors",
 	} {
+		//mnoclint:allow metricnames warm-up loop over the fixed literal list above; the name set is pinned by testdata/golden/metrics_names.txt
 		reg.Counter(name)
 	}
 	reg.Gauge("runner.queue_depth")
@@ -103,7 +104,11 @@ var EntryMSBuckets = []float64{1, 10, 100, 1000, 10_000, 60_000, 600_000}
 // directly.
 func NewStore(cacheDir string) (artifact.Store, error) {
 	if cacheDir != "" {
-		return artifact.NewDisk(cacheDir)
+		d, err := artifact.NewDisk(cacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("runner: opening cache dir %s: %w", cacheDir, err)
+		}
+		return d, nil
 	}
 	return artifact.NewMemory(), nil
 }
@@ -129,7 +134,10 @@ func (r *Runner) Tracer() *telemetry.Tracer { return r.tracer }
 // Precompute builds the per-benchmark artefacts (calibrated traffic +
 // QAP mappings) on the worker pool. It stops early when ctx is done.
 func (r *Runner) Precompute(ctx context.Context) error {
-	return r.ctx.Precompute(ctx, r.workers)
+	if err := r.ctx.Precompute(ctx, r.workers); err != nil {
+		return fmt.Errorf("runner: precompute: %w", err)
+	}
+	return nil
 }
 
 // RunEntries executes the experiments on the worker pool and returns
@@ -174,6 +182,7 @@ func (r *Runner) RunEntries(ctx context.Context, entries []exp.Entry) ([]*exp.Ta
 			active.Add(1)
 			defer func() { active.Add(-1); <-sem }()
 			sp := r.tracer.StartSpan("runner", "entry."+e.ID)
+			//mnoclint:allow determinism wall clock only feeds the runner.entry_ms telemetry histogram, never table output
 			begin := time.Now()
 			t, err := e.Run(runCtx, r.ctx)
 			entryMS.Observe(float64(time.Since(begin)) / float64(time.Millisecond))
@@ -278,15 +287,20 @@ func writeCSV(dir string, t *exp.Table) error {
 // counters of the original runner were replaced). A warm cache run
 // shows misses=0 and all solve counts zero.
 func (r *Runner) Summary() string {
-	c := func(name string) uint64 { return r.tel.Counter(name).Value() }
 	where := "memory"
 	if d, ok := artifact.Unwrap(r.store).(*artifact.Disk); ok {
 		where = d.Dir()
 	}
 	return fmt.Sprintf(
 		"cache [%s]: %d hits, %d misses, %d writes | solves: shapes=%d qap=%d networks=%d sims=%d",
-		where, c(artifact.MetricHit), c(artifact.MetricMiss), c(artifact.MetricPut),
-		c("solve.shapes"), c("solve.qap"), c("solve.networks"), c("solve.sims"))
+		where,
+		r.tel.Counter(artifact.MetricHit).Value(),
+		r.tel.Counter(artifact.MetricMiss).Value(),
+		r.tel.Counter(artifact.MetricPut).Value(),
+		r.tel.Counter("solve.shapes").Value(),
+		r.tel.Counter("solve.qap").Value(),
+		r.tel.Counter("solve.networks").Value(),
+		r.tel.Counter("solve.sims").Value())
 }
 
 // MetricsReport bundles run metadata with the registry snapshot — the
@@ -352,20 +366,24 @@ func CachedTrace(store artifact.Store, b workload.Benchmark, n int, cycles uint6
 		Sum()
 	blob, ok, err := store.Get(key)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("runner: trace cache get: %w", err)
 	}
 	if ok {
-		return artifact.DecodeTrace(blob)
+		tr, err := artifact.DecodeTrace(blob)
+		if err != nil {
+			return nil, fmt.Errorf("runner: decoding cached trace for %s: %w", b.Name, err)
+		}
+		return tr, nil
 	}
 	tr, err := b.Trace(n, cycles, flits, seed)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("runner: generating %s trace: %w", b.Name, err)
 	}
 	if blob, err = artifact.EncodeTrace(tr); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("runner: encoding %s trace: %w", b.Name, err)
 	}
 	if err := store.Put(key, blob); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("runner: trace cache put: %w", err)
 	}
 	return tr, nil
 }
@@ -383,17 +401,21 @@ func CachedQAP(store artifact.Store, profile *trace.Matrix, seed int64, iters in
 		Sum()
 	blob, ok, err := store.Get(key)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("runner: QAP cache get: %w", err)
 	}
 	if ok {
-		return artifact.DecodeAssignment(blob)
+		a, err := artifact.DecodeAssignment(blob)
+		if err != nil {
+			return nil, fmt.Errorf("runner: decoding cached assignment: %w", err)
+		}
+		return a, nil
 	}
 	a, err := solve()
 	if err != nil {
 		return nil, err
 	}
 	if err := store.Put(key, artifact.EncodeAssignment(a)); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("runner: QAP cache put: %w", err)
 	}
 	return a, nil
 }

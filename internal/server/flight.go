@@ -45,6 +45,7 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Contex
 		g.mu.Unlock()
 		return g.wait(ctx, key, f)
 	}
+	//mnoclint:allow ctxthread the flight deliberately outlives any single caller; it is cancelled via cancel() when the last waiter abandons it, not by the first caller's ctx
 	fctx, cancel := context.WithCancel(context.Background())
 	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	g.flights[key] = f

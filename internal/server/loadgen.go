@@ -92,7 +92,7 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
 	for i, m := range opts.Mix {
 		blob, err := json.Marshal(m)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("server: encoding load-mix request %d: %w", i, err)
 		}
 		bodies[i] = blob
 	}

@@ -77,7 +77,7 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	r, err := runner.New(cfg.Runner)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("server: building runner: %w", err)
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = r.Workers()
@@ -457,7 +457,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func (s *Server) Serve(ctx context.Context, addr string, drain time.Duration, ready func(boundAddr string)) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
-		return err
+		return fmt.Errorf("server: listening on %s: %w", addr, err)
 	}
 	if ready != nil {
 		ready(l.Addr().String())
@@ -470,10 +470,11 @@ func (s *Server) Serve(ctx context.Context, addr string, drain time.Duration, re
 		return err
 	case <-ctx.Done():
 	}
+	//mnoclint:allow ctxthread the serve ctx is already done here; the drain grace period needs a fresh deadline, not the cancelled parent
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		return err
+		return fmt.Errorf("server: draining connections: %w", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
