@@ -42,24 +42,36 @@ golden-check:
 	$(GO) run ./cmd/mnoc bench -scale quick > /tmp/bench_quick.txt
 	diff -u testdata/golden/bench_quick.txt /tmp/bench_quick.txt
 
-# Regenerate the golden metric-name list from a quick-scale run. Run
-# after intentionally adding, renaming or removing a metric and commit
-# the diff (docs/TELEMETRY.md documents every name).
+# Regenerate the golden metric-name lists: the quick-scale bench set
+# and the adaptation-loop set (a replay over the committed phase-shift
+# trace registers the full adapt.* family eagerly). Run after
+# intentionally adding, renaming or removing a metric and commit the
+# diff (docs/TELEMETRY.md documents every name).
 metrics-golden:
 	$(GO) run ./cmd/mnoc bench -scale quick \
 		-metrics-out /tmp/mnoc_metrics.json > /dev/null
 	$(GO) run ./cmd/metricnames /tmp/mnoc_metrics.json \
 		> testdata/golden/metrics_names.txt
+	$(GO) run ./cmd/mnoc replay -trace testdata/adapt/phase_shift.trace \
+		-metrics-out /tmp/mnoc_adapt_metrics.json > /dev/null
+	$(GO) run ./cmd/metricnames /tmp/mnoc_adapt_metrics.json \
+		> testdata/golden/metrics_names_adapt.txt
 
-# Diff the metric names a quick-scale run registers against the
-# checked-in list: a rename or a silently-dropped instrument fails CI
-# instead of breaking downstream dashboards.
+# Diff the metric names a quick-scale run (and an adaptation replay)
+# registers against the checked-in lists: a rename or a
+# silently-dropped instrument fails CI instead of breaking downstream
+# dashboards.
 metrics-check:
 	$(GO) run ./cmd/mnoc bench -scale quick \
 		-metrics-out /tmp/mnoc_metrics.json > /dev/null
 	$(GO) run ./cmd/metricnames /tmp/mnoc_metrics.json \
 		> /tmp/mnoc_metrics_names.txt
 	diff -u testdata/golden/metrics_names.txt /tmp/mnoc_metrics_names.txt
+	$(GO) run ./cmd/mnoc replay -trace testdata/adapt/phase_shift.trace \
+		-metrics-out /tmp/mnoc_adapt_metrics.json > /dev/null
+	$(GO) run ./cmd/metricnames /tmp/mnoc_adapt_metrics.json \
+		> /tmp/mnoc_adapt_metrics_names.txt
+	diff -u testdata/golden/metrics_names_adapt.txt /tmp/mnoc_adapt_metrics_names.txt
 
 # Short seeded fuzz passes over the text-format parsers and the
 # telemetry exporters.

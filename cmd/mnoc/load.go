@@ -27,6 +27,8 @@ func loadCmd(args []string) {
 		kind        = fs.String("kind", "comm4", "design kind for -bench")
 		qap         = fs.Bool("qap", false, "request QAP thread mapping for -bench")
 		timeoutMS   = fs.Int64("timeout-ms", 60_000, "client-side per-request timeout")
+		retries     = fs.Int("retries", 3, "max retries of a 429 response, honouring Retry-After plus jitter (0 = fail immediately)")
+		retrySeed   = fs.Int64("retry-seed", 1, "seed for the retry jitter, for reproducible load runs")
 	)
 	fs.Parse(args)
 
@@ -35,6 +37,8 @@ func loadCmd(args []string) {
 		Requests:    *requests,
 		Concurrency: *concurrency,
 		Timeout:     time.Duration(*timeoutMS) * time.Millisecond,
+		Retries:     *retries,
+		RetrySeed:   *retrySeed,
 	}
 	if *bench != "" {
 		opts.Mix = []server.SolveRequest{{Bench: *bench, Kind: *kind, QAP: *qap}}
@@ -58,6 +62,9 @@ func loadCmd(args []string) {
 			label = "transport error"
 		}
 		fmt.Printf("mnoc load:   %-15s %d\n", label, res.Statuses[s])
+	}
+	if res.Retries > 0 {
+		fmt.Printf("mnoc load:   %-15s %d\n", "retried 429s", res.Retries)
 	}
 	if res.Failures > 0 {
 		fail("load", fmt.Errorf("%d of %d requests failed", res.Failures, res.Requests))

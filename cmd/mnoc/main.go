@@ -19,14 +19,20 @@
 //	mnoc serve [-addr :8080] [-scale paper|quick] [-seed N] [-workers N] [-queue N]
 //	           [-cache-dir dir] [-config f.json] [-default-timeout-ms N]
 //	           [-max-timeout-ms N] [-drain-ms N] [-fail-fast]
+//	           [-adapt -adapt-trace f.trace [-adapt-window N] [-adapt-speed cps]
+//	            [-adapt-guard-db dB] [-adapt-faults sched.txt]]
 //	mnoc load  [-url http://localhost:8080] [-requests N] [-concurrency N]
-//	           [-bench b [-kind k] [-qap]] [-timeout-ms N]
+//	           [-bench b [-kind k] [-qap]] [-timeout-ms N] [-retries N] [-retry-seed N]
+//	mnoc replay -trace f.trace [-window N] [-seed N] [-faults sched.txt] [-speed cps]
+//	            [-log out.txt] | -gen [-out f.trace] [-n 16] [-phases b:cyc:flits,...]
 //
 // serve exposes the engine over HTTP/JSON (docs/SERVER.md): POST
 // /v1/solve, /v1/evaluate and /v1/bench behind bounded admission,
 // per-request deadlines and request coalescing, plus GET /healthz,
 // /version and /metrics (?format=prom for Prometheus text). load is
-// its companion load generator.
+// its companion load generator. With -adapt, serve also runs the
+// online adaptation loop (docs/ADAPT.md) and exposes GET /v1/adapt and
+// POST /v1/adapt/evaluate; replay is its offline twin.
 //
 // The observability trio (docs/TELEMETRY.md): -metrics-out writes the
 // end-of-run counters/gauges/histograms as JSON, -trace-out writes the
@@ -56,6 +62,7 @@ var commands = []struct {
 	{"fault", "sweep fault intensity and report the degradation curve", faultCmd},
 	{"serve", "run the HTTP/JSON evaluation service", serveCmd},
 	{"load", "load-test a running server and report latency percentiles", loadCmd},
+	{"replay", "replay a recorded trace through the online adaptation loop (or -gen one)", replayCmd},
 }
 
 func main() {

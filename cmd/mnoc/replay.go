@@ -1,0 +1,156 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mnoc/internal/adapt"
+	"mnoc/internal/fault"
+	"mnoc/internal/telemetry"
+	"mnoc/internal/workload"
+)
+
+// replayCmd feeds a recorded traffic trace through the online
+// adaptation controller (internal/adapt) in lockstep, printing the
+// decision log — the offline twin of `mnoc serve -adapt`. With -gen it
+// instead records a phased workload trace in the canonical text format
+// (docs/ADAPT.md), the input the replay and CI smoke jobs consume.
+func replayCmd(args []string) {
+	fs := flag.NewFlagSet("mnoc replay", flag.ExitOnError)
+	var (
+		tracePath = fs.String("trace", "", "recorded traffic trace (mnoc-adapt-trace v1 text format)")
+		window    = fs.Uint64("window", 25_000, "observation window length in cycles")
+		seed      = fs.Int64("seed", 7, "seed for the warm-started QAP re-solves")
+		qapIters  = fs.Int("qap-iters", 0, "tabu-search iterations per re-solve (0 = 40*n)")
+		guardDB   = fs.Float64("guard-db", 0.5, "chip-wide drive guard band in dB for margin and loss checks")
+		faultsIn  = fs.String("faults", "", "optional fault schedule to replay alongside the traffic (mnoc-fault-schedule v1)")
+		speed     = fs.Float64("speed", 0, "replay pacing in cycles per second (0 = as fast as possible)")
+		logOut    = fs.String("log", "", "write the decision log to this file instead of stdout")
+
+		gen    = fs.Bool("gen", false, "generate a phased trace instead of replaying one")
+		out    = fs.String("out", "", "with -gen: output file (default stdout)")
+		n      = fs.Int("n", 16, "with -gen: node count")
+		phases = fs.String("phases", "water_s:100000:2000,radix:100000:2000",
+			"with -gen: comma-separated bench:cycles:flits phases")
+	)
+	tel := addTelemetryFlags(fs)
+	fs.Parse(args)
+	startPprof("replay", *tel.pprofAddr)
+
+	if *gen {
+		if err := genTrace(*out, *n, *phases, *seed); err != nil {
+			fail("replay", err)
+		}
+		return
+	}
+	if *tracePath == "" {
+		fail("replay", fmt.Errorf("need -trace (or -gen); run 'mnoc replay -h'"))
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fail("replay", err)
+	}
+	tr, err := adapt.ParseTrace(f)
+	f.Close()
+	if err != nil {
+		fail("replay", err)
+	}
+
+	cfg := adapt.Config{
+		N:            tr.N,
+		WindowCycles: *window,
+		Seed:         *seed,
+		QAPIters:     *qapIters,
+		GuardDB:      *guardDB,
+		Lockstep:     true,
+		Tel:          telemetry.NewRegistry(),
+	}
+	if *faultsIn != "" {
+		ff, err := os.Open(*faultsIn)
+		if err != nil {
+			fail("replay", err)
+		}
+		sched, err := fault.Parse(ff)
+		ff.Close()
+		if err != nil {
+			fail("replay", err)
+		}
+		cfg.Faults = sched
+	}
+	c, err := adapt.NewController(cfg)
+	if err != nil {
+		fail("replay", err)
+	}
+
+	perWindow := func(w uint64) {}
+	if *speed > 0 {
+		delay := time.Duration(float64(*window) / *speed * float64(time.Second))
+		perWindow = func(w uint64) { time.Sleep(delay) }
+	}
+	begin := time.Now()
+	if err := c.Replay(tr, perWindow); err != nil {
+		fail("replay", err)
+	}
+	wall := time.Since(begin)
+
+	logW := os.Stdout
+	if *logOut != "" {
+		lf, err := os.Create(*logOut)
+		if err != nil {
+			fail("replay", err)
+		}
+		defer lf.Close()
+		logW = lf
+	}
+	if err := adapt.WriteLog(logW, c.Log()); err != nil {
+		fail("replay", err)
+	}
+	st := c.Status()
+	fmt.Fprintf(os.Stderr,
+		"mnoc replay: %d packets over %d windows in %.2fs | gen %d | triggers %d resolves %d swaps %d rollbacks %d rejected %d suppressed %d\n",
+		len(tr.Packets), st.Counts.Windows, wall.Seconds(), st.Generation,
+		st.Counts.Triggers, st.Counts.Resolves, st.Counts.Swaps,
+		st.Counts.Rollbacks, st.Counts.Rejected, st.Counts.Suppressed)
+	meta := map[string]any{"subcommand": "replay", "trace": *tracePath, "window": *window, "seed": *seed}
+	if err := writeTelemetry(cfg.Tel, nil, *tel.metricsOut, "", meta); err != nil {
+		fail("replay", err)
+	}
+}
+
+// genTrace records a phased workload trace in the canonical format.
+func genTrace(out string, n int, phasesSpec string, seed int64) error {
+	var phases []workload.Phase
+	for _, part := range strings.Split(phasesSpec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return fmt.Errorf("malformed phase %q, want bench:cycles:flits", part)
+		}
+		cycles, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("phase %q cycles: %w", part, err)
+		}
+		flits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return fmt.Errorf("phase %q flits: %w", part, err)
+		}
+		phases = append(phases, workload.Phase{Bench: fields[0], Cycles: cycles, Flits: flits})
+	}
+	tr, err := workload.PhasedTrace(n, phases, seed)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return adapt.WriteTrace(w, tr)
+}

@@ -8,7 +8,11 @@ import (
 	"os/signal"
 	"time"
 
+	"mnoc/internal/adapt"
+	"mnoc/internal/fault"
 	"mnoc/internal/server"
+	"mnoc/internal/telemetry"
+	"mnoc/internal/trace"
 )
 
 // version is stamped via -ldflags "-X main.version=..." in release
@@ -33,6 +37,13 @@ func serveCmd(args []string) {
 		maxTO      = fs.Int64("max-timeout-ms", 300_000, "ceiling on client-requested deadlines")
 		drainMS    = fs.Int64("drain-ms", 10_000, "how long shutdown waits for in-flight requests")
 		failFast   = fs.Bool("fail-fast", true, "cancel a /v1/bench run on its first entry error")
+
+		adaptOn    = fs.Bool("adapt", false, "run the online adaptation loop (docs/ADAPT.md); exposes /v1/adapt")
+		adaptTrace = fs.String("adapt-trace", "", "traffic trace the adaptation loop replays (mnoc-adapt-trace v1; required with -adapt)")
+		adaptWin   = fs.Uint64("adapt-window", 25_000, "adaptation observation window in cycles")
+		adaptSpeed = fs.Float64("adapt-speed", 0, "adaptation replay pacing in cycles per second (0 = as fast as possible)")
+		adaptGuard = fs.Float64("adapt-guard-db", 0.5, "guard band in dB for the adaptation margin and loss checks")
+		adaptFault = fs.String("adapt-faults", "", "optional fault schedule replayed alongside the adaptation traffic")
 	)
 	fs.Parse(args)
 
@@ -55,6 +66,18 @@ func serveCmd(args []string) {
 		}
 	})
 
+	var ctrl *adapt.Controller
+	var adaptTr *trace.Trace
+	if *adaptOn {
+		if *adaptTrace == "" {
+			fail("serve", fmt.Errorf("-adapt needs -adapt-trace (record one with 'mnoc replay -gen')"))
+		}
+		ctrl, adaptTr, err = buildAdapt(*adaptTrace, *adaptWin, *seed, *adaptGuard, *adaptFault)
+		if err != nil {
+			fail("serve", err)
+		}
+	}
+
 	s, err := server.New(server.Config{
 		Runner:         cfg,
 		QueueDepth:     *queue,
@@ -62,9 +85,16 @@ func serveCmd(args []string) {
 		DefaultTimeout: time.Duration(*defaultTO) * time.Millisecond,
 		MaxTimeout:     time.Duration(*maxTO) * time.Millisecond,
 		Version:        version,
+		Adapt:          ctrl,
 	})
 	if err != nil {
 		fail("serve", err)
+	}
+	if ctrl != nil {
+		// The adaptation loop publishes into the server's registry so
+		// the adapt.* family shows up on /metrics.
+		ctrl.Instrument(s.Runner().Telemetry())
+		go runAdapt(ctrl, adaptTr, *adaptWin, *adaptSpeed)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -78,4 +108,62 @@ func serveCmd(args []string) {
 	if err != nil {
 		fail("serve", err)
 	}
+}
+
+// buildAdapt loads the replay inputs and constructs the adaptation
+// controller for serve -adapt. Lockstep is on: the feeder joins each
+// background re-solve at the next window boundary, so the decision
+// log is a deterministic function of the trace and seed.
+func buildAdapt(tracePath string, window uint64, seed int64, guardDB float64, faultsPath string) (*adapt.Controller, *trace.Trace, error) {
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := adapt.ParseTrace(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := adapt.Config{
+		N:            tr.N,
+		WindowCycles: window,
+		Seed:         seed,
+		GuardDB:      guardDB,
+		Lockstep:     true,
+		Tel:          telemetry.NewRegistry(), // rebound to the server registry before feeding
+	}
+	if faultsPath != "" {
+		ff, err := os.Open(faultsPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		sched, err := fault.Parse(ff)
+		ff.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Faults = sched
+	}
+	ctrl, err := adapt.NewController(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ctrl, tr, nil
+}
+
+// runAdapt feeds the recorded trace through the controller in the
+// background while the server runs, optionally paced.
+func runAdapt(ctrl *adapt.Controller, tr *trace.Trace, window uint64, speed float64) {
+	perWindow := func(w uint64) {}
+	if speed > 0 {
+		delay := time.Duration(float64(window) / speed * float64(time.Second))
+		perWindow = func(w uint64) { time.Sleep(delay) }
+	}
+	if err := ctrl.Replay(tr, perWindow); err != nil {
+		fmt.Fprintln(os.Stderr, "mnoc serve: adaptation replay:", err)
+		return
+	}
+	st := ctrl.Status()
+	fmt.Fprintf(os.Stderr, "mnoc serve: adaptation replay done | gen %d | windows %d triggers %d resolves %d swaps %d rollbacks %d\n",
+		st.Generation, st.Counts.Windows, st.Counts.Triggers, st.Counts.Resolves, st.Counts.Swaps, st.Counts.Rollbacks)
 }

@@ -1,0 +1,301 @@
+package adapt
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mnoc/internal/fault"
+	"mnoc/internal/power"
+	"mnoc/internal/telemetry"
+	"mnoc/internal/trace"
+	"mnoc/internal/workload"
+)
+
+const testN = 16
+
+// phaseShiftTrace is the canonical two-phase workload: a water_s-like
+// neighbour phase followed by a radix-like scatter phase — structurally
+// disjoint matrices, so the drift estimator sees a hard phase change at
+// the boundary.
+func phaseShiftTrace(t *testing.T, seed int64) *trace.Trace {
+	t.Helper()
+	tr, err := workload.PhasedTrace(testN, []workload.Phase{
+		{Bench: "water_s", Cycles: 100_000, Flits: 2000},
+		{Bench: "radix", Cycles: 100_000, Flits: 2000},
+	}, seed)
+	if err != nil {
+		t.Fatalf("PhasedTrace: %v", err)
+	}
+	return tr
+}
+
+func testConfig() Config {
+	return Config{
+		N:            testN,
+		WindowCycles: 25_000,
+		Seed:         7,
+		QAPIters:     200,
+		Lockstep:     true,
+	}
+}
+
+func TestPhaseShiftTriggersResolveAndSwap(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := testConfig()
+	cfg.Tel = reg
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	if err := c.Replay(phaseShiftTrace(t, 1), nil); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	st := c.Status()
+	if st.Counts.Resolves < 1 {
+		t.Errorf("resolves = %d, want >= 1", st.Counts.Resolves)
+	}
+	if st.Counts.Swaps < 1 {
+		t.Errorf("swaps = %d, want >= 1", st.Counts.Swaps)
+	}
+	if st.Generation == 0 {
+		t.Errorf("generation stayed 0 after %d swaps", st.Counts.Swaps)
+	}
+	if got := c.Active().Gen; got != st.Generation {
+		t.Errorf("active gen = %d, status generation = %d", got, st.Generation)
+	}
+	// The initial design is uniform-weighted; after adaptation the
+	// active design must have been re-solved for observed traffic.
+	if c.Active().TriggerWindow == 0 && st.Counts.Rollbacks == 0 {
+		t.Errorf("active design was never re-solved (trigger window 0)")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[MetricSwaps] != st.Counts.Swaps {
+		t.Errorf("telemetry %s = %d, status swaps = %d", MetricSwaps, snap.Counters[MetricSwaps], st.Counts.Swaps)
+	}
+	if snap.Counters[MetricWindows] != st.Counts.Windows {
+		t.Errorf("telemetry %s = %d, status windows = %d", MetricWindows, snap.Counters[MetricWindows], st.Counts.Windows)
+	}
+	if snap.Gauges[MetricGeneration] != float64(st.Generation) {
+		t.Errorf("telemetry %s = %v, generation = %d", MetricGeneration, snap.Gauges[MetricGeneration], st.Generation)
+	}
+}
+
+// TestDecisionLogDeterminism is the acceptance check: two seeded runs
+// over the same stream produce byte-identical decision logs.
+func TestDecisionLogDeterminism(t *testing.T) {
+	run := func() []byte {
+		c, err := NewController(testConfig())
+		if err != nil {
+			t.Fatalf("NewController: %v", err)
+		}
+		if err := c.Replay(phaseShiftTrace(t, 1), nil); err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, c.Log()); err != nil {
+			t.Fatalf("WriteLog: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatalf("empty decision log")
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("decision logs differ across seeded runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+}
+
+func TestRuleEngineSuppression(t *testing.T) {
+	cfg := testConfig()
+	cfg.Lockstep = false
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	c.drift = 0.9 // above DriftHigh
+
+	// An in-flight solve suppresses.
+	c.pending = &solveJob{done: make(chan solveResult, 1)}
+	c.maybeTrigger(5)
+	c.pending = nil
+	// Cooldown suppresses.
+	c.cooldownUntil = 10
+	c.maybeTrigger(6)
+	c.cooldownUntil = 0
+	// Minimum re-solve gap suppresses.
+	c.hasTriggered, c.lastTrigger = true, 6
+	c.maybeTrigger(7)
+
+	if c.stats.Suppressed != 3 {
+		t.Fatalf("suppressed = %d, want 3; log: %v", c.stats.Suppressed, c.log)
+	}
+	if c.stats.Triggers != 0 {
+		t.Fatalf("triggers = %d, want 0", c.stats.Triggers)
+	}
+	wants := []string{"re-solve in flight", "cooldown until window 10", "min re-solve gap"}
+	for i, want := range wants {
+		if !strings.Contains(c.log[i].What, want) {
+			t.Errorf("log[%d] = %q, want substring %q", i, c.log[i].What, want)
+		}
+	}
+}
+
+func TestHysteresisRearm(t *testing.T) {
+	c, err := NewController(testConfig())
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	c.armed = false
+	c.drift = c.cfg.Rules.DriftLow + 0.01
+	c.closeWindow()
+	// drift recomputes in closeWindow; with no traffic the estimate is
+	// untouched (ewma nil -> drift 0), so the re-arm path runs.
+	if !c.armed {
+		t.Fatalf("controller did not re-arm once drift fell below DriftLow")
+	}
+}
+
+// TestRollbackOnRegression forces a regression watch whose new design
+// prices worse than the old on the observed traffic.
+func TestRollbackOnRegression(t *testing.T) {
+	cfg := testConfig()
+	cfg.Rules = DefaultRules()
+	cfg.Rules.RegressionFrac = 0.0001
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	// Observed traffic: a single hot pair (0 -> 1).
+	hot := trace.NewMatrix(testN)
+	hot.Counts[0][1] = 1
+
+	// Old design: splitters sampled for exactly that matrix. New
+	// design: sampled for the transpose — mis-provisioned for the
+	// observed traffic, so it prices strictly worse.
+	cold := hot.Clone()
+	cold.Counts[0][1] = 0
+	cold.Counts[1][0] = 1
+	mk := func(m *trace.Matrix, gen uint64) *Design {
+		net, err := power.NewMNoC(c.cfg.Power, c.cfg.Topology, power.SampledWeighting(m))
+		if err != nil {
+			t.Fatalf("NewMNoC: %v", err)
+		}
+		d := &Design{Gen: gen, Net: net, Assignment: c.Active().Assignment, Ref: m.Normalized()}
+		return d
+	}
+	prev, next := mk(hot, 1), mk(cold, 2)
+	c.gen = 2
+	c.active.Store(next)
+	c.watch = &regressionWatch{prev: prev, next: next}
+	c.cur = hot.Clone()
+	for w := uint64(0); c.watch != nil; w++ {
+		c.watchWindow(w)
+	}
+	if c.stats.Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d, want 1; log: %v", c.stats.Rollbacks, c.log)
+	}
+	got := c.Active()
+	if got.Gen != 3 || got.Net != prev.Net {
+		t.Errorf("active after rollback: gen %d net %p, want gen 3 with previous net %p", got.Gen, got.Net, prev.Net)
+	}
+}
+
+// TestMarginBoundRejectsCandidate injects a permanent degrade so deep
+// that no escalation headroom covers it; the candidate must be
+// rejected, never swapped.
+func TestMarginBoundRejectsCandidate(t *testing.T) {
+	cfg := testConfig()
+	sched := &fault.Schedule{N: testN, Cycles: 400_000}
+	for node := 0; node < testN; node++ {
+		sched.Faults = append(sched.Faults, fault.Fault{
+			Cycle: 0, Kind: fault.LEDDegrade, Node: node, Aux: -1, SeverityDB: 60,
+		})
+	}
+	cfg.Faults = sched
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	if err := c.Replay(phaseShiftTrace(t, 1), nil); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	st := c.Status()
+	if st.Counts.Rejected < 1 {
+		t.Fatalf("rejected = %d, want >= 1; log: %v", st.Counts.Rejected, c.Log())
+	}
+	if st.Counts.Swaps != 0 {
+		t.Errorf("swaps = %d, want 0 under a 60 dB permanent degrade", st.Counts.Swaps)
+	}
+	if st.Generation != 0 {
+		t.Errorf("generation = %d, want 0 (initial design retained)", st.Generation)
+	}
+	if st.LossRate == 0 && st.Counts.Windows > 0 {
+		t.Errorf("loss estimator saw no losses under a 60 dB degrade")
+	}
+}
+
+// TestAtomicSwapUnderConcurrentReaders hammers Active() from reader
+// goroutines while the controller swaps designs — under -race this is
+// the torn-design regression test.
+func TestAtomicSwapUnderConcurrentReaders(t *testing.T) {
+	c, err := NewController(testConfig())
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	probe, err := workload.PhasedTrace(testN, []workload.Phase{{Bench: "fft", Cycles: 1000, Flits: 200}}, 3)
+	if err != nil {
+		t.Fatalf("PhasedTrace: %v", err)
+	}
+	probeM := probe.Matrix()
+
+	var stop atomic.Bool
+	var lastGen atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				d := c.Active()
+				if d.Net == nil || len(d.Assignment) != testN || d.Ref == nil {
+					errs <- fmt.Errorf("torn design observed at gen %d", d.Gen)
+					return
+				}
+				if _, err := d.EvaluatePower(probeM, 1000); err != nil {
+					errs <- err
+					return
+				}
+				for {
+					prev := lastGen.Load()
+					if d.Gen < prev {
+						// Gens may retreat only transiently between a
+						// racing reader pair; a load-after-store of a
+						// lower gen from one goroutine is still fine.
+						break
+					}
+					if lastGen.CompareAndSwap(prev, d.Gen) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	if err := c.Replay(phaseShiftTrace(t, 1), nil); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("reader: %v", err)
+	}
+	if c.Status().Counts.Swaps == 0 {
+		t.Fatalf("no swaps occurred; the race test exercised nothing")
+	}
+}

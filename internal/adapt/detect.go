@@ -1,0 +1,50 @@
+// Windowed estimators: traffic-phase drift as the total-variation
+// distance between normalized traffic matrices, smoothed by an EWMA so
+// a single sparse window does not masquerade as a phase change.
+
+package adapt
+
+import (
+	"math"
+
+	"mnoc/internal/trace"
+)
+
+// tvDistance is the total-variation distance between two normalized
+// traffic matrices: 0.5·Σ|a−b|, in [0, 1]. It is the natural phase
+// metric: 0 for identical communication patterns, 1 for disjoint
+// support (e.g. nearest-neighbour vs bit-reverse).
+func tvDistance(a, b *trace.Matrix) float64 {
+	sum := 0.0
+	for i := range a.Counts {
+		for j := range a.Counts[i] {
+			sum += math.Abs(a.Counts[i][j] - b.Counts[i][j])
+		}
+	}
+	return sum / 2
+}
+
+// ewmaUpdate folds a new normalized window matrix into the running
+// estimate in place: est = alpha·cur + (1−alpha)·est.
+func ewmaUpdate(est, cur *trace.Matrix, alpha float64) {
+	for i := range est.Counts {
+		for j := range est.Counts[i] {
+			est.Counts[i][j] = alpha*cur.Counts[i][j] + (1-alpha)*est.Counts[i][j]
+		}
+	}
+}
+
+// uniformReference is the normalized all-pairs-equal matrix — the
+// drift reference of the initial, traffic-oblivious uniform design.
+func uniformReference(n int) *trace.Matrix {
+	m := trace.NewMatrix(n)
+	w := 1.0 / float64(n*(n-1))
+	for i := range m.Counts {
+		for j := range m.Counts[i] {
+			if i != j {
+				m.Counts[i][j] = w
+			}
+		}
+	}
+	return m
+}

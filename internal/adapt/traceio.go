@@ -1,0 +1,135 @@
+// Replay-trace (de)serialisation: a line-oriented canonical text
+// format for recorded packet streams, a sibling of internal/fault's
+// schedule format so traffic and fault recordings live side by side
+// in version control and can be replayed by `mnoc replay`.
+//
+//	mnoc-adapt-trace v1
+//	n 16
+//	cycles 200000
+//	packet <cycle> <src> <dst> <flits>
+//	...
+//	end
+
+package adapt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mnoc/internal/trace"
+)
+
+const traceMagic = "mnoc-adapt-trace v1"
+
+// maxTracePackets bounds how many packet lines ParseTrace accepts,
+// protecting callers from maliciously huge inputs.
+const maxTracePackets = 1 << 22
+
+// WriteTrace serialises the trace. The output is canonical: identical
+// traces produce byte-identical files.
+func WriteTrace(w io.Writer, t *trace.Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, traceMagic)
+	fmt.Fprintf(bw, "n %d\n", t.N)
+	fmt.Fprintf(bw, "cycles %d\n", t.Cycles)
+	for _, p := range t.Packets {
+		fmt.Fprintf(bw, "packet %d %d %d %d\n", p.Cycle, p.Src, p.Dst, p.Flits)
+	}
+	fmt.Fprintln(bw, "end")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("adapt: writing trace: %w", err)
+	}
+	return nil
+}
+
+// ParseTrace reads a trace written by WriteTrace. Anything accepted
+// validates and round-trips byte-identically.
+func ParseTrace(r io.Reader) (*trace.Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return sc.Text(), nil
+	}
+
+	head, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("adapt: reading trace header: %w", err)
+	}
+	if head != traceMagic {
+		return nil, fmt.Errorf("adapt: bad trace magic %q", head)
+	}
+
+	intField := func(name string) (uint64, error) {
+		l, err := line()
+		if err != nil {
+			return 0, err
+		}
+		var raw string
+		if _, err := fmt.Sscanf(l, name+" %s", &raw); err != nil {
+			return 0, fmt.Errorf("line %q: %w", l, err)
+		}
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("line %q: %w", l, err)
+		}
+		return v, nil
+	}
+
+	n, err := intField("n")
+	if err != nil {
+		return nil, fmt.Errorf("adapt: %w", err)
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("adapt: implausible node count %d", n)
+	}
+	t := &trace.Trace{N: int(n)}
+	if t.Cycles, err = intField("cycles"); err != nil {
+		return nil, fmt.Errorf("adapt: %w", err)
+	}
+
+	for {
+		l, err := line()
+		if err != nil {
+			return nil, fmt.Errorf("adapt: reading packets: %w", err)
+		}
+		if l == "end" {
+			break
+		}
+		if len(t.Packets) >= maxTracePackets {
+			return nil, fmt.Errorf("adapt: more than %d packets", maxTracePackets)
+		}
+		fields := strings.Fields(l)
+		if len(fields) != 5 || fields[0] != "packet" {
+			return nil, fmt.Errorf("adapt: malformed packet line %q", l)
+		}
+		var p trace.Packet
+		if p.Cycle, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("adapt: packet cycle %q: %w", fields[1], err)
+		}
+		ints := [3]*int32{&p.Src, &p.Dst, &p.Flits}
+		for i, dst := range ints {
+			v, err := strconv.ParseInt(fields[2+i], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("adapt: packet field %q: %w", fields[2+i], err)
+			}
+			*dst = int32(v)
+		}
+		t.Packets = append(t.Packets, p)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,64 @@
+package adapt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mnoc/internal/trace"
+	"mnoc/internal/workload"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr, err := workload.PhasedTrace(8, []workload.Phase{
+		{Bench: "fft", Cycles: 10_000, Flits: 300},
+		{Bench: "lu_cb", Cycles: 10_000, Flits: 300},
+	}, 11)
+	if err != nil {
+		t.Fatalf("PhasedTrace: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	first := buf.String()
+	got, err := ParseTrace(strings.NewReader(first))
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	var again bytes.Buffer
+	if err := WriteTrace(&again, got); err != nil {
+		t.Fatalf("re-WriteTrace: %v", err)
+	}
+	if again.String() != first {
+		t.Errorf("trace did not round-trip byte-identically")
+	}
+	if got.N != tr.N || got.Cycles != tr.Cycles || len(got.Packets) != len(tr.Packets) {
+		t.Errorf("round-trip header mismatch: got n=%d cycles=%d packets=%d", got.N, got.Cycles, len(got.Packets))
+	}
+}
+
+func TestParseTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":     "mnoc-adapt-trace v9\nn 4\ncycles 10\nend\n",
+		"truncated":     "mnoc-adapt-trace v1\nn 4\ncycles 10\npacket 1 0 1 1\n",
+		"bad field":     "mnoc-adapt-trace v1\nn 4\ncycles 10\npacket 1 0 x 1\nend\n",
+		"short line":    "mnoc-adapt-trace v1\nn 4\ncycles 10\npacket 1 0 1\nend\n",
+		"self-send":     "mnoc-adapt-trace v1\nn 4\ncycles 10\npacket 1 2 2 1\nend\n",
+		"out of range":  "mnoc-adapt-trace v1\nn 4\ncycles 10\npacket 1 0 9 1\nend\n",
+		"beyond cycles": "mnoc-adapt-trace v1\nn 4\ncycles 10\npacket 99 0 1 1\nend\n",
+		"huge n":        "mnoc-adapt-trace v1\nn 99999999\ncycles 10\nend\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ParseTrace accepted %q", name, in)
+		}
+	}
+}
+
+func TestWriteTraceValidates(t *testing.T) {
+	bad := &trace.Trace{N: 1, Cycles: 10}
+	if err := WriteTrace(&bytes.Buffer{}, bad); err == nil {
+		t.Errorf("WriteTrace accepted an invalid trace")
+	}
+}

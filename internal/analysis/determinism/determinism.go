@@ -18,7 +18,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbid time.Now, global math/rand and map-ordered output in the " +
-		"golden-producing packages (exp, power, workload, stats, runner)",
+		"golden-producing packages (exp, power, workload, stats, runner, adapt)",
 	Run: run,
 }
 
@@ -30,6 +30,9 @@ var goldenPackages = map[string]bool{
 	"workload": true,
 	"stats":    true,
 	"runner":   true,
+	// adapt's decision log must replay byte-identically (the CI smoke
+	// job diffs two seeded runs), so it lives under the same rule.
+	"adapt": true,
 }
 
 // seededConstructors are the math/rand functions that do NOT touch the

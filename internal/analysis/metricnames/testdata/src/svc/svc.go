@@ -13,11 +13,11 @@ const evalName = "svc.evaluations"
 const prefix = "svc."
 
 func Record(reg *telemetry.Registry, kind string, mode int) {
-	reg.Counter("svc.requests").Inc()  // literal: fine
-	reg.Counter(evalName).Inc()        // named constant: fine
-	reg.Counter(prefix + "solves")     // constant concatenation: fine
-	reg.Counter("svc." + kind).Inc()   // want `metricnames: metric name passed to telemetry Counter is not a constant string`
-	reg.Gauge(fmt.Sprintf("m%d", mode)) // want `metricnames: metric name passed to telemetry Gauge is not a constant string`
+	reg.Counter("svc.requests").Inc()    // literal: fine
+	reg.Counter(evalName).Inc()          // named constant: fine
+	reg.Counter(prefix + "solves")       // constant concatenation: fine
+	reg.Counter("svc." + kind).Inc()     // want `metricnames: metric name passed to telemetry Counter is not a constant string`
+	reg.Gauge(fmt.Sprintf("m%d", mode))  // want `metricnames: metric name passed to telemetry Gauge is not a constant string`
 	reg.Histogram(histName(mode), 1, 10) // want `metricnames: metric name passed to telemetry Histogram is not a constant string`
 }
 

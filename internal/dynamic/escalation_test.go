@@ -1,0 +1,181 @@
+package dynamic
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"mnoc/internal/fault"
+	"mnoc/internal/mapping"
+	"mnoc/internal/trace"
+)
+
+// TestEscalationLadderOrdering walks the full recovery ladder in
+// sequence with a hand-built schedule, one rung per epoch phase:
+//
+//	epoch 0: per-packet transient drops    -> retry only
+//	epoch 1: bleach within the escalation
+//	         margin bound                  -> mode escalation delivers
+//	epoch 2: bleach beyond the bound       -> everything lost, guard
+//	         resize fires at the close
+//	epoch 3: same pair, guard 0.5 dB       -> delivered again
+//	epoch 4: receiver death                -> everything lost, migration
+//	         + re-solve fire at the close
+//	epoch 5: same thread, migrated         -> delivered again
+//
+// It pins both the rung order (guard resize strictly before migration
+// strictly before re-solve in the action log) and the escalation margin
+// bound at each step: severities are sized from the live Budget so that
+// phase 1 is deliverable at nominal+EscalateModes (clamped) plus retry
+// boost, and phase 2 exceeds that bound by less than one guard step.
+func TestEscalationLadderOrdering(t *testing.T) {
+	const n = 8
+	const epoch = 25_000
+	const cycles = 6 * epoch
+	net := recoveryNet(t, n)
+	pol := DefaultRecoveryPolicy()
+	// Zero the per-retry drive boost so rung 2's credit is exactly the
+	// escalated mode's margin: delivery then never depends on which
+	// attempt number survives the drop hash, keeping every epoch's
+	// outcome a sharp function of the severity bounds below.
+	pol.RetryBoostDB = 0
+	pol.RetryBoostMaxDB = 0
+	budget := fault.NewBudget(net)
+
+	// Destinations of source 0 with escalation headroom (nominal mode 0).
+	var lows []int
+	for d := 1; d < n; d++ {
+		if budget.NominalMode(0, d) == 0 {
+			lows = append(lows, d)
+		}
+	}
+	if len(lows) < 4 {
+		t.Fatalf("only %d mode-0 destinations for source 0, need 4", len(lows))
+	}
+	healthy, b1, b2, b3 := lows[0], lows[1], lows[2], lows[3]
+
+	maxMode := min(budget.NominalMode(0, b1)+pol.EscalateModes, budget.Modes()-1)
+	escMargin := budget.MarginDB(0, b1, maxMode)
+	if escMargin <= 0.3 {
+		t.Fatalf("escalation margin %.3f dB too thin to separate the rungs", escMargin)
+	}
+	// sevB: over the nominal margin (first attempt shortfalls) but within
+	// the escalated mode plus one retry boost (second attempt delivers).
+	sevB := escMargin/2 + pol.RetryBoostDB/2
+	if sevB <= 0 || sevB > escMargin+pol.RetryBoostDB-0.05 {
+		t.Fatalf("sevB %.3f dB outside (0, %.3f]", sevB, escMargin+pol.RetryBoostDB-0.05)
+	}
+	// sevC: beyond everything escalation can reach (max mode + max retry
+	// boost) but within one guard step of it — rung 3 is then necessary
+	// and sufficient.
+	sevC := escMargin + pol.RetryBoostMaxDB + pol.GuardStepDB*0.8
+	if sevC <= escMargin+pol.RetryBoostMaxDB || sevC > escMargin+pol.RetryBoostMaxDB+pol.GuardStepDB {
+		t.Fatalf("sevC %.3f dB does not isolate the guard rung", sevC)
+	}
+
+	tr := &trace.Trace{N: n, Cycles: cycles}
+	add := func(cycle uint64, dst int) {
+		tr.Packets = append(tr.Packets, trace.Packet{Cycle: cycle, Src: 0, Dst: int32(dst), Flits: 1})
+	}
+	for c := uint64(0); c < epoch; c += 50 { // epoch 0: healthy + drops
+		add(c, healthy)
+	}
+	for c := uint64(epoch); c < 2*epoch; c += 60 { // epoch 1: mostly healthy...
+		add(c, healthy)
+	}
+	add(30_000, b1) // ...plus three bleached packets, diluted below the
+	add(35_000, b1) // guard trigger so rung 3 cannot fire yet
+	add(40_000, b1)
+	for c := uint64(2 * epoch); c < 4*epoch; c += 250 { // epochs 2+3: heavy bleach
+		add(c, b2)
+	}
+	for c := uint64(4*epoch + 100); c < 6*epoch; c += 250 { // epochs 4+5: dead receiver
+		add(c, b3)
+	}
+	sort.Slice(tr.Packets, func(i, j int) bool { return tr.Packets[i].Cycle < tr.Packets[j].Cycle })
+
+	sched := &fault.Schedule{
+		N: n, Cycles: cycles,
+		DropRate: 0.08, DropSeed: 42,
+		Faults: []fault.Fault{
+			{Cycle: epoch, Kind: fault.ReceiverBleach, Node: b1, Aux: -1, SeverityDB: sevB, DurationCycles: epoch},
+			{Cycle: 2 * epoch, Kind: fault.ReceiverBleach, Node: b2, Aux: -1, SeverityDB: sevC},
+			{Cycle: 4*epoch + 1, Kind: fault.ReceiverDeath, Node: b3, Aux: -1},
+		},
+	}
+	sched.Sort()
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := RunWithFaults(net, tr, mapping.Identity(n), sched, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every rung fired.
+	if rec.Retries == 0 || rec.Escalations == 0 || rec.GuardResizes == 0 ||
+		rec.Migrations == 0 || rec.Replans == 0 {
+		t.Fatalf("ladder incomplete: retries=%d escalations=%d guard=%d migrations=%d replans=%d",
+			rec.Retries, rec.Escalations, rec.GuardResizes, rec.Migrations, rec.Replans)
+	}
+
+	// Per-epoch outcomes pin each rung's effect and the margin bound:
+	// full delivery exactly where the active rung's credit covers the
+	// fault, total loss exactly where it cannot.
+	if len(rec.Epochs) < 6 {
+		t.Fatalf("expected 6 epochs, got %d: %+v", len(rec.Epochs), rec.Epochs)
+	}
+	wantFull := map[int]bool{0: true, 1: true, 2: false, 3: true, 4: false, 5: true}
+	for i := 0; i < 6; i++ {
+		ep := rec.Epochs[i]
+		if ep.Offered == 0 {
+			t.Fatalf("epoch %d offered nothing", i)
+		}
+		if wantFull[i] && ep.Delivered != ep.Offered {
+			t.Errorf("epoch %d delivered %d/%d, want full delivery", i, ep.Delivered, ep.Offered)
+		}
+		if !wantFull[i] && ep.Delivered != 0 {
+			t.Errorf("epoch %d delivered %d/%d, want total loss (rung above its credit)", i, ep.Delivered, ep.Offered)
+		}
+	}
+	// The guard resize landed between epochs 2 and 3 (records capture the
+	// band before the close-of-epoch action).
+	if rec.Epochs[2].GuardDB != 0 {
+		t.Errorf("epoch 2 ran with guard %.2f dB, want 0 (resize must come after the loss)", rec.Epochs[2].GuardDB)
+	}
+	if rec.Epochs[3].GuardDB != pol.GuardStepDB {
+		t.Errorf("epoch 3 ran with guard %.2f dB, want %.2f", rec.Epochs[3].GuardDB, pol.GuardStepDB)
+	}
+
+	// Rung order in the action log: guard resize, then migration, then
+	// re-solve — each strictly after the previous, cycles nondecreasing.
+	first := func(sub string) int {
+		for i, a := range rec.Actions {
+			if strings.Contains(a.What, sub) {
+				return i
+			}
+		}
+		return -1
+	}
+	iGuard, iMig, iReplan := first("guard band ->"), first("migrated thread"), first("re-solved splitters")
+	if iGuard < 0 || iMig < 0 || iReplan < 0 {
+		t.Fatalf("missing ladder actions (guard=%d migrate=%d replan=%d): %+v", iGuard, iMig, iReplan, rec.Actions)
+	}
+	if !(iGuard < iMig && iMig < iReplan) {
+		t.Errorf("ladder actions out of order (guard=%d migrate=%d replan=%d): %+v", iGuard, iMig, iReplan, rec.Actions)
+	}
+	for i := 1; i < len(rec.Actions); i++ {
+		if rec.Actions[i].Cycle < rec.Actions[i-1].Cycle {
+			t.Errorf("action %d at cycle %d before action %d at cycle %d",
+				i, rec.Actions[i].Cycle, i-1, rec.Actions[i-1].Cycle)
+		}
+	}
+	if rec.Actions[iGuard].Cycle != 3*epoch {
+		t.Errorf("guard resize at cycle %d, want %d", rec.Actions[iGuard].Cycle, 3*epoch)
+	}
+	if rec.Actions[iMig].Cycle != 5*epoch || rec.Actions[iReplan].Cycle != 5*epoch {
+		t.Errorf("migration/re-solve at cycles %d/%d, want both at %d",
+			rec.Actions[iMig].Cycle, rec.Actions[iReplan].Cycle, 5*epoch)
+	}
+}

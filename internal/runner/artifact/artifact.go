@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -27,9 +28,11 @@ import (
 type Key string
 
 // Stats counts store traffic. Hits and Misses count Get calls; Puts
-// counts stored blobs.
+// counts stored blobs. Corrupt counts blobs whose envelope failed
+// validation on read and were quarantined (Disk only; every corrupt
+// read also counts as a miss, so Hits+Misses still totals Get calls).
 type Stats struct {
-	Hits, Misses, Puts uint64
+	Hits, Misses, Puts, Corrupt uint64
 }
 
 // Store is a content-addressed blob store. Implementations must be safe
@@ -46,11 +49,16 @@ type Store interface {
 
 // counters is the shared atomic Stats backing.
 type counters struct {
-	hits, misses, puts atomic.Uint64
+	hits, misses, puts, corrupt atomic.Uint64
 }
 
 func (c *counters) stats() Stats {
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Puts: c.puts.Load()}
+	return Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Puts:    c.puts.Load(),
+		Corrupt: c.corrupt.Load(),
+	}
 }
 
 // Memory is the in-process Store: a plain map. It is the default cache
@@ -100,10 +108,19 @@ func (s *Memory) Len() int {
 // Disk is the persistent Store: one file per artifact under
 // dir/<k[:2]>/<k>.art (the two-character fan-out keeps directories
 // small at paper scale). Writes go through a temp file + rename, so a
-// crashed run never leaves a truncated artifact behind.
+// crashed run never leaves a truncated artifact behind; reads validate
+// the envelope anyway (caches written before the rename scheme, failing
+// disks, hand-edited files) and quarantine anything malformed to
+// <key>.corrupt instead of failing the request — the caller just sees
+// a miss and re-solves.
 type Disk struct {
 	dir string
 	c   counters
+
+	// onCorrupt, when set, is called once per quarantined blob. Instrument
+	// wires it to the artifact.corrupt counter; it must be set before the
+	// store sees traffic.
+	onCorrupt func()
 }
 
 // NewDisk opens (creating if needed) a disk store rooted at dir.
@@ -127,7 +144,10 @@ func (s *Disk) path(key Key) (string, error) {
 	return filepath.Join(s.dir, string(key[:2]), string(key)+".art"), nil
 }
 
-// Get implements Store.
+// Get implements Store. A blob whose envelope fails validation is
+// quarantined (renamed to <key>.corrupt, so the evidence survives for
+// inspection but never resurfaces as a hit) and reported as a miss:
+// cache corruption costs a re-solve, not the request.
 func (s *Disk) Get(key Key) ([]byte, bool, error) {
 	p, err := s.path(key)
 	if err != nil {
@@ -141,8 +161,28 @@ func (s *Disk) Get(key Key) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("artifact: reading %s: %w", key, err)
 	}
+	if err := checkEnvelope(blob); err != nil {
+		s.quarantine(p)
+		s.c.corrupt.Add(1)
+		s.c.misses.Add(1)
+		return nil, false, nil
+	}
 	s.c.hits.Add(1)
 	return blob, true, nil
+}
+
+// quarantine moves a corrupt blob aside so the next Get of the same key
+// is a clean miss. Rename is atomic on the same filesystem; if it fails
+// (e.g. a concurrent quarantine won the race) fall back to removal —
+// leaving the corrupt file in place would make every future Get re-read
+// garbage.
+func (s *Disk) quarantine(p string) {
+	if err := os.Rename(p, strings.TrimSuffix(p, ".art")+".corrupt"); err != nil {
+		os.Remove(p)
+	}
+	if s.onCorrupt != nil {
+		s.onCorrupt()
+	}
 }
 
 // Put implements Store.

@@ -51,7 +51,7 @@ func testStore(t *testing.T, s Store) {
 	if _, ok, err := s.Get(key); err != nil || ok {
 		t.Fatalf("empty store Get = ok=%v err=%v", ok, err)
 	}
-	blob := []byte("hello artifact")
+	blob := Envelope("test", 1, []byte("hello artifact"))
 	if err := s.Put(key, blob); err != nil {
 		t.Fatal(err)
 	}
@@ -252,6 +252,67 @@ func TestNetworkRoundtrip(t *testing.T) {
 		if b1 != b2 {
 			t.Fatalf("%s: resolved Evaluate = %+v, want %+v", name, b2, b1)
 		}
+	}
+}
+
+// TestDiskQuarantinesCorruptBlob covers the crash-safety read path: a
+// truncated or bit-rotted .art file must surface as a cache miss (the
+// caller re-solves), move aside to <key>.corrupt so it never resurfaces,
+// and bump the Corrupt counter.
+func TestDiskQuarantinesCorruptBlob(t *testing.T) {
+	for name, mangle := range map[string]func([]byte) []byte{
+		"garbage":   func(b []byte) []byte { return []byte("not an artifact") },
+		"truncated": func(b []byte) []byte { return b[:2] },
+		"empty":     func(b []byte) []byte { return nil },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := NewDisk(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := NewKey("test", 1).Str("case", name).Sum()
+			blob := Envelope("test", 1, []byte("payload"))
+			if err := s.Put(key, blob); err != nil {
+				t.Fatal(err)
+			}
+			p := filepath.Join(dir, string(key[:2]), string(key)+".art")
+			if err := os.WriteFile(p, mangle(blob), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			got, ok, err := s.Get(key)
+			if err != nil {
+				t.Fatalf("corrupt Get returned error %v, want silent miss", err)
+			}
+			if ok || got != nil {
+				t.Fatalf("corrupt Get = %q ok=%v, want miss", got, ok)
+			}
+			if st := s.Stats(); st.Corrupt != 1 || st.Misses != 1 || st.Hits != 0 {
+				t.Fatalf("stats after corrupt Get = %+v, want 1 corrupt / 1 miss", st)
+			}
+			q := filepath.Join(dir, string(key[:2]), string(key)+".corrupt")
+			if _, err := os.Stat(q); err != nil {
+				t.Fatalf("quarantine file %s: %v", q, err)
+			}
+			if _, err := os.Stat(p); !os.IsNotExist(err) {
+				t.Fatalf("corrupt blob still present at %s (err %v)", p, err)
+			}
+
+			// The next Get is a clean miss, and a fresh Put heals the slot.
+			if _, ok, err := s.Get(key); ok || err != nil {
+				t.Fatalf("Get after quarantine = ok=%v err=%v, want clean miss", ok, err)
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Fatalf("clean miss re-counted as corrupt: %+v", st)
+			}
+			if err := s.Put(key, blob); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok, err := s.Get(key); !ok || err != nil || !bytes.Equal(got, blob) {
+				t.Fatalf("Get after re-Put = %q ok=%v err=%v", got, ok, err)
+			}
+		})
 	}
 }
 

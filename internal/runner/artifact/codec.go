@@ -41,6 +41,27 @@ func Envelope(kind string, version int, payload []byte) []byte {
 	return append(buf, payload...)
 }
 
+// checkEnvelope validates a blob's framing — magic, kind length, kind
+// bytes, version — without caring which kind it is. Disk.Get uses it to
+// spot truncated or bit-rotted cache files (a crash mid-write predating
+// the temp+rename scheme, a failing disk) before handing them to a
+// decoder.
+func checkEnvelope(blob []byte) error {
+	if len(blob) < len(magic) || !bytes.Equal(blob[:len(magic)], magic) {
+		return fmt.Errorf("artifact: bad magic")
+	}
+	rest := blob[len(magic):]
+	klen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < klen {
+		return fmt.Errorf("artifact: truncated envelope")
+	}
+	rest = rest[n+int(klen):]
+	if _, n := binary.Uvarint(rest); n <= 0 {
+		return fmt.Errorf("artifact: truncated envelope")
+	}
+	return nil
+}
+
 // Open checks a blob's envelope against the expected kind and version
 // and returns the payload. Content addressing makes mismatches rare
 // (the key embeds both), but a corrupted or hand-edited cache file must

@@ -9,10 +9,11 @@ import (
 // Telemetry metric names emitted by an instrumented store; the decode
 // timings that pair with them live under exp (see docs/TELEMETRY.md).
 const (
-	MetricHit   = "artifact.hit"
-	MetricMiss  = "artifact.miss"
-	MetricPut   = "artifact.put"
-	MetricGetMS = "artifact.get_ms"
+	MetricHit     = "artifact.hit"
+	MetricMiss    = "artifact.miss"
+	MetricPut     = "artifact.put"
+	MetricCorrupt = "artifact.corrupt"
+	MetricGetMS   = "artifact.get_ms"
 )
 
 // GetMSBuckets are the bucket bounds (milliseconds) of MetricGetMS:
@@ -29,9 +30,15 @@ type instrumented struct {
 
 // Instrument wraps store so every Get/Put also updates the registry's
 // artifact.* metrics. With a nil registry the store is returned as-is.
+// A disk store additionally reports quarantined blobs on
+// artifact.corrupt; call Instrument before the store sees traffic.
 func Instrument(store Store, reg *telemetry.Registry) Store {
 	if reg == nil {
 		return store
+	}
+	corrupt := reg.Counter(MetricCorrupt)
+	if d, ok := Unwrap(store).(*Disk); ok {
+		d.onCorrupt = corrupt.Inc
 	}
 	return &instrumented{
 		inner: store,

@@ -1,6 +1,8 @@
 package artifact
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"mnoc/internal/telemetry"
@@ -41,6 +43,37 @@ func TestInstrumentCountsStoreTraffic(t *testing.T) {
 	}
 	if _, ok := Unwrap(s).(*Memory); !ok {
 		t.Errorf("Unwrap(%T) did not recover *Memory", s)
+	}
+}
+
+// TestInstrumentCountsCorruptBlobs checks the quarantine path reaches
+// /metrics: a disk store wrapped by Instrument reports each quarantined
+// blob on artifact.corrupt (alongside the miss the caller observes).
+func TestInstrumentCountsCorruptBlobs(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	s := Instrument(d, reg)
+
+	key := NewKey("test", 1).Str("x", "corrupt").Sum()
+	if err := s.Put(key, Envelope("test", 1, []byte("payload"))); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, string(key[:2]), string(key)+".art")
+	if err := os.WriteFile(p, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key); ok || err != nil {
+		t.Fatalf("corrupt Get = ok=%v err=%v, want miss", ok, err)
+	}
+	if got := reg.Counter(MetricCorrupt).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricCorrupt, got)
+	}
+	if got := reg.Counter(MetricMiss).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricMiss, got)
 	}
 }
 

@@ -73,7 +73,7 @@ func New(cfg Config) (*Runner, error) {
 // dynamic family: they appear as the evaluated designs require.
 func registerRunMetrics(reg *telemetry.Registry) {
 	for _, name := range []string{
-		artifact.MetricHit, artifact.MetricMiss, artifact.MetricPut,
+		artifact.MetricHit, artifact.MetricMiss, artifact.MetricPut, artifact.MetricCorrupt,
 		"solve.count", "solve.shapes", "solve.qap", "solve.networks", "solve.sims",
 		"runner.entries", "runner.entry_errors",
 		"sim.runs", "sim.accesses", "sim.l2_misses", "sim.packets",

@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +30,15 @@ type LoadOptions struct {
 	Mix []SolveRequest
 	// Timeout bounds each request on the client side.
 	Timeout time.Duration
+	// Retries bounds how many times a 429 (admission-rejected) response
+	// is retried before it becomes the request's outcome. The wait
+	// honours the server's Retry-After header, with seeded jitter on top
+	// so a retry herd spreads out. 0 disables retries (the old
+	// behaviour).
+	Retries int
+	// RetrySeed seeds the per-worker jitter stream, making a load run's
+	// retry schedule reproducible.
+	RetrySeed int64
 }
 
 // DefaultMix cycles three cache-friendly solves across design kinds.
@@ -51,7 +62,12 @@ type LoadResult struct {
 	P50MS      float64       `json:"p50_ms"`
 	P90MS      float64       `json:"p90_ms"`
 	P99MS      float64       `json:"p99_ms"`
-	// Statuses counts responses by HTTP status (0 = transport error).
+	// Retries counts 429 responses that were retried (each retried
+	// attempt also appears in Statuses[429]).
+	Retries int `json:"retries"`
+	// Statuses counts responses by HTTP status (0 = transport error),
+	// including every retried attempt — so the 429 pressure the server
+	// applied stays visible even when retries eventually succeed.
 	Statuses map[int]int `json:"statuses"`
 }
 
@@ -101,31 +117,36 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
 
 	reg := telemetry.NewRegistry()
 	lat := reg.Histogram("load.request_ms", loadMSBuckets...)
-	var failures atomic.Int64
+	var failures, retries atomic.Int64
 	var mu sync.Mutex
 	statuses := make(map[int]int)
+	record := func(status int) {
+		mu.Lock()
+		statuses[status]++
+		mu.Unlock()
+	}
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	begin := time.Now()
 	for w := 0; w < opts.Concurrency; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			// Per-worker jitter stream: workers never share a rand source,
+			// so the schedule is reproducible at a given concurrency.
+			rng := rand.New(rand.NewSource(opts.RetrySeed + int64(worker)))
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= opts.Requests || ctx.Err() != nil {
 					return
 				}
-				status := fire(ctx, client, url, bodies[i%len(bodies)], lat)
+				status := fireWithRetry(ctx, client, url, bodies[i%len(bodies)], lat, opts.Retries, rng, &retries, record)
 				if status != http.StatusOK {
 					failures.Add(1)
 				}
-				mu.Lock()
-				statuses[status]++
-				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	wall := time.Since(begin)
@@ -144,6 +165,7 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
 		P50MS:      snap.Quantile(0.50),
 		P90MS:      snap.Quantile(0.90),
 		P99MS:      snap.Quantile(0.99),
+		Retries:    int(retries.Load()),
 		Statuses:   statuses,
 	}
 	if err := ctx.Err(); err != nil {
@@ -152,21 +174,58 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
 	return res, nil
 }
 
+// fireWithRetry sends one logical request, retrying admission
+// rejections (429) up to retries times. Every attempt's status is
+// recorded; the final attempt's status is the request's outcome. The
+// wait between attempts is the server's Retry-After ask (or an
+// exponential fallback when the header is absent) plus up to 50%
+// jitter from the worker's seeded stream.
+func fireWithRetry(ctx context.Context, client *http.Client, url string, body []byte,
+	lat *telemetry.Histogram, retries int, rng *rand.Rand, retried *atomic.Int64, record func(int)) int {
+	for attempt := 0; ; attempt++ {
+		status, retryAfter := fire(ctx, client, url, body, lat)
+		record(status)
+		if status != http.StatusTooManyRequests || attempt >= retries || ctx.Err() != nil {
+			return status
+		}
+		base := retryAfter
+		if base <= 0 {
+			base = time.Duration(100<<min(attempt, 6)) * time.Millisecond
+		}
+		sleep := base + time.Duration(rng.Float64()*float64(base)/2)
+		retried.Add(1)
+		t := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return status
+		case <-t.C:
+		}
+	}
+}
+
 // fire sends one request and returns its HTTP status (0 on transport
-// failure), recording the latency.
-func fire(ctx context.Context, client *http.Client, url string, body []byte, lat *telemetry.Histogram) int {
+// failure) plus the parsed Retry-After delay on a 429, recording the
+// latency.
+func fire(ctx context.Context, client *http.Client, url string, body []byte, lat *telemetry.Histogram) (int, time.Duration) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0
+		return 0, 0
 	}
 	req.Header.Set("Content-Type", "application/json")
 	begin := time.Now()
 	resp, err := client.Do(req)
 	lat.Observe(float64(time.Since(begin)) / float64(time.Millisecond))
 	if err != nil {
-		return 0
+		return 0, 0
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode
+	var retryAfter time.Duration
+	if resp.StatusCode == http.StatusTooManyRequests {
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {
+			retryAfter = time.Duration(s) * time.Second
+		}
+	}
+	return resp.StatusCode, retryAfter
 }

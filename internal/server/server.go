@@ -8,12 +8,14 @@
 //
 // Endpoints (docs/SERVER.md has schemas and examples):
 //
-//	POST /v1/solve     solve a power-topology design and price a workload on it
-//	POST /v1/evaluate  power + latency for a workload under a policy at a traffic scale
-//	POST /v1/bench     run registry experiments, tables as JSON
-//	GET  /healthz      liveness
-//	GET  /version      build + run configuration
-//	GET  /metrics      telemetry snapshot (JSON Report; ?format=prom for Prometheus text)
+//	POST /v1/solve          solve a power-topology design and price a workload on it
+//	POST /v1/evaluate       power + latency for a workload under a policy at a traffic scale
+//	POST /v1/bench          run registry experiments, tables as JSON
+//	GET  /v1/adapt          online-adaptation controller status (serve -adapt)
+//	POST /v1/adapt/evaluate price a workload on the adaptive controller's active design
+//	GET  /healthz           liveness (503 `draining` once graceful drain begins)
+//	GET  /version           build + run configuration
+//	GET  /metrics           telemetry snapshot (JSON Report; ?format=prom for Prometheus text)
 package server
 
 import (
@@ -25,12 +27,16 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"mnoc/internal/adapt"
 	"mnoc/internal/exp"
 	"mnoc/internal/power"
 	"mnoc/internal/runner"
 	"mnoc/internal/telemetry"
+	"mnoc/internal/trace"
 	"mnoc/internal/workload"
 )
 
@@ -52,6 +58,11 @@ type Config struct {
 	MaxTimeout time.Duration // default 5m
 	// Version is reported by GET /version.
 	Version string
+	// Adapt, when non-nil, exposes the online-adaptation controller on
+	// /v1/adapt and /v1/adapt/evaluate (`mnoc serve -adapt`). The
+	// controller is fed by its own replay goroutine; the server only
+	// reads its RCU design pointer and status.
+	Adapt *adapt.Controller
 }
 
 // RequestMSBuckets are the bucket bounds (milliseconds) of the
@@ -69,6 +80,15 @@ type Server struct {
 	errsC    *telemetry.Counter
 	timeouts *telemetry.Counter
 	reqMS    *telemetry.Histogram
+
+	// draining flips once graceful drain begins; /healthz then reports
+	// 503 so load balancers stop routing before the listener closes.
+	draining atomic.Bool
+
+	// adaptEval caches the per-benchmark probe matrices priced by
+	// /v1/adapt/evaluate (generated at the controller's node count).
+	adaptEvalMu sync.Mutex
+	adaptEval   map[string]*trace.Matrix
 }
 
 // New builds a server over a fresh runner. The server's metrics
@@ -104,6 +124,8 @@ func New(cfg Config) (*Server, error) {
 		errsC:    reg.Counter("server.errors"),
 		timeouts: reg.Counter("server.timeouts"),
 		reqMS:    reg.Histogram("server.request_ms", RequestMSBuckets...),
+
+		adaptEval: make(map[string]*trace.Matrix),
 	}
 	return s, nil
 }
@@ -121,6 +143,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("/v1/bench", s.handleBench)
+	mux.HandleFunc("/v1/adapt", s.handleAdapt)
+	mux.HandleFunc("/v1/adapt/evaluate", s.handleAdaptEvaluate)
 	return s.instrument(mux)
 }
 
@@ -136,8 +160,16 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
+
+// StartDrain flips /healthz to 503 `draining`. Serve calls it when its
+// context is cancelled; tests call it directly.
+func (s *Server) StartDrain() { s.draining.Store(true) }
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	opt := s.r.Options()
@@ -345,6 +377,93 @@ func (s *Server) handleBench(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleAdapt reports the adaptation controller's status: active
+// generation, estimator readings, decision tallies and the log tail.
+func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Adapt == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("server: adaptation not enabled (run serve -adapt)"))
+		return
+	}
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("server: %s needs GET", r.URL.Path))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Adapt.Status())
+}
+
+// AdaptEvaluateRequest prices one workload's traffic on whatever
+// design the adaptation loop is currently serving.
+type AdaptEvaluateRequest struct {
+	Bench string `json:"bench"`
+}
+
+// AdaptEvaluateResponse reports the priced design. Generation pins
+// which design answered: a swap between two calls shows up as a
+// generation step, never as a torn read.
+type AdaptEvaluateResponse struct {
+	Bench      string  `json:"bench"`
+	Generation uint64  `json:"generation"`
+	TotalWatts float64 `json:"total_watts"`
+	SourceUW   float64 `json:"source_uw"`
+	OEUW       float64 `json:"oe_uw"`
+	ElecUW     float64 `json:"electrical_uw"`
+}
+
+// adaptEvalCycles is the probe horizon /v1/adapt/evaluate prices over.
+const adaptEvalCycles = 100_000
+
+func (s *Server) handleAdaptEvaluate(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Adapt == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("server: adaptation not enabled (run serve -adapt)"))
+		return
+	}
+	var req AdaptEvaluateRequest
+	if !s.decodePost(w, r, &req) {
+		return
+	}
+	m, err := s.adaptMatrix(req.Bench)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// One atomic load; the design is immutable, so the evaluation is
+	// consistent even if the controller swaps mid-request.
+	d := s.cfg.Adapt.Active()
+	b, err := d.EvaluatePower(m, adaptEvalCycles)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &AdaptEvaluateResponse{
+		Bench:      req.Bench,
+		Generation: d.Gen,
+		TotalWatts: b.TotalWatts(),
+		SourceUW:   b.SourceUW,
+		OEUW:       b.OEUW,
+		ElecUW:     b.ElectricalUW,
+	})
+}
+
+// adaptMatrix returns (caching per bench) the probe traffic matrix at
+// the adaptation controller's node count.
+func (s *Server) adaptMatrix(bench string) (*trace.Matrix, error) {
+	b, err := workload.Resolve(bench)
+	if err != nil {
+		return nil, err
+	}
+	s.adaptEvalMu.Lock()
+	defer s.adaptEvalMu.Unlock()
+	if m, ok := s.adaptEval[bench]; ok {
+		return m, nil
+	}
+	m, err := b.Matrix(s.cfg.Adapt.Status().N, s.r.Options().Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.adaptEval[bench] = m
+	return m, nil
+}
+
 // serve is the shared request path: deadline, coalescing, admission,
 // compute, respond. Coalescing wraps admission so N identical requests
 // consume one queue slot and one worker.
@@ -470,6 +589,9 @@ func (s *Server) Serve(ctx context.Context, addr string, drain time.Duration, re
 		return err
 	case <-ctx.Done():
 	}
+	// Flip /healthz to 503 before closing the listener so load
+	// balancers stop routing during the drain window.
+	s.StartDrain()
 	//mnoclint:allow ctxthread the serve ctx is already done here; the drain grace period needs a fresh deadline, not the cancelled parent
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
