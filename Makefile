@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: check vet lint build test race fuzz golden golden-check \
-	metrics-golden metrics-check
+	compare-golden compare-check metrics-golden metrics-check
 
 # The tier-1 gate: everything below must pass before merging.
 check: vet lint build test race
@@ -42,6 +42,16 @@ golden-check:
 	$(GO) run ./cmd/mnoc bench -scale quick > /tmp/bench_quick.txt
 	diff -u testdata/golden/bench_quick.txt /tmp/bench_quick.txt
 
+# Regenerate the golden worst-vs-average loss comparison table.
+compare-golden:
+	$(GO) run ./cmd/mnoc compare -loss=worst -scale quick > testdata/golden/compare_worstcase.txt
+
+# Diff the worst-vs-average table against the fixture: pins both loss
+# accountings (and their ratio) per design kind.
+compare-check:
+	$(GO) run ./cmd/mnoc compare -loss=worst -scale quick > /tmp/compare_worstcase.txt
+	diff -u testdata/golden/compare_worstcase.txt /tmp/compare_worstcase.txt
+
 # Regenerate the golden metric-name lists: the quick-scale bench set
 # and the adaptation-loop set (a replay over the committed phase-shift
 # trace registers the full adapt.* family eagerly). Run after
@@ -76,6 +86,8 @@ metrics-check:
 # Short seeded fuzz passes over the text-format parsers and the
 # telemetry exporters.
 fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDBLinearRoundTrip -fuzztime=10s ./internal/phys
+	$(GO) test -run=^$$ -fuzz=FuzzLossTransmissionRoundTrip -fuzztime=10s ./internal/phys
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/fault
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=10s ./internal/drivetable
 	$(GO) test -run=^$$ -fuzz=FuzzExporters -fuzztime=10s ./internal/telemetry

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"mnoc/internal/exp"
+	"mnoc/internal/power"
+	"mnoc/internal/runner"
+)
+
+// compareCmd prices every design kind on one workload and prints a
+// per-topology comparison table. With -loss=worst each design is priced
+// twice — under the paper's per-destination path-loss accounting and
+// under the worst-case (longest-path) accounting of the optical-
+// crossbar literature — yielding a worst-vs-average Pareto row per
+// topology. Solves flow through the same artifact cache as `mnoc
+// bench`, so a warm cache makes this instant.
+func compareCmd(args []string) {
+	fs := flag.NewFlagSet("mnoc compare", flag.ExitOnError)
+	var (
+		bench      = fs.String("bench", "water_s", "workload to price")
+		loss       = fs.String("loss", "average", "loss model: average, or worst for the worst-vs-average table")
+		scale      = fs.String("scale", "paper", "paper (radix-256) or quick (radix-64)")
+		seed       = fs.Int64("seed", 1, "random seed for workloads and heuristics")
+		qap        = fs.Bool("qap", false, "apply QAP thread mapping before evaluation")
+		workers    = fs.Int("workers", 0, "worker goroutines for the design solves")
+		cacheDir   = fs.String("cache-dir", "", "persistent artifact cache directory (shared with mnoc bench)")
+		configPath = fs.String("config", "", "JSON runner config file; explicitly-set flags override it")
+	)
+	fs.Parse(args)
+
+	model, err := power.ParseLossModel(*loss)
+	if err != nil {
+		fail("compare", err)
+	}
+	cfg, err := loadBase(*configPath)
+	if err != nil {
+		fail("compare", err)
+	}
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "scale":
+			cfg.Scale = *scale
+			cfg.Options = nil
+		case "seed":
+			cfg.Seed = *seed
+		case "workers":
+			cfg.Workers = *workers
+		case "cache-dir":
+			cfg.CacheDir = *cacheDir
+		}
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	r, err := runner.New(cfg)
+	if err != nil {
+		fail("compare", err)
+	}
+	c := r.Context()
+	fmt.Printf("mnoc compare: bench=%s scale=%s radix=%d seed=%d qap=%v loss=%s\n\n",
+		*bench, scaleName(cfg), r.Options().N, r.Options().Seed, *qap, model)
+
+	if model == power.LossWorst {
+		fmt.Printf("%-10s %12s %12s %10s %10s %10s\n",
+			"design", "avg_w", "worst_w", "wc/avg", "avg_norm", "worst_norm")
+		for _, kind := range exp.DesignKinds() {
+			avg, avgBaseW, err := c.EvaluateDesign(ctx, kind, *bench, *qap)
+			if err != nil {
+				fail("compare", err)
+			}
+			wc, wcBaseW, err := c.EvaluateDesignLoss(ctx, kind, *bench, *qap, power.LossWorst)
+			if err != nil {
+				fail("compare", err)
+			}
+			aw, ww := avg.TotalWatts(), wc.TotalWatts()
+			fmt.Printf("%-10s %12.4f %12.4f %10.3f %10.3f %10.3f\n",
+				kind, aw, ww, ww/aw, aw/avgBaseW, ww/wcBaseW)
+		}
+	} else {
+		fmt.Printf("%-10s %12s %10s\n", "design", "total_w", "norm")
+		for _, kind := range exp.DesignKinds() {
+			b, baseW, err := c.EvaluateDesign(ctx, kind, *bench, *qap)
+			if err != nil {
+				fail("compare", err)
+			}
+			fmt.Printf("%-10s %12.4f %10.3f\n", kind, b.TotalWatts(), b.TotalWatts()/baseW)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "mnoc compare:", r.Summary())
+}

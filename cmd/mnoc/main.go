@@ -10,6 +10,8 @@
 //	           [-metrics-out m.json] [-trace-out t.json] [-pprof addr]
 //	mnoc power -i trace.trc | -matrix m.csv [-kind comm4|...] [-qap] [-cache-dir dir]
 //	mnoc topo  [-n 64] [-bench water_s] [-kind comm2|...] [-qap] [-export f] [-cache-dir dir]
+//	mnoc compare [-bench water_s] [-loss average|worst] [-scale paper|quick]
+//	           [-seed N] [-qap] [-workers N] [-cache-dir dir] [-config f.json]
 //	mnoc trace gen|info [flags]
 //	mnoc sim   [-bench fft] [-n 64] [-net mnoc|rnoc|cmnoc] [-accesses N]
 //	           [-metrics-out m.json] [-trace-out t.json] [-pprof addr]
@@ -57,6 +59,7 @@ var commands = []struct {
 	{"bench", "regenerate the paper's tables and figures", benchCmd},
 	{"power", "evaluate a trace or matrix under a power topology", powerCmd},
 	{"topo", "design a power topology and print its layout", topoCmd},
+	{"compare", "compare power topologies under average vs worst-case loss", compareCmd},
 	{"trace", "generate and inspect packet traces (gen | info)", traceCmd},
 	{"sim", "run the trace-driven multicore simulation", simCmd},
 	{"fault", "sweep fault intensity and report the degradation curve", faultCmd},

@@ -10,6 +10,7 @@ import (
 
 	"mnoc/internal/adapt"
 	"mnoc/internal/fault"
+	"mnoc/internal/phys"
 	"mnoc/internal/telemetry"
 	"mnoc/internal/workload"
 )
@@ -65,7 +66,7 @@ func replayCmd(args []string) {
 		WindowCycles: *window,
 		Seed:         *seed,
 		QAPIters:     *qapIters,
-		GuardDB:      *guardDB,
+		GuardDB:      phys.Decibels(*guardDB),
 		Lockstep:     true,
 		Tel:          telemetry.NewRegistry(),
 	}

@@ -10,6 +10,7 @@ import (
 
 	"mnoc/internal/adapt"
 	"mnoc/internal/fault"
+	"mnoc/internal/phys"
 	"mnoc/internal/server"
 	"mnoc/internal/telemetry"
 	"mnoc/internal/trace"
@@ -128,7 +129,7 @@ func buildAdapt(tracePath string, window uint64, seed int64, guardDB float64, fa
 		N:            tr.N,
 		WindowCycles: window,
 		Seed:         seed,
-		GuardDB:      guardDB,
+		GuardDB:      phys.Decibels(guardDB),
 		Lockstep:     true,
 		Tel:          telemetry.NewRegistry(), // rebound to the server registry before feeding
 	}

@@ -37,7 +37,7 @@ func main() {
 	maxP := 0.0
 	profile := make([]float64, n)
 	for src := 0; src < n; src++ {
-		profile[src] = base.Network.SourceElectricalUW(src, 0)
+		profile[src] = float64(base.Network.SourceElectricalUW(src, 0))
 		if profile[src] > maxP {
 			maxP = profile[src]
 		}

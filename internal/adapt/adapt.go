@@ -31,6 +31,7 @@ import (
 
 	"mnoc/internal/fault"
 	"mnoc/internal/mapping"
+	"mnoc/internal/phys"
 	"mnoc/internal/power"
 	"mnoc/internal/telemetry"
 	"mnoc/internal/topo"
@@ -159,7 +160,7 @@ type Config struct {
 	Alpha float64
 	// GuardDB is the chip-wide drive guard band assumed when checking
 	// the escalation margin bound and estimating losses.
-	GuardDB float64
+	GuardDB phys.Decibels
 	// Lockstep makes window boundaries join any pending background
 	// solve, so swap timing — and with it the decision log — is a
 	// deterministic function of the input stream. Replay and tests

@@ -12,6 +12,7 @@ import (
 
 	"mnoc/internal/fault"
 	"mnoc/internal/mapping"
+	"mnoc/internal/phys"
 	"mnoc/internal/power"
 	"mnoc/internal/telemetry"
 	"mnoc/internal/trace"
@@ -119,7 +120,7 @@ func NewController(cfg Config) (*Controller, error) {
 		return nil, fmt.Errorf("adapt: Alpha = %v, want in (0, 1]", cfg.Alpha)
 	}
 	if cfg.GuardDB < 0 {
-		return nil, fmt.Errorf("adapt: GuardDB = %v", cfg.GuardDB)
+		return nil, fmt.Errorf("adapt: GuardDB = %v", float64(cfg.GuardDB))
 	}
 	if err := cfg.Rules.Validate(); err != nil {
 		return nil, err
@@ -424,7 +425,7 @@ func resolve(cfg Config, obs *trace.Matrix, prev *Design, window uint64, seed in
 		row := make([]float64, n)
 		for c2 := 0; c2 < n; c2++ {
 			if mode := prev.Net.Topology.ModeOf[c1][c2]; mode >= 0 {
-				row[c2] = prev.Net.SourceElectricalUW(c1, mode)
+				row[c2] = float64(prev.Net.SourceElectricalUW(c1, mode))
 			}
 		}
 		cost[c1] = row
@@ -464,7 +465,7 @@ func (c *Controller) finishSolve(w uint64, job *solveJob, res solveResult) {
 		c.stats.Rejected++
 		c.met.rejected.Inc()
 		c.logf(w, "reject candidate (trigger window %d): escalation margin bound violated at pair (%d,%d), %.2f dB short",
-			job.window, src, dst, short)
+			job.window, src, dst, float64(short))
 		return
 	}
 	prev := c.active.Load()
@@ -492,7 +493,7 @@ func (c *Controller) finishSolve(w uint64, job *solveJob, res solveResult) {
 // against the permanent path losses active at the window boundary.
 // It returns the worst violating pair (cores) and its shortfall in
 // dB, or a zero shortfall when the bound holds.
-func (c *Controller) marginViolation(w uint64, cand *Design) (src, dst int, shortDB float64) {
+func (c *Controller) marginViolation(w uint64, cand *Design) (src, dst int, shortDB phys.Decibels) {
 	budget := fault.NewBudget(cand.Net)
 	modes := budget.Modes()
 	cycle := w * c.cfg.WindowCycles
@@ -502,7 +503,7 @@ func (c *Controller) marginViolation(w uint64, cand *Design) (src, dst int, shor
 				continue
 			}
 			s, d := cand.Assignment[ts], cand.Assignment[td]
-			var permDB float64
+			var permDB phys.Decibels
 			if c.faultState != nil {
 				loss := c.faultState.Loss(cycle, s, d)
 				if loss.Fatal {

@@ -8,3 +8,9 @@ const Watt = 1e6
 
 // DBToLinear converts a decibel quantity to a linear ratio.
 func DBToLinear(db float64) float64 { return db }
+
+// MicroWatts, Decibels and MicroJoules mirror the real defined types:
+// a declaration carrying one of these satisfies the typed rule.
+type MicroWatts float64
+type Decibels float64
+type MicroJoules float64

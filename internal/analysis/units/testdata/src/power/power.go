@@ -1,0 +1,48 @@
+// Package power is a fixture stand-in for a phys-adjacent model
+// package (internal/power and friends): besides the cross-assignment
+// rule, the typed rule applies here — exported signatures and struct
+// fields naming µW/dB/µJ quantities must carry the phys defined types.
+package power
+
+import "phys"
+
+type Breakdown struct {
+	SourceUW phys.MicroWatts // typed: fine
+	DriveUW  float64         // want `units: struct field "DriveUW" carries a raw float µW quantity: declare it as phys.MicroWatts`
+	GuardDB  float64         // want `units: struct field "GuardDB" carries a raw float dB quantity: declare it as phys.Decibels`
+	EnergyUJ float64         // want `units: struct field "EnergyUJ" carries a raw float µJ quantity: declare it as phys.MicroJoules`
+	// Watts-suffixed floats stay raw by design (wire/display unit).
+	BaseWatts float64
+	// Unexported accumulators may stay raw: the typed rule covers the
+	// package's API surface, not its internals.
+	sumUW float64
+}
+
+type Costs struct {
+	ModeCostsUW []float64 // want `units: struct field "ModeCostsUW" carries a raw float µW quantity: declare it as phys.MicroWatts`
+}
+
+func Evaluate(driveUW float64) (lossDB float64, err error) { // want `units: parameter of exported function "driveUW" carries a raw float µW quantity` `units: result of exported function "lossDB" carries a raw float dB quantity`
+	return driveUW * 0, nil
+}
+
+func Typed(driveUW phys.MicroWatts, marginDB phys.Decibels) phys.MicroJoules {
+	_ = driveUW
+	_ = marginDB
+	return 0
+}
+
+func internalUW(rawUW float64) float64 { return rawUW }
+
+// Allowed shows the directive also silences the typed rule.
+type Allowed struct {
+	//mnoclint:allow units fixture exercises the directive on the typed rule
+	LegacyUW float64
+}
+
+// Rate names are ratios/compound rates, not bare unit quantities.
+type Rates struct {
+	OESlopeUWPerUW float64
+}
+
+func PerRate(standbyUWPerRx float64) float64 { return standbyUWPerRx }

@@ -22,7 +22,9 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "units",
 	Doc: "forbid mixing µW/W/dB-suffixed identifiers in one assignment or " +
-		"expression unless the value is routed through the phys conversion helpers",
+		"expression unless the value is routed through the phys conversion helpers; " +
+		"in the phys-adjacent model packages additionally require exported " +
+		"signatures and struct fields to carry the phys defined types instead of raw floats",
 	Run: run,
 }
 
@@ -33,7 +35,35 @@ const (
 	classUW    class = "µW"
 	classWatts class = "W"
 	classDB    class = "dB"
+	classUJ    class = "µJ"
 )
+
+// physPackages are the model packages where the typed unit system is
+// mandatory: an exported function signature or struct field there that
+// names a µW/dB/µJ quantity must carry the matching phys defined type,
+// not a raw float (the "typed rule", v2). Everywhere else — cmd/,
+// server DTOs, experiment formatters — only the cross-assignment rule
+// applies, since those layers legitimately unwrap to float64 at wire
+// and display boundaries.
+var physPackages = []string{
+	"power", "device", "waveguide", "splitter",
+	"signal", "fault", "dynamic", "adapt",
+}
+
+// physTypeFor names the phys defined type that should carry a class in
+// a typed package. Watts-suffixed floats stay raw: the repository's
+// wire and display layers report watts as plain float64 by design.
+func physTypeFor(c class) string {
+	switch c {
+	case classUW:
+		return "phys.MicroWatts"
+	case classDB:
+		return "phys.Decibels"
+	case classUJ:
+		return "phys.MicroJoules"
+	}
+	return ""
+}
 
 // classOf returns the unit class an identifier name declares through
 // its suffix, or "" when the name carries no unit. Suffix matching
@@ -49,6 +79,7 @@ func classOf(name string) class {
 		{"DBM", classDB},
 		{"DBm", classDB},
 		{"DB", classDB},
+		{"UJ", classUJ},
 	} {
 		if rest, ok := strings.CutSuffix(name, s.suffix); ok {
 			if rest == "" {
@@ -67,6 +98,8 @@ func classOf(name string) class {
 		return classWatts
 	case "db", "dbm":
 		return classDB
+	case "uj":
+		return classUJ
 	}
 	return ""
 }
@@ -76,6 +109,13 @@ func run(pass *analysis.Pass) error {
 	// unit boundaries.
 	if analysis.PackageMatches(pass.Pkg, "phys") {
 		return nil
+	}
+	typed := false
+	for _, p := range physPackages {
+		if analysis.PackageMatches(pass.Pkg, p) {
+			typed = true
+			break
+		}
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -98,11 +138,97 @@ func run(pass *analysis.Pass) error {
 				}
 			case *ast.BinaryExpr:
 				checkBinary(pass, n)
+			case *ast.StructType:
+				if typed {
+					checkStructFields(pass, n)
+				}
+			case *ast.FuncDecl:
+				if typed {
+					checkSignature(pass, n)
+				}
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// checkStructFields enforces the typed rule on struct declarations:
+// an exported field naming a µW/dB/µJ quantity must be declared with
+// the matching phys type, not a raw float carrier.
+func checkStructFields(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			reportRawUnit(pass, name, "struct field")
+		}
+	}
+}
+
+// checkSignature enforces the typed rule on exported functions and
+// methods: named parameters and results with a µW/dB/µJ suffix must
+// carry the phys type.
+func checkSignature(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() {
+		return
+	}
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				reportRawUnit(pass, name, what)
+			}
+		}
+	}
+	check(fn.Type.Params, "parameter of exported function")
+	check(fn.Type.Results, "result of exported function")
+}
+
+// reportRawUnit flags a declared identifier whose name carries a
+// µW/dB/µJ suffix while its type is a raw float (possibly behind
+// slices, arrays or pointers) rather than the phys defined type.
+func reportRawUnit(pass *analysis.Pass, name *ast.Ident, what string) {
+	// "Per"-rate names (OESlopeUWPerUW, flitsPerCycle) are ratios or
+	// compound rates, not bare unit quantities; no single phys type
+	// fits them.
+	if strings.Contains(name.Name, "Per") {
+		return
+	}
+	cls := classOf(name.Name)
+	want := physTypeFor(cls)
+	if want == "" {
+		return
+	}
+	obj := pass.Info.Defs[name]
+	if obj == nil || !rawFloatCarrier(obj.Type()) {
+		return
+	}
+	pass.Reportf(name.Pos(),
+		"%s %q carries a raw float %s quantity: declare it as %s so the compiler enforces the unit",
+		what, name.Name, cls, want)
+}
+
+// rawFloatCarrier reports whether t is a plain float type, unwrapping
+// slice/array/pointer carriers. Defined types (phys.MicroWatts, or any
+// other named float) pass: they carry their unit in the type system.
+func rawFloatCarrier(t types.Type) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Pointer:
+			t = u.Elem()
+		default:
+			b, ok := t.(*types.Basic)
+			return ok && b.Info()&types.IsFloat != 0
+		}
+	}
 }
 
 // checkFlow flags rhs flowing into a unit-suffixed lhs while

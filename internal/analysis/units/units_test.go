@@ -8,5 +8,5 @@ import (
 )
 
 func TestUnits(t *testing.T) {
-	analysistest.Run(t, units.Analyzer, "sample", "phys")
+	analysistest.Run(t, units.Analyzer, "sample", "power", "phys")
 }

@@ -46,11 +46,11 @@ func (q QDLED) Validate() error {
 	return nil
 }
 
-// ElectricalPower converts a required injected optical power (µW) to the
-// electrical power (µW) the LED driver draws while transmitting,
+// ElectricalPower converts a required injected optical power to the
+// electrical power the LED driver draws while transmitting,
 // accounting for efficiency and the 1-to-0 duty factor.
-func (q QDLED) ElectricalPower(opticalUW float64) float64 {
-	return opticalUW / q.Efficiency * q.DutyFactor()
+func (q QDLED) ElectricalPower(optical phys.MicroWatts) phys.MicroWatts {
+	return optical.Div(q.Efficiency).Scale(q.DutyFactor())
 }
 
 // DutyFactor is the fraction of bit slots that actually emit light:
@@ -65,20 +65,21 @@ func (q QDLED) DutyFactor() float64 {
 // decreases linearly with mIOP ("assuming O/E conversion power decreases
 // linearly with mIOP", Fig. 2 and footnote 1).
 type Photodetector struct {
-	// MIOPUW is the minimum input optical power in µW required to
-	// detect a bit (Table 3: 10 µW for mNoC; the paper biases in favor
-	// of rNoC with 0.1-1 µW there).
-	MIOPUW float64
+	// MIOPUW is the minimum input optical power required to detect a
+	// bit (Table 3: 10 µW for mNoC; the paper biases in favor of rNoC
+	// with 0.1-1 µW there).
+	MIOPUW phys.MicroWatts
 
 	// OEBaseUW and OESlopeUWPerUW define the linear per-receiver O/E
 	// conversion power while receiving a flit:
 	//   P_OE = OEBaseUW − OESlopeUWPerUW · MIOPUW   (clamped at ≥ 0)
 	// The defaults are calibrated so the Fig. 2 anchor points hold for
 	// a radix-256 broadcast: QD-LED ≈ 80% of total power at 10 µW mIOP
-	// and O/E dominates (≈75-80%) at 1 µW. See internal/power.
-	OEBaseUW        float64
+	// and O/E dominates (≈75-80%) at 1 µW. The slope is µW of O/E
+	// power per µW of mIOP, hence dimensionless. See internal/power.
+	OEBaseUW        phys.MicroWatts
 	OESlopeUWPerUW  float64
-	InsertionLossDB float64 // photodetector/receiver drop insertion loss
+	InsertionLossDB phys.Decibels // photodetector/receiver drop insertion loss
 }
 
 // DefaultPhotodetector returns the mNoC receiver of Table 3 with the
@@ -107,10 +108,10 @@ func (p Photodetector) Validate() error {
 	return nil
 }
 
-// OEPowerUW is the per-receiver O/E conversion power (µW) while a flit is
+// OEPowerUW is the per-receiver O/E conversion power while a flit is
 // being received, under the paper's linear-in-mIOP model.
-func (p Photodetector) OEPowerUW() float64 {
-	v := p.OEBaseUW - p.OESlopeUWPerUW*p.MIOPUW
+func (p Photodetector) OEPowerUW() phys.MicroWatts {
+	v := p.OEBaseUW - p.MIOPUW.Scale(p.OESlopeUWPerUW)
 	if v < 0 {
 		return 0
 	}
@@ -139,9 +140,9 @@ func (c Chromophore) Validate() error {
 	return nil
 }
 
-// LossUW is the absolute chromophore loss in µW for a given mIOP.
-func (c Chromophore) LossUW(miopUW float64) float64 {
-	return c.LossFractionOfMIOP * miopUW
+// LossUW is the absolute chromophore loss for a given mIOP.
+func (c Chromophore) LossUW(miop phys.MicroWatts) phys.MicroWatts {
+	return miop.Scale(c.LossFractionOfMIOP)
 }
 
 // RingResonator models an rNoC micro-ring with its thermal trimming cost.
@@ -150,7 +151,7 @@ type RingResonator struct {
 	// assumed temperature range. Section 5.7: "We use 20µW/ring over
 	// 20K temperature range as thermal tuning power to favor rNoC"
 	// (real models put it at 20-100 µW).
-	TrimmingUWPerRing float64
+	TrimmingUWPerRing phys.MicroWatts
 }
 
 // DefaultRingResonator returns the favour-rNoC 20 µW/ring model.
@@ -165,8 +166,8 @@ func (r RingResonator) Validate() error {
 
 // TrimmingPowerUW is the total trimming power for nRings rings. It is
 // static: rings must be tuned whether or not traffic flows.
-func (r RingResonator) TrimmingPowerUW(nRings int) float64 {
-	return float64(nRings) * r.TrimmingUWPerRing
+func (r RingResonator) TrimmingPowerUW(nRings int) phys.MicroWatts {
+	return r.TrimmingUWPerRing.Scale(float64(nRings))
 }
 
 // Laser models the rNoC off-chip laser source, which is activity
@@ -175,7 +176,7 @@ func (r RingResonator) TrimmingPowerUW(nRings int) float64 {
 type Laser struct {
 	// PowerUW is the constant electrical laser power. Section 5.1
 	// reports a "5W laser source" for the clustered rNoC baseline.
-	PowerUW float64
+	PowerUW phys.MicroWatts
 }
 
 // DefaultLaser returns the 5 W clustered-rNoC laser.

@@ -43,7 +43,7 @@ func TestQDLEDDutyFactor(t *testing.T) {
 func TestQDLEDElectricalPower(t *testing.T) {
 	q := DefaultQDLED()
 	// 100 µW optical at 10% efficiency and 50% duty = 500 µW electrical.
-	if got := q.ElectricalPower(100); math.Abs(got-500) > 1e-9 {
+	if got := q.ElectricalPower(100); math.Abs(float64(got-500)) > 1e-9 {
 		t.Errorf("ElectricalPower(100) = %v, want 500", got)
 	}
 }
@@ -59,9 +59,9 @@ func TestQDLEDValidateRejectsBadEfficiency(t *testing.T) {
 
 func TestPhotodetectorOELinearDecreasing(t *testing.T) {
 	p := DefaultPhotodetector()
-	prev := math.Inf(1)
+	prev := phys.MicroWatts(math.Inf(1))
 	for m := 1.0; m <= 10; m++ {
-		p.MIOPUW = m
+		p.MIOPUW = phys.MicroWatts(m)
 		oe := p.OEPowerUW()
 		if oe < 0 {
 			t.Fatalf("negative O/E power at mIOP=%v", m)
@@ -84,7 +84,7 @@ func TestPhotodetectorOEClampsAtZero(t *testing.T) {
 func TestChromophoreLossTable3(t *testing.T) {
 	c := DefaultChromophore()
 	// Table 3: 5 µW loss for 10 µW mIOP.
-	if got := c.LossUW(10); math.Abs(got-5) > 1e-12 {
+	if got := c.LossUW(10); math.Abs(float64(got-5)) > 1e-12 {
 		t.Errorf("LossUW(10) = %v, want 5", got)
 	}
 }
@@ -94,7 +94,7 @@ func TestRingTrimmingPower(t *testing.T) {
 	// Section 5.7 scale check: ~1.15M rings yields the ~23 W trimming
 	// power the paper reports for the clustered rNoC.
 	got := r.TrimmingPowerUW(1_150_000)
-	if math.Abs(got-23*phys.Watt) > 1e-6*phys.Watt {
+	if math.Abs(float64(got)-23*phys.Watt) > 1e-6*phys.Watt {
 		t.Errorf("TrimmingPowerUW(1.15M) = %v, want 23W", phys.FormatPower(got))
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"mnoc/internal/mapping"
+	"mnoc/internal/phys"
 	"mnoc/internal/power"
 )
 
@@ -31,7 +32,7 @@ type Table struct {
 	// for that pair; -1 on the diagonal.
 	ModeOf [][]int8
 	// DriveUW[srcCore][mode] is the QD LED optical output for the mode.
-	DriveUW [][]float64
+	DriveUW [][]phys.MicroWatts
 	// Taps[srcCore][dstCore] is the fabricated splitter ratio on
 	// srcCore's waveguide at dstCore.
 	Taps [][]float64
@@ -53,7 +54,7 @@ func Build(net *power.MNoC, asg mapping.Assignment) (*Table, error) {
 		N:            n,
 		Modes:        net.Topology.Modes,
 		ModeOf:       make([][]int8, n),
-		DriveUW:      make([][]float64, n),
+		DriveUW:      make([][]phys.MicroWatts, n),
 		Taps:         make([][]float64, n),
 		DirLow:       make([]float64, n),
 		ThreadToCore: make([]int32, n),
@@ -72,7 +73,7 @@ func Build(net *power.MNoC, asg mapping.Assignment) (*Table, error) {
 			}
 		}
 		des := net.Designs[src]
-		t.DriveUW[src] = append([]float64(nil), des.ModePowerUW...)
+		t.DriveUW[src] = append([]phys.MicroWatts(nil), des.ModePowerUW...)
 		t.Taps[src] = append([]float64(nil), des.Chain.Taps...)
 		t.DirLow[src] = des.Chain.DirLow
 	}
@@ -87,7 +88,7 @@ func Build(net *power.MNoC, asg mapping.Assignment) (*Table, error) {
 type Route struct {
 	SrcCore, DstCore int
 	Mode             int // control bits
-	DriveUW          float64
+	DriveUW          phys.MicroWatts
 }
 
 // Lookup resolves a logical thread→thread send into physical cores, the
@@ -124,7 +125,7 @@ func (t *Table) Validate() error {
 		if t.ModeOf[s][s] != -1 {
 			return fmt.Errorf("drivetable: diagonal of row %d is %d", s, t.ModeOf[s][s])
 		}
-		prev := 0.0
+		prev := phys.MicroWatts(0)
 		for m, p := range t.DriveUW[s] {
 			if p <= prev {
 				return fmt.Errorf("drivetable: source %d mode powers not increasing at mode %d", s, m)
@@ -218,7 +219,7 @@ func Read(r io.Reader) (*Table, error) {
 	t := &Table{
 		N: n, Modes: modes,
 		ModeOf:       make([][]int8, n),
-		DriveUW:      make([][]float64, n),
+		DriveUW:      make([][]phys.MicroWatts, n),
 		Taps:         make([][]float64, n),
 		DirLow:       make([]float64, n),
 		ThreadToCore: make([]int32, n),
@@ -226,7 +227,7 @@ func Read(r io.Reader) (*Table, error) {
 	}
 	for s := 0; s < n; s++ {
 		t.ModeOf[s] = make([]int8, n)
-		t.DriveUW[s] = make([]float64, modes)
+		t.DriveUW[s] = make([]phys.MicroWatts, modes)
 		t.Taps[s] = make([]float64, n)
 		if err := read(t.ModeOf[s]); err != nil {
 			return nil, err

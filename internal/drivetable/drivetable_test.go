@@ -73,7 +73,7 @@ func TestLookupConsistentWithDesign(t *testing.T) {
 				t.Fatalf("mode %d, want %d", r.Mode, wantMode)
 			}
 			wantDrive := net.Designs[r.SrcCore].ModePowerUW[wantMode]
-			if math.Abs(r.DriveUW-wantDrive) > 1e-9 {
+			if math.Abs(float64(r.DriveUW-wantDrive)) > 1e-9 {
 				t.Fatalf("drive %v, want %v", r.DriveUW, wantDrive)
 			}
 		}

@@ -39,7 +39,7 @@ type Policy struct {
 	MaxMigrationsPerEpoch int
 	// MigrationEnergyUJ is charged per moved thread (state transfer
 	// and cache refill energy).
-	MigrationEnergyUJ float64
+	MigrationEnergyUJ phys.MicroJoules
 	// BenefitHorizonEpochs is how many future epochs a committed
 	// mapping is assumed to stay useful for when weighing migration
 	// energy against predicted savings (default 5).
@@ -51,7 +51,7 @@ type Policy struct {
 	WaveguidesPerSource int
 	// StandbyUWPerReceiver is the bias power of one listening receiver
 	// bank on one waveguide; idle waveguides are gated off, saving it.
-	StandbyUWPerReceiver float64
+	StandbyUWPerReceiver phys.MicroWatts
 }
 
 // DefaultPolicy returns a conservative controller configuration. The
@@ -167,7 +167,7 @@ func Run(net *power.MNoC, tr *trace.Trace, initial mapping.Assignment, pol Polic
 			}
 			// Amortise migration energy over the epoch: µJ → W.
 			seconds := epochCycles / (phys.ClockGHz * 1e9)
-			adaptW += pol.MigrationEnergyUJ * float64(moves) * 1e-6 / seconds
+			adaptW += float64(pol.MigrationEnergyUJ) * float64(moves) * 1e-6 / seconds
 		}
 
 		st := EpochStat{
@@ -215,7 +215,7 @@ func epochPower(net *power.MNoC, m *trace.Matrix, asg mapping.Assignment, pol Po
 // (MinGainFrac >= 1 sentinel, see Run) keeps the full bundle on.
 func gatingStandby(n int, mapped *trace.Matrix, pol Policy, cycles float64) (standbyUW, activeFrac float64) {
 	w := float64(pol.WaveguidesPerSource)
-	perReceiver := pol.StandbyUWPerReceiver
+	perReceiver := float64(pol.StandbyUWPerReceiver)
 	totalActive := 0.0
 	for s := 0; s < n; s++ {
 		active := w
@@ -245,7 +245,7 @@ func improveMapping(net *power.MNoC, observed *trace.Matrix, cur mapping.Assignm
 		cost[c1] = make([]float64, n)
 		for c2 := 0; c2 < n; c2++ {
 			if c1 != c2 {
-				cost[c1][c2] = net.SourceElectricalUW(c1, net.Topology.ModeOf[c1][c2])
+				cost[c1][c2] = float64(net.SourceElectricalUW(c1, net.Topology.ModeOf[c1][c2]))
 			}
 		}
 	}
@@ -296,7 +296,7 @@ func improveMapping(net *power.MNoC, observed *trace.Matrix, cur mapping.Assignm
 	}
 	epochSeconds := epochCycles / (phys.ClockGHz * 1e9)
 	savedUJ := gainAbs / epochCycles * epochSeconds * float64(horizon) // µW·s = µJ
-	if savedUJ < pol.MigrationEnergyUJ*float64(moved) {
+	if savedUJ < float64(pol.MigrationEnergyUJ)*float64(moved) {
 		return cur, 0, nil
 	}
 	return cand, moved, nil

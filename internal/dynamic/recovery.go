@@ -58,18 +58,18 @@ type RecoveryPolicy struct {
 	// of mode escalation, capped at RetryBoostMaxDB) — the power-
 	// escalation rung for destinations already in the highest mode. The
 	// boosted attempts are charged at the boosted power.
-	RetryBoostDB    float64
-	RetryBoostMaxDB float64
+	RetryBoostDB    phys.Decibels
+	RetryBoostMaxDB phys.Decibels
 	// InitialGuardDB pre-loads the chip-wide guard band, typically from
 	// a fabrication-variation Monte-Carlo (see VariationGuardDB).
-	InitialGuardDB float64
+	InitialGuardDB phys.Decibels
 	// GuardStepDB/GuardMaxDB shape the guard-band ladder: when an
 	// epoch's shortfall rate exceeds GuardTriggerFrac, the chip-wide
 	// drive uplift grows by GuardStepDB, up to GuardMaxDB. Every
 	// subsequent transmission pays the 10^(guard/10) source-power
 	// factor.
-	GuardStepDB      float64
-	GuardMaxDB       float64
+	GuardStepDB      phys.Decibels
+	GuardMaxDB       phys.Decibels
 	GuardTriggerFrac float64
 	// MigrateOffDead moves threads off cores whose transmitter or
 	// receiver has died, swapping with the epoch's least-traffic
@@ -108,8 +108,8 @@ func ObliviousPolicy() RecoveryPolicy {
 // per-source guard band that restores the target yield (the design-time
 // half of guard sizing; the runtime controller then grows the band
 // further under observed shortfalls).
-func VariationGuardDB(net *power.MNoC, p variation.Params) (float64, error) {
-	worst := 0.0
+func VariationGuardDB(net *power.MNoC, p variation.Params) (phys.Decibels, error) {
+	worst := phys.Decibels(0)
 	for src := 0; src < net.Cfg.N; src++ {
 		r, err := variation.MonteCarlo(net.Designs[src], net.Topology.ModeOf[src], net.Cfg.Splitter.PminUW, p)
 		if err != nil {
@@ -147,7 +147,7 @@ type Action struct {
 type RecoveryEpoch struct {
 	Epoch              int
 	Offered, Delivered uint64
-	GuardDB            float64
+	GuardDB            phys.Decibels
 	PowerW             float64
 }
 
@@ -161,7 +161,7 @@ type FaultResult struct {
 	Retries, Escalations uint64
 	// GuardResizes / Migrations / Replans count epoch-level actions.
 	GuardResizes, Migrations, Replans int
-	FinalGuardDB                      float64
+	FinalGuardDB                      phys.Decibels
 	// RuntimeCycles covers the trace horizon and every retry tail.
 	RuntimeCycles uint64
 	// AvgPowerW is the run's average network power (source + O/E +
@@ -335,12 +335,12 @@ func (r *runState) elecUWCycles() float64 {
 // at the drive mode (guard band and per-retry boost applied to the
 // optical target), every reached live receiver's O/E, and endpoint
 // buffering.
-func (r *runState) charge(src, mode, flits int, upliftDB float64) {
-	guard := math.Pow(10, (r.checker.GuardDB+upliftDB)/10)
-	opt := r.curNet.Designs[src].ModePowerUW[mode] * guard
+func (r *runState) charge(src, mode, flits int, upliftDB phys.Decibels) {
+	guard := math.Pow(10, float64(r.checker.GuardDB+upliftDB)/10)
+	opt := r.curNet.Designs[src].ModePowerUW[mode].Scale(guard)
 	srcUW := r.curNet.Cfg.QDLED.ElectricalPower(opt)
-	oeUW := float64(r.reach[src][mode]) * r.curNet.Cfg.PD.OEPowerUW()
-	r.energyUWCycles += float64(flits) * (srcUW + oeUW)
+	oeUW := float64(r.reach[src][mode]) * float64(r.curNet.Cfg.PD.OEPowerUW())
+	r.energyUWCycles += float64(flits) * (float64(srcUW) + oeUW)
 	r.elecPJ += float64(flits) * 2 * r.curNet.Cfg.Elec.BufferPJPerFlit
 }
 
@@ -356,7 +356,7 @@ func (r *runState) deliver(cycle uint64, srcThread, dstThread, flits int) (bool,
 	at := cycle
 	var shortfalls uint64
 	for attempt := 1; ; attempt++ {
-		uplift := math.Min(float64(attempt-1)*r.pol.RetryBoostDB, r.pol.RetryBoostMaxDB)
+		uplift := phys.Decibels(math.Min(float64(attempt-1)*float64(r.pol.RetryBoostDB), float64(r.pol.RetryBoostMaxDB)))
 		r.charge(src, mode, flits, uplift)
 		if at > r.lastCycle {
 			r.lastCycle = at
@@ -397,7 +397,7 @@ func (r *runState) epochActions(at uint64, epoch int, offered, shortfalls uint64
 	if pol.GuardStepDB > 0 && offered > 0 {
 		frac := float64(shortfalls) / float64(offered)
 		if frac > pol.GuardTriggerFrac && r.checker.GuardDB < pol.GuardMaxDB {
-			r.checker.GuardDB = math.Min(r.checker.GuardDB+pol.GuardStepDB, pol.GuardMaxDB)
+			r.checker.GuardDB = phys.Decibels(math.Min(float64(r.checker.GuardDB+pol.GuardStepDB), float64(pol.GuardMaxDB)))
 			r.res.GuardResizes++
 			r.log(at, fmt.Sprintf("epoch %d: shortfall rate %.3f, guard band -> %.2f dB", epoch, frac, r.checker.GuardDB))
 		}

@@ -75,15 +75,33 @@ func (c *Context) DesignNetwork(ctx context.Context, kind string) (*power.MNoC, 
 // naive traffic for normalisation. This is the server's /v1/solve
 // workhorse; everything flows through the artifact cache.
 func (c *Context) EvaluateDesign(ctx context.Context, kind, bench string, mapped bool) (power.Breakdown, float64, error) {
+	return c.EvaluateDesignLoss(ctx, kind, bench, mapped, power.LossAverage)
+}
+
+// EvaluateDesignLoss is EvaluateDesign under an explicit insertion-loss
+// accounting model. Both the named design and the base network used for
+// normalisation are priced under the same model, so the returned
+// normalisation compares like with like (worst-case design against
+// worst-case broadcast). LossAverage reproduces EvaluateDesign exactly;
+// the artifact cache is untouched by the model since repricing is a
+// cheap in-memory overlay on the cached solve.
+func (c *Context) EvaluateDesignLoss(ctx context.Context, kind, bench string, mapped bool, model power.LossModel) (power.Breakdown, float64, error) {
 	net, err := c.DesignNetwork(ctx, kind)
 	if err != nil {
 		return power.Breakdown{}, 0, err
+	}
+	if net, err = net.WithLossModel(model); err != nil {
+		return power.Breakdown{}, 0, fmt.Errorf("exp: repricing design %s: %w", kind, err)
+	}
+	base, err := c.base.WithLossModel(model)
+	if err != nil {
+		return power.Breakdown{}, 0, fmt.Errorf("exp: repricing base network: %w", err)
 	}
 	naive, err := c.Shape(ctx, bench)
 	if err != nil {
 		return power.Breakdown{}, 0, err
 	}
-	baseW, err := c.evaluateWatts(c.base, naive)
+	baseW, err := c.evaluateWatts(base, naive)
 	if err != nil {
 		return power.Breakdown{}, 0, err
 	}

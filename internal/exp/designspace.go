@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mnoc/internal/noc"
+	"mnoc/internal/phys"
 	"mnoc/internal/power"
 	"mnoc/internal/stats"
 	"mnoc/internal/topo"
@@ -35,7 +36,7 @@ func DesignSpace(ctx context.Context, c *Context) (*Table, error) {
 	}
 
 	for _, miop := range []float64{2, 5, 10} {
-		cfg := c.Cfg.WithMIOP(miop)
+		cfg := c.Cfg.WithMIOP(phys.MicroWatts(miop))
 		base, err := power.NewBaseMNoC(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("exp: designspace: base mNoC at mIOP %.0f: %w", miop, err)
@@ -137,7 +138,7 @@ func TrimSweep(ctx context.Context, c *Context) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exp: trimsweep: rNoC model: %w", err)
 		}
-		rnoc.Ring.TrimmingUWPerRing = trim
+		rnoc.Ring.TrimmingUWPerRing = phys.MicroWatts(trim)
 		var rSum, mSum, pSum float64
 		k := float64(len(c.Benchmarks()))
 		for _, b := range c.Benchmarks() {

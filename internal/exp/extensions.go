@@ -9,6 +9,7 @@ import (
 	"mnoc/internal/joint"
 	"mnoc/internal/mapping"
 	"mnoc/internal/noc"
+	"mnoc/internal/phys"
 	"mnoc/internal/power"
 	"mnoc/internal/signal"
 	"mnoc/internal/sim"
@@ -443,7 +444,7 @@ func Variation(ctx context.Context, c *Context) (*Table, error) {
 	for i, r := range results {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.0f%%", 100*sigmas[i]),
-			f3(r.FailFraction), f3(r.MeanWorstShortfallDB), f3(r.GuardBandDB),
+			f3(r.FailFraction), f3(float64(r.MeanWorstShortfallDB)), f3(float64(r.GuardBandDB)),
 		})
 	}
 	t.Notes = []string{
@@ -539,14 +540,14 @@ func AlphaGrid(ctx context.Context, c *Context) (*Table, error) {
 		{"0.1 + 0.01", []float64{0.1, 0.01}},
 		{"0.1 + 0.01 + 0.001 (default)", []float64{0.1, 0.01, 0.001}},
 	}
-	base := 0.0
+	base := phys.MicroWatts(0)
 	for _, g := range grids {
 		alphas := coordinateDescent(costs, weights, g.steps)
 		v := splitter.WeightedPowerForAlphas(costs, alphas, weights)
 		if base == 0 {
 			base = v
 		}
-		t.Rows = append(t.Rows, []string{g.name, f3(v / base)})
+		t.Rows = append(t.Rows, []string{g.name, f3(float64(v / base))})
 	}
 	t.Notes = []string{"relative to the paper's 0.1 grid; lower is better"}
 	return t, nil
@@ -561,7 +562,7 @@ func abs(v int) int {
 
 // coordinateDescent mirrors splitter.OptimalAlphas but with a custom
 // step schedule, for the ablation.
-func coordinateDescent(costs, weights []float64, steps []float64) []float64 {
+func coordinateDescent(costs []phys.MicroWatts, weights, steps []float64) []float64 {
 	m := len(costs)
 	alphas := make([]float64, m)
 	for i := range alphas {

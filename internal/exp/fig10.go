@@ -184,11 +184,11 @@ func Fig10(ctx context.Context, c *Context) (*Table, error) {
 	addRow := func(name string, b power.Breakdown) {
 		t.Rows = append(t.Rows, []string{
 			name,
-			f3(b.RingTrimUW / rTotal),
-			f3((b.SourceUW + b.LaserUW) / rTotal),
-			f3(b.OEUW / rTotal),
-			f3(b.ElectricalUW / rTotal),
-			f3(b.TotalUW() / rTotal),
+			f3(float64(b.RingTrimUW / rTotal)),
+			f3(float64((b.SourceUW + b.LaserUW) / rTotal)),
+			f3(float64(b.OEUW / rTotal)),
+			f3(float64(b.ElectricalUW / rTotal)),
+			f3(float64(b.TotalUW() / rTotal)),
 		})
 	}
 	addRow("rNoC", eR)
@@ -218,13 +218,13 @@ func MaxRadix(budgetUW float64, lossDBPerCM float64) (int, error) {
 	for radix := 8; radix <= 1<<16; radix *= 2 {
 		l := waveguide.NewSerpentine(radix)
 		l.LengthCM = phys.WaveguideLengthCM * math.Sqrt(float64(radix)/256.0)
-		l.LossDBPerCM = lossDBPerCM
+		l.LossDBPerCM = phys.Decibels(lossDBPerCM)
 		p := splitter.ParamsFromDevices(l, device.DefaultPhotodetector(), device.DefaultChromophore(), 1.0, 0.2)
 		d, err := splitter.BroadcastDesign(p, radix/2)
 		if err != nil {
 			return 0, fmt.Errorf("exp: radix-%d broadcast design: %w", radix, err)
 		}
-		if led.ElectricalPower(d.ModePowerUW[0]) > budgetUW {
+		if led.ElectricalPower(d.ModePowerUW[0]) > phys.MicroWatts(budgetUW) {
 			break
 		}
 		best = radix

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mnoc/internal/phys"
 	"mnoc/internal/power"
 	"mnoc/internal/splitter"
 	"mnoc/internal/stats"
@@ -31,7 +32,7 @@ func Fig2(ctx context.Context, c *Context) (*Table, error) {
 	const paperN = 256
 	mtx := uniformTraffic(paperN)
 	for miop := 1.0; miop <= 10.0; miop++ {
-		cfg := power.DefaultConfig(paperN).WithMIOP(miop)
+		cfg := power.DefaultConfig(paperN).WithMIOP(phys.MicroWatts(miop))
 		net, err := power.NewBaseMNoC(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("exp: base mNoC at mIOP %.0f: %w", miop, err)
@@ -43,9 +44,9 @@ func Fig2(ctx context.Context, c *Context) (*Table, error) {
 		tot := b.TotalUW()
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.0f", miop),
-			f2(100 * b.SourceUW / tot),
-			f2(100 * b.OEUW / tot),
-			f2(100 * b.ElectricalUW / tot),
+			f2(float64(100 * b.SourceUW / tot)),
+			f2(float64(100 * b.OEUW / tot)),
+			f2(float64(100 * b.ElectricalUW / tot)),
 		})
 	}
 	return t, nil
@@ -91,7 +92,7 @@ func Fig3(ctx context.Context, c *Context) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exp: reach-%d power: %w", d, err)
 		}
-		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", d), f3(pw / full)})
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", d), f3(float64(pw / full))})
 	}
 	return t, nil
 }
@@ -155,7 +156,7 @@ func Fig6(ctx context.Context, c *Context) (*Table, error) {
 	powers := make([]float64, n)
 	maxP := 0.0
 	for src := 0; src < n; src++ {
-		powers[src] = c.base.SourceElectricalUW(src, 0)
+		powers[src] = float64(c.base.SourceElectricalUW(src, 0))
 		if powers[src] > maxP {
 			maxP = powers[src]
 		}

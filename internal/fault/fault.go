@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"mnoc/internal/phys"
 )
 
 // Kind enumerates the fault taxonomy (see docs/FAULTS.md).
@@ -120,7 +122,7 @@ type Fault struct {
 	Aux int
 	// SeverityDB is the extra optical loss the fault charges, in dB.
 	// Ignored by the fatal kinds.
-	SeverityDB float64
+	SeverityDB phys.Decibels
 	// DurationCycles bounds a transient fault; 0 means permanent.
 	DurationCycles uint64
 }
@@ -138,8 +140,8 @@ func (f Fault) Validate(n int) error {
 	if f.Kind < 0 || f.Kind >= numKinds {
 		return fmt.Errorf("fault: kind %d out of range", int(f.Kind))
 	}
-	if !(f.SeverityDB >= 0) || math.IsInf(f.SeverityDB, 0) {
-		return fmt.Errorf("fault: bad severity %g dB", f.SeverityDB)
+	if !(f.SeverityDB >= 0) || math.IsInf(float64(f.SeverityDB), 0) {
+		return fmt.Errorf("fault: bad severity %g dB", float64(f.SeverityDB))
 	}
 	switch f.Kind {
 	case ThermalDrift:

@@ -201,7 +201,7 @@ func TestCheckerMarginAndGuard(t *testing.T) {
 
 	// Nominal mode margin is exactly zero; broadcast mode gives the
 	// low-mode destinations headroom.
-	if m := b.MarginDB(0, 1, b.NominalMode(0, 1)); math.Abs(m) > 1e-9 {
+	if m := b.MarginDB(0, 1, b.NominalMode(0, 1)); math.Abs(float64(m)) > 1e-9 {
 		t.Fatalf("nominal margin = %g, want 0", m)
 	}
 	low, high := -1, -1
@@ -240,7 +240,7 @@ func TestCheckerMarginAndGuard(t *testing.T) {
 	if de.Fatal || de.Transient {
 		t.Fatalf("bleach misclassified: %+v", de)
 	}
-	if math.Abs(de.ShortfallDB-sev) > 1e-9 {
+	if math.Abs(float64(de.ShortfallDB-sev)) > 1e-9 {
 		t.Fatalf("shortfall = %g, want %g", de.ShortfallDB, sev)
 	}
 	if err := c.DeliverableAt(5, 0, low, 1); err != nil {

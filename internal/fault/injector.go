@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"mnoc/internal/phys"
 )
 
 // InjectorConfig fixes the fault environment. Device-fault rates are
@@ -26,12 +28,12 @@ type InjectorConfig struct {
 
 	// DegradeMaxDB bounds the severity drawn for LEDDegrade,
 	// ReceiverBleach and TapDrift events (uniform in (0, DegradeMaxDB]).
-	DegradeMaxDB float64
+	DegradeMaxDB phys.Decibels
 
 	// ThermalRate is the chip-wide thermal-epoch rate (epochs / Mcycle).
 	ThermalRate float64
 	// ThermalMaxDB bounds a thermal epoch's broadband loss.
-	ThermalMaxDB float64
+	ThermalMaxDB phys.Decibels
 	// ThermalEpochCycles is the mean duration of a thermal epoch.
 	ThermalEpochCycles uint64
 
@@ -89,8 +91,8 @@ func (c InjectorConfig) Validate() error {
 		{"TapDriftRate", c.TapDriftRate},
 		{"WaveguideBreakRate", c.WaveguideBreakRate},
 		{"ThermalRate", c.ThermalRate},
-		{"DegradeMaxDB", c.DegradeMaxDB},
-		{"ThermalMaxDB", c.ThermalMaxDB},
+		{"DegradeMaxDB", float64(c.DegradeMaxDB)},
+		{"ThermalMaxDB", float64(c.ThermalMaxDB)},
 	} {
 		if r.v < 0 || math.IsNaN(r.v) || math.IsInf(r.v, 0) {
 			return fmt.Errorf("fault: %s = %g", r.name, r.v)
@@ -185,19 +187,20 @@ func (c InjectorConfig) Generate(n int, cycles uint64) (*Schedule, error) {
 
 // severity draws a loss in (0, maxDB], quantised to 0.01 dB so schedule
 // files round-trip exactly.
-func severity(rng *rand.Rand, maxDB float64) float64 {
-	if maxDB <= 0 {
-		maxDB = 1
+func severity(rng *rand.Rand, maxDB phys.Decibels) phys.Decibels {
+	bound := float64(maxDB)
+	if bound <= 0 {
+		bound = 1
 	}
-	v := rng.Float64() * maxDB
+	v := rng.Float64() * bound
 	q := math.Ceil(v*100) / 100
-	if q > maxDB {
-		q = maxDB
+	if q > bound {
+		q = bound
 	}
 	if q <= 0 {
 		q = 0.01
 	}
-	return q
+	return phys.Decibels(q)
 }
 
 // otherNode draws a node != self.

@@ -19,6 +19,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"mnoc/internal/phys"
 )
 
 const scheduleMagic = "mnoc-fault-schedule v1"
@@ -42,7 +44,7 @@ func (s *Schedule) Write(w io.Writer) error {
 	for _, f := range s.Faults {
 		fmt.Fprintf(bw, "fault %d %s %d %d %s %d\n",
 			f.Cycle, f.Kind, f.Node, f.Aux,
-			strconv.FormatFloat(f.SeverityDB, 'g', -1, 64), f.DurationCycles)
+			strconv.FormatFloat(float64(f.SeverityDB), 'g', -1, 64), f.DurationCycles)
 	}
 	fmt.Fprintln(bw, "end")
 	return bw.Flush()
@@ -143,9 +145,11 @@ func Parse(r io.Reader) (*Schedule, error) {
 		if f.Aux, err = strconv.Atoi(fields[4]); err != nil {
 			return nil, fmt.Errorf("fault: event aux %q: %w", fields[4], err)
 		}
-		if f.SeverityDB, err = strconv.ParseFloat(fields[5], 64); err != nil {
+		sev, err := strconv.ParseFloat(fields[5], 64)
+		if err != nil {
 			return nil, fmt.Errorf("fault: event severity %q: %w", fields[5], err)
 		}
+		f.SeverityDB = phys.Decibels(sev)
 		if f.DurationCycles, err = strconv.ParseUint(fields[6], 10, 64); err != nil {
 			return nil, fmt.Errorf("fault: event duration %q: %w", fields[6], err)
 		}

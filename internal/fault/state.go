@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"mnoc/internal/noc"
+	"mnoc/internal/phys"
 	"mnoc/internal/power"
 )
 
@@ -58,8 +59,8 @@ type PathLoss struct {
 	// PermanentDB / TransientDB split the extra loss by whether it will
 	// clear on its own (thermal epochs and other bounded-duration
 	// faults are transient; device damage is permanent).
-	PermanentDB float64
-	TransientDB float64
+	PermanentDB phys.Decibels
+	TransientDB phys.Decibels
 	// Fatal is set when no drive power delivers (dead device, severed
 	// guide between the endpoints).
 	Fatal bool
@@ -69,13 +70,13 @@ type PathLoss struct {
 }
 
 // TotalDB is the combined extra loss.
-func (p PathLoss) TotalDB() float64 { return p.PermanentDB + p.TransientDB }
+func (p PathLoss) TotalDB() phys.Decibels { return p.PermanentDB + p.TransientDB }
 
 // Loss evaluates the active faults on a src→dst transmission at a
 // cycle.
 func (st *State) Loss(cycle uint64, src, dst int) PathLoss {
 	var out PathLoss
-	worst := -1.0
+	worst := phys.Decibels(-1)
 	apply := func(f Fault) {
 		if !f.ActiveAt(cycle) {
 			return
@@ -191,7 +192,7 @@ func mix3(cycle uint64, src, dst int) uint64 {
 type Budget struct {
 	modes   int
 	modeOf  [][]int
-	alphaDB [][]float64 // alphaDB[src][m] = 10·log10(α_m)
+	alphaDB [][]phys.Decibels // alphaDB[src][m] = 10·log10(α_m)
 }
 
 // NewBudget derives the margin table from a designed network.
@@ -200,13 +201,13 @@ func NewBudget(net *power.MNoC) *Budget {
 	b := &Budget{
 		modes:   net.Topology.Modes,
 		modeOf:  net.Topology.ModeOf,
-		alphaDB: make([][]float64, n),
+		alphaDB: make([][]phys.Decibels, n),
 	}
 	for s := 0; s < n; s++ {
 		al := net.Designs[s].Alphas
-		db := make([]float64, len(al))
+		db := make([]phys.Decibels, len(al))
 		for m, a := range al {
-			db[m] = 10 * math.Log10(a)
+			db[m] = phys.Decibels(10 * math.Log10(a))
 		}
 		b.alphaDB[s] = db
 	}
@@ -221,7 +222,7 @@ func (b *Budget) NominalMode(src, dst int) int { return b.modeOf[src][dst] }
 
 // MarginDB is the delivery margin of a src→dst transmission driven at
 // the given mode. Negative when the mode is below dst's nominal mode.
-func (b *Budget) MarginDB(src, dst, mode int) float64 {
+func (b *Budget) MarginDB(src, dst, mode int) phys.Decibels {
 	return b.alphaDB[src][b.modeOf[src][dst]] - b.alphaDB[src][mode]
 }
 
@@ -234,7 +235,7 @@ func (b *Budget) MarginDB(src, dst, mode int) float64 {
 type Checker struct {
 	State   *State
 	Budget  *Budget
-	GuardDB float64
+	GuardDB phys.Decibels
 }
 
 // NewChecker assembles a checker with no guard band.
@@ -259,7 +260,7 @@ func (c *Checker) DeliverableAt(cycle uint64, src, dst, mode int) error {
 // uplift in dB — the retry-boost rung of the recovery ladder, where a
 // NACKed packet is re-driven at higher LED current without touching the
 // chip-wide guard band. The caller charges the matching power.
-func (c *Checker) DeliverableWithUplift(cycle uint64, src, dst, mode int, upliftDB float64) error {
+func (c *Checker) DeliverableWithUplift(cycle uint64, src, dst, mode int, upliftDB phys.Decibels) error {
 	if c.State.Dropped(cycle, src, dst) {
 		return &noc.DeliveryError{
 			Cycle: cycle, Src: src, Dst: dst,

@@ -213,7 +213,7 @@ func modePowerCost(net *power.MNoC) ([][]float64, error) {
 			if c1 == c2 {
 				continue
 			}
-			cost[c1][c2] = net.SourceElectricalUW(c1, net.Topology.ModeOf[c1][c2])
+			cost[c1][c2] = float64(net.SourceElectricalUW(c1, net.Topology.ModeOf[c1][c2]))
 		}
 	}
 	return cost, nil

@@ -57,7 +57,7 @@ func FromTraffic(m *trace.Matrix, l waveguide.Layout) (*Problem, error) {
 		cost[i] = make([]float64, l.N)
 		for j := range cost[i] {
 			if i != j {
-				cost[i][j] = 1 / l.PathTransmission(i, j)
+				cost[i][j] = 1 / float64(l.PathTransmission(i, j))
 			}
 		}
 	}

@@ -7,7 +7,11 @@
 
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"mnoc/internal/phys"
+)
 
 // DeliveryError reports a transmission whose destination did not
 // receive at least Pmin (or whose packet was corrupted in flight). It
@@ -23,7 +27,7 @@ type DeliveryError struct {
 	// delivered power was; 0 when the failure is not a power shortfall
 	// (packet corruption) and +Inf-free: fatal faults report the
 	// shortfall as unbounded via Fatal instead.
-	ShortfallDB float64
+	ShortfallDB phys.Decibels
 	// Fatal marks failures no amount of drive power fixes (dead device,
 	// severed guide). Transient marks failures expected to clear on
 	// their own (packet corruption, thermal epoch).
@@ -34,7 +38,7 @@ type DeliveryError struct {
 // Error implements error.
 func (e *DeliveryError) Error() string {
 	return fmt.Sprintf("noc: delivery %d->%d failed at cycle %d (%s, shortfall %.2f dB)",
-		e.Src, e.Dst, e.Cycle, e.Reason, e.ShortfallDB)
+		e.Src, e.Dst, e.Cycle, e.Reason, float64(e.ShortfallDB))
 }
 
 // FaultModel decides whether a transmission injected at a cycle is

@@ -1,0 +1,164 @@
+// Benchmark guard for the typed unit system: the defined types must
+// compile to exactly the float64 arithmetic they replaced — zero
+// allocations, no call overhead. The two benchmark pairs mirror the
+// hot loops of the repository (the splitter backward recurrence and
+// the power-evaluation accumulation); TestTypedOpsAllocFree turns the
+// alloc half of the guarantee into a hard test.
+
+package phys
+
+import (
+	"math"
+	"testing"
+)
+
+// benchN is the recurrence length — one paper-scale serpentine side.
+const benchN = 256
+
+var (
+	sinkUW  MicroWatts
+	sinkF64 float64
+)
+
+// typedRecurrence is the splitter backward recurrence written against
+// the typed API: incident = req + carry, carry = incident/t.
+func typedRecurrence(req []MicroWatts, t Transmission) MicroWatts {
+	carry := MicroWatts(0)
+	for j := len(req) - 1; j >= 0; j-- {
+		incident := req[j] + carry
+		carry = incident.Over(t)
+	}
+	return carry
+}
+
+// rawRecurrence is the same loop on raw float64.
+func rawRecurrence(req []float64, t float64) float64 {
+	carry := 0.0
+	for j := len(req) - 1; j >= 0; j-- {
+		incident := req[j] + carry
+		carry = incident / t
+	}
+	return carry
+}
+
+func typedReq() ([]MicroWatts, Transmission) {
+	req := make([]MicroWatts, benchN)
+	for j := range req {
+		req[j] = MicroWatts(15.7 + float64(j)*0.01)
+	}
+	return req, Decibels(0.0703125).Transmission()
+}
+
+func rawReq() ([]float64, float64) {
+	req := make([]float64, benchN)
+	for j := range req {
+		req[j] = 15.7 + float64(j)*0.01
+	}
+	return req, LossToTransmission(0.0703125)
+}
+
+func BenchmarkSplitterRecurrenceTyped(b *testing.B) {
+	req, t := typedReq()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkUW = typedRecurrence(req, t)
+	}
+}
+
+func BenchmarkSplitterRecurrenceRaw(b *testing.B) {
+	req, t := rawReq()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF64 = rawRecurrence(req, t)
+	}
+}
+
+// typedEval mirrors the power-evaluation accumulation: per-pair drive
+// power scaled by traffic, summed into a float64 accumulator exactly
+// as MNoC.Evaluate does.
+func typedEval(drive []MicroWatts, counts []float64) MicroWatts {
+	sum := 0.0
+	for i, v := range counts {
+		sum += v * float64(drive[i%len(drive)])
+	}
+	return MicroWatts(sum)
+}
+
+func rawEval(drive []float64, counts []float64) float64 {
+	sum := 0.0
+	for i, v := range counts {
+		sum += v * drive[i%len(drive)]
+	}
+	return sum
+}
+
+func evalInputs() ([]MicroWatts, []float64, []float64) {
+	drive := make([]MicroWatts, 4)
+	raw := make([]float64, 4)
+	for m := range drive {
+		drive[m] = MicroWatts(100 * math.Pow(2, float64(m)))
+		raw[m] = 100 * math.Pow(2, float64(m))
+	}
+	counts := make([]float64, benchN*benchN/64)
+	for i := range counts {
+		counts[i] = float64(i % 17)
+	}
+	return drive, raw, counts
+}
+
+func BenchmarkPowerEvalTyped(b *testing.B) {
+	drive, _, counts := evalInputs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkUW = typedEval(drive, counts)
+	}
+}
+
+func BenchmarkPowerEvalRaw(b *testing.B) {
+	_, raw, counts := evalInputs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF64 = rawEval(raw, counts)
+	}
+}
+
+// TestTypedOpsAllocFree asserts the typed inner loops allocate nothing:
+// the defined types are free at runtime.
+func TestTypedOpsAllocFree(t *testing.T) {
+	req, tr := typedReq()
+	if allocs := testing.AllocsPerRun(100, func() {
+		sinkUW = typedRecurrence(req, tr)
+	}); allocs != 0 {
+		t.Errorf("typed splitter recurrence allocates %g times per run", allocs)
+	}
+	drive, _, counts := evalInputs()
+	if allocs := testing.AllocsPerRun(100, func() {
+		sinkUW = typedEval(drive, counts)
+	}); allocs != 0 {
+		t.Errorf("typed power evaluation allocates %g times per run", allocs)
+	}
+	// The conversion methods themselves are also allocation-free.
+	if allocs := testing.AllocsPerRun(100, func() {
+		sinkF64 = Decibels(1.3).Linear() * float64(MicroWatts(10).Times(Decibels(0.2).Transmission()))
+	}); allocs != 0 {
+		t.Errorf("typed conversions allocate %g times per run", allocs)
+	}
+}
+
+// TestTypedRecurrenceMatchesRaw pins bit-identity: the typed loop must
+// produce exactly the float64 result of the raw loop.
+func TestTypedRecurrenceMatchesRaw(t *testing.T) {
+	req, tr := typedReq()
+	raw, rt := rawReq()
+	if got, want := float64(typedRecurrence(req, tr)), rawRecurrence(raw, rt); got != want {
+		t.Fatalf("typed recurrence %g != raw %g", got, want)
+	}
+	drive, rawDrive, counts := evalInputs()
+	if got, want := float64(typedEval(drive, counts)), rawEval(rawDrive, counts); got != want {
+		t.Fatalf("typed eval %g != raw %g", got, want)
+	}
+}

@@ -1,11 +1,17 @@
 // Package phys provides the basic optical-physics primitives the mNoC
-// models are built on: decibel/linear conversions, power units, and the
-// chip-level physical constants (die size, waveguide length, propagation
-// speed) the paper fixes in its methodology (Section 5.1, Table 2/3).
+// models are built on: typed physical units (µW, dB, µJ, transmission
+// fractions), decibel/linear conversions, and the chip-level physical
+// constants (die size, waveguide length, propagation speed) the paper
+// fixes in its methodology (Section 5.1, Table 2/3).
 //
-// All powers in this code base are carried as float64 microwatts (µW)
-// unless a name says otherwise; the MicroWatt/MilliWatt/Watt constants
-// make unit intent explicit at call sites.
+// All powers in this code base are carried as MicroWatts (a defined
+// float64 type) unless a name says otherwise; the MicroWatt/MilliWatt/
+// Watt constants make unit intent explicit at call sites. The defined
+// types are zero-cost: they marshal to JSON, fingerprint with %+v and
+// serialise to binary exactly like raw float64 — deliberately, so the
+// wire formats and artifact cache keys predating the typed API are
+// preserved byte-for-byte. For the same reason none of the unit types
+// carries a String, Format or MarshalJSON method.
 package phys
 
 import (
@@ -20,6 +26,69 @@ const (
 	MilliWatt = 1e3 * MicroWatt
 	Watt      = 1e6 * MicroWatt
 )
+
+// MicroWatts is a power in µW, the code base's internal power unit.
+type MicroWatts float64
+
+// Decibels is a logarithmic power ratio. By convention the model code
+// stores loss magnitudes as positive values (1.0 means "1 dB loss");
+// Transmission applies that convention, Linear the raw gain one.
+type Decibels float64
+
+// MicroJoules is an energy in µJ. Because 1 µW · 1 s = 1 µJ, the µ
+// prefix carries through power·time products with no conversion
+// factor (see MicroWatts.EnergyOver).
+type MicroJoules float64
+
+// Transmission is a transmitted power fraction in (0, 1].
+type Transmission float64
+
+// Watts converts to plain watts for reporting.
+func (p MicroWatts) Watts() float64 { return float64(p) / Watt }
+
+// Times attenuates the power by a transmission fraction.
+func (p MicroWatts) Times(t Transmission) MicroWatts { return p * MicroWatts(t) }
+
+// Over is the inverse of Times: the power that must be injected so
+// that p survives a path with transmission t.
+func (p MicroWatts) Over(t Transmission) MicroWatts { return p / MicroWatts(t) }
+
+// Scale multiplies by a dimensionless factor.
+func (p MicroWatts) Scale(k float64) MicroWatts { return p * MicroWatts(k) }
+
+// Div divides by a dimensionless factor.
+func (p MicroWatts) Div(k float64) MicroWatts { return p / MicroWatts(k) }
+
+// EnergyOver is the energy dissipated by drawing p for a duration in
+// seconds: E[µJ] = P[µW] · t[s].
+func (p MicroWatts) EnergyOver(seconds float64) MicroJoules {
+	return MicroJoules(float64(p) * seconds)
+}
+
+// Linear converts the decibel value to a linear power ratio. Positive
+// dB is gain (>1), negative dB is loss (<1).
+func (d Decibels) Linear() float64 { return DBToLinear(float64(d)) }
+
+// Transmission interprets the value as a loss magnitude (positive =
+// loss) and returns the surviving power fraction 10^(−d/10).
+func (d Decibels) Transmission() Transmission {
+	return Transmission(LossToTransmission(float64(d)))
+}
+
+// Plus adds two decibel quantities (cascaded losses/gains).
+func (d Decibels) Plus(o Decibels) Decibels { return d + o }
+
+// Minus subtracts a decibel quantity.
+func (d Decibels) Minus(o Decibels) Decibels { return d - o }
+
+// Scale multiplies by a dimensionless factor (e.g. dB/cm · cm).
+func (d Decibels) Scale(k float64) Decibels { return d * Decibels(k) }
+
+// Decibels converts a transmission fraction back to its loss
+// magnitude in dB (positive for t < 1).
+func (t Transmission) Decibels() Decibels {
+	return Decibels(TransmissionToLoss(float64(t)))
+}
 
 // Chip-level constants from the paper's methodology (Section 5.1).
 const (
@@ -81,9 +150,10 @@ func PropagationCycles(distCM float64) int {
 	return cycles
 }
 
-// FormatPower renders a µW value with an auto-selected unit suffix,
+// FormatPower renders a power value with an auto-selected unit suffix,
 // suitable for experiment tables.
-func FormatPower(uw float64) string {
+func FormatPower(p MicroWatts) string {
+	uw := float64(p)
 	abs := math.Abs(uw)
 	switch {
 	case abs >= Watt:
@@ -101,18 +171,19 @@ var ErrNonPositive = errors.New("phys: value must be > 0")
 
 // CheckPositive returns ErrNonPositive (wrapped with the name) unless
 // v > 0. It is the standard argument guard used by the model
-// constructors in the device and waveguide packages.
-func CheckPositive(name string, v float64) error {
-	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-		return fmt.Errorf("%w: %s = %g", ErrNonPositive, name, v)
+// constructors in the device and waveguide packages, and accepts any
+// of the defined unit types.
+func CheckPositive[F ~float64](name string, v F) error {
+	if v <= 0 || math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+		return fmt.Errorf("%w: %s = %g", ErrNonPositive, name, float64(v))
 	}
 	return nil
 }
 
 // CheckFraction validates that v lies in (0, 1].
-func CheckFraction(name string, v float64) error {
-	if v <= 0 || v > 1 || math.IsNaN(v) {
-		return fmt.Errorf("phys: %s = %g, want in (0, 1]", name, v)
+func CheckFraction[F ~float64](name string, v F) error {
+	if v <= 0 || v > 1 || math.IsNaN(float64(v)) {
+		return fmt.Errorf("phys: %s = %g, want in (0, 1]", name, float64(v))
 	}
 	return nil
 }

@@ -110,14 +110,14 @@ func TestFormatPowerUnits(t *testing.T) {
 		{2.5e6, "2.50W"},
 	}
 	for _, c := range cases {
-		if got := FormatPower(c.uw); got != c.want {
+		if got := FormatPower(MicroWatts(c.uw)); got != c.want {
 			t.Errorf("FormatPower(%v) = %q, want %q", c.uw, got, c.want)
 		}
 	}
 }
 
 func TestCheckPositive(t *testing.T) {
-	if err := CheckPositive("x", 1); err != nil {
+	if err := CheckPositive("x", 1.0); err != nil {
 		t.Errorf("CheckPositive(1) = %v, want nil", err)
 	}
 	for _, v := range []float64{0, -1, math.NaN(), math.Inf(1)} {

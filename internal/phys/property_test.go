@@ -1,0 +1,143 @@
+// Property and fuzz tests for the conversion layer: the typed API is a
+// thin veneer over DBToLinear/LinearToDB and LossToTransmission/
+// TransmissionToLoss, so these pin the algebra the whole model stack
+// leans on — round-trips across magnitudes, the dB-addition ↔
+// transmission-multiplication homomorphism, and FormatPower's handling
+// of degenerate inputs.
+
+package phys
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestDBLinearRoundTripMagnitudes sweeps dB values across the
+// physically interesting range (fractions of a dB to amplifier-scale
+// gains) and checks LinearToDB(DBToLinear(db)) == db to within float
+// round-off.
+func TestDBLinearRoundTripMagnitudes(t *testing.T) {
+	for db := -120.0; db <= 120.0; db += 0.37 {
+		got := LinearToDB(DBToLinear(db))
+		if math.Abs(got-db) > 1e-9*math.Max(1, math.Abs(db)) {
+			t.Fatalf("round trip at %g dB drifted to %g", db, got)
+		}
+	}
+}
+
+// TestLossTransmissionRoundTripMagnitudes does the same for the loss
+// convention: TransmissionToLoss(LossToTransmission(loss)) == loss.
+func TestLossTransmissionRoundTripMagnitudes(t *testing.T) {
+	for loss := 0.0; loss <= 100.0; loss += 0.23 {
+		tr := LossToTransmission(loss)
+		if tr <= 0 || tr > 1 {
+			t.Fatalf("transmission for %g dB loss = %g, want (0,1]", loss, tr)
+		}
+		got := TransmissionToLoss(tr)
+		if math.Abs(got-loss) > 1e-9*math.Max(1, loss) {
+			t.Fatalf("round trip at %g dB loss drifted to %g", loss, got)
+		}
+	}
+}
+
+// TestDecibelAdditionIsTransmissionMultiplication pins the
+// homomorphism the waveguide model depends on: adding losses in dB
+// multiplies transmissions.
+func TestDecibelAdditionIsTransmissionMultiplication(t *testing.T) {
+	for _, pair := range [][2]Decibels{
+		{0.2, 0.3}, {1, 1}, {3.0103, 3.0103}, {0.001, 17}, {42, 0},
+	} {
+		a, b := pair[0], pair[1]
+		sum := a.Plus(b).Transmission()
+		prod := Transmission(float64(a.Transmission()) * float64(b.Transmission()))
+		if math.Abs(float64(sum-prod)) > 1e-12*float64(prod) {
+			t.Errorf("T(%v+%v) = %g, T(%v)·T(%v) = %g", a, b, sum, a, b, prod)
+		}
+	}
+}
+
+// TestTypedConversionsMatchFreeFunctions checks the typed veneer is
+// exactly the free functions — same bits, no reformulation.
+func TestTypedConversionsMatchFreeFunctions(t *testing.T) {
+	for db := -40.0; db <= 40.0; db += 0.83 {
+		if got, want := Decibels(db).Linear(), DBToLinear(db); got != want {
+			t.Fatalf("Decibels(%g).Linear() = %g, DBToLinear = %g", db, got, want)
+		}
+		if db < 0 {
+			continue
+		}
+		tr := Decibels(db).Transmission()
+		if got, want := float64(tr), LossToTransmission(db); got != want {
+			t.Fatalf("Decibels(%g).Transmission() = %g, LossToTransmission = %g", db, got, want)
+		}
+		if got, want := float64(tr.Decibels()), TransmissionToLoss(float64(tr)); got != want {
+			t.Fatalf("Transmission(%g).Decibels() = %g, TransmissionToLoss = %g", float64(tr), got, want)
+		}
+	}
+}
+
+// TestFormatPowerDegenerate pins FormatPower on the inputs the happy
+// path never produces: negatives keep their sign and pick the band by
+// magnitude, zero is 0.00uW, NaN renders as a NaN µW value rather
+// than panicking.
+func TestFormatPowerDegenerate(t *testing.T) {
+	for _, tc := range []struct {
+		p    MicroWatts
+		want string
+	}{
+		{0, "0.00uW"},
+		{-3, "-3.00uW"},
+		{-4500, "-4.50mW"},
+		{-2.5e6, "-2.50W"},
+	} {
+		if got := FormatPower(tc.p); got != tc.want {
+			t.Errorf("FormatPower(%g) = %q, want %q", float64(tc.p), got, tc.want)
+		}
+	}
+	if got := FormatPower(MicroWatts(math.NaN())); !strings.Contains(got, "NaN") {
+		t.Errorf("FormatPower(NaN) = %q, want a NaN rendering", got)
+	}
+}
+
+// FuzzDBLinearRoundTrip fuzzes the dB ↔ linear round trip over finite
+// inputs in the invertible range.
+func FuzzDBLinearRoundTrip(f *testing.F) {
+	for _, seed := range []float64{0, 1, -1, 0.2, 3.0103, -60, 99.9} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, db float64) {
+		if math.IsNaN(db) || math.IsInf(db, 0) || math.Abs(db) > 300 {
+			return // out of float64's invertible power-ratio range
+		}
+		lin := DBToLinear(db)
+		if lin <= 0 || math.IsInf(lin, 0) {
+			t.Fatalf("DBToLinear(%g) = %g, want finite positive", db, lin)
+		}
+		got := LinearToDB(lin)
+		if math.Abs(got-db) > 1e-6*math.Max(1, math.Abs(db)) {
+			t.Fatalf("round trip %g -> %g -> %g", db, lin, got)
+		}
+	})
+}
+
+// FuzzLossTransmissionRoundTrip fuzzes the loss ↔ transmission round
+// trip for non-negative finite losses.
+func FuzzLossTransmissionRoundTrip(f *testing.F) {
+	for _, seed := range []float64{0, 0.2, 1, 18.3, 100} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, loss float64) {
+		if math.IsNaN(loss) || math.IsInf(loss, 0) || loss < 0 || loss > 300 {
+			return
+		}
+		tr := LossToTransmission(loss)
+		if tr <= 0 || tr > 1 {
+			t.Fatalf("LossToTransmission(%g) = %g, want (0,1]", loss, tr)
+		}
+		got := TransmissionToLoss(tr)
+		if math.Abs(got-loss) > 1e-6*math.Max(1, loss) {
+			t.Fatalf("round trip %g -> %g -> %g", loss, tr, got)
+		}
+	})
+}

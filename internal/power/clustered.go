@@ -67,8 +67,8 @@ func NewCMNoC(n, clusterSize int) (*CMNoC, error) {
 // N×N flit counts) over the window.
 func (c *CMNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
 	return evalClustered(mtx, cycles, c.N, c.ClusterSize, c.Cfg.Elec, func(srcPort int, flits float64) (srcUW, oeUW float64) {
-		srcUW = flits * c.Cfg.QDLED.ElectricalPower(c.designs[srcPort].ModePowerUW[0])
-		oeUW = flits * float64(c.Ports-1) * c.Cfg.PD.OEPowerUW()
+		srcUW = flits * float64(c.Cfg.QDLED.ElectricalPower(c.designs[srcPort].ModePowerUW[0]))
+		oeUW = flits * float64(c.Ports-1) * float64(c.Cfg.PD.OEPowerUW())
 		return srcUW, oeUW
 	}, nil)
 }
@@ -132,9 +132,9 @@ func (r *RNoC) StaticUW() Breakdown {
 // static components dominate; activity adds O/E and electrical power.
 func (r *RNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
 	b, err := evalClustered(mtx, cycles, r.N, r.ClusterSize, r.Elec, func(_ int, flits float64) (srcUW, oeUW float64) {
-		oeUW = flits * float64(r.Ports-1) * r.PD.OEPowerUW()
+		oeUW = flits * float64(r.Ports-1) * float64(r.PD.OEPowerUW())
 		return 0, oeUW
-	}, func(flits, cyc float64) float64 {
+	}, func(flits, cyc float64) phys.MicroWatts {
 		return pjOverCyclesToUW(flits*r.ModulatorPJPerFlit, cyc)
 	})
 	if err != nil {
@@ -149,7 +149,7 @@ func (r *RNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
 func evalClustered(mtx *trace.Matrix, cycles float64, n, clusterSize int,
 	elec device.Electrical,
 	optical func(srcPort int, flits float64) (srcUW, oeUW float64),
-	extraOE func(flits, cycles float64) float64) (Breakdown, error) {
+	extraOE func(flits, cycles float64) phys.MicroWatts) (Breakdown, error) {
 
 	if mtx.N != n {
 		return Breakdown{}, fmt.Errorf("power: matrix for %d nodes, network for %d", mtx.N, n)
@@ -190,8 +190,8 @@ func evalClustered(mtx *trace.Matrix, cycles float64, n, clusterSize int,
 	interPJ := inter * (2*elec.BufferPJPerFlit + 2*elec.RouterPJPerFlit + 2*elec.LinkPJPerFlit)
 
 	b := Breakdown{
-		SourceUW:     srcUW / cycles,
-		OEUW:         oeUW / cycles,
+		SourceUW:     phys.MicroWatts(srcUW / cycles),
+		OEUW:         phys.MicroWatts(oeUW / cycles),
 		ElectricalUW: pjOverCyclesToUW(intraPJ+interPJ, cycles),
 	}
 	if extraOE != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"mnoc/internal/phys"
 	"mnoc/internal/splitter"
 	"mnoc/internal/topo"
 	"mnoc/internal/trace"
@@ -20,21 +21,23 @@ import (
 // up under a key that already embeds the configuration fingerprint, so
 // DecodePayload takes the caller's Config and rebinds the design to it.
 
-// appendFloats appends a float64 slice as raw little-endian bits.
-func appendFloats(buf []byte, vs []float64) []byte {
+// appendFloats appends a float64-kind slice as raw little-endian bits.
+// The defined unit types (phys.MicroWatts etc.) serialise to exactly
+// the bytes their underlying float64 values would.
+func appendFloats[F ~float64](buf []byte, vs []F) []byte {
 	for _, v := range vs {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(float64(v)))
 	}
 	return buf
 }
 
-// readFloats consumes len(dst) float64s from payload.
-func readFloats(payload []byte, dst []float64) ([]byte, error) {
+// readFloats consumes len(dst) float64-kind values from payload.
+func readFloats[F ~float64](payload []byte, dst []F) ([]byte, error) {
 	if len(payload) < 8*len(dst) {
 		return nil, fmt.Errorf("power: truncated design payload")
 	}
 	for i := range dst {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload))
+		dst[i] = F(math.Float64frombits(binary.LittleEndian.Uint64(payload)))
 		payload = payload[8:]
 	}
 	return payload, nil
@@ -62,12 +65,12 @@ func (m *MNoC) EncodePayload() ([]byte, error) {
 		buf = binary.AppendUvarint(buf, uint64(d.Chain.Source))
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.Chain.DirLow))
 		buf = binary.AppendUvarint(buf, uint64(d.Chain.Layout.N))
-		buf = appendFloats(buf, []float64{d.Chain.Layout.LengthCM, d.Chain.Layout.LossDBPerCM})
+		buf = appendFloats(buf, []float64{d.Chain.Layout.LengthCM, float64(d.Chain.Layout.LossDBPerCM)})
 		buf = appendFloats(buf, d.Chain.Taps)
 		buf = binary.AppendUvarint(buf, uint64(len(d.Alphas)))
 		buf = appendFloats(buf, d.Alphas)
 		buf = appendFloats(buf, d.ModePowerUW)
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.InGuideMode0UW))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(float64(d.InGuideMode0UW)))
 		for _, r := range m.modeReach[src] {
 			buf = binary.AppendUvarint(buf, uint64(r))
 		}
@@ -168,7 +171,7 @@ func DecodePayload(cfg Config, payload []byte) (*MNoC, error) {
 		if payload, err = readFloats(payload, geom[:]); err != nil {
 			return nil, err
 		}
-		d.Chain.Layout.LengthCM, d.Chain.Layout.LossDBPerCM = geom[0], geom[1]
+		d.Chain.Layout.LengthCM, d.Chain.Layout.LossDBPerCM = geom[0], phys.Decibels(geom[1])
 		d.Chain.Taps = make([]float64, d.Chain.Layout.N)
 		if payload, err = readFloats(payload, d.Chain.Taps); err != nil {
 			return nil, err
@@ -181,7 +184,7 @@ func DecodePayload(cfg Config, payload []byte) (*MNoC, error) {
 		if payload, err = readFloats(payload, d.Alphas); err != nil {
 			return nil, err
 		}
-		d.ModePowerUW = make([]float64, nm)
+		d.ModePowerUW = make([]phys.MicroWatts, nm)
 		if payload, err = readFloats(payload, d.ModePowerUW); err != nil {
 			return nil, err
 		}
@@ -189,7 +192,7 @@ func DecodePayload(cfg Config, payload []byte) (*MNoC, error) {
 		if payload, err = readFloats(payload, ig[:]); err != nil {
 			return nil, err
 		}
-		d.InGuideMode0UW = ig[0]
+		d.InGuideMode0UW = phys.MicroWatts(ig[0])
 		out.Designs[src] = d
 
 		reach := make([]int, modes)

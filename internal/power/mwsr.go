@@ -33,9 +33,9 @@ func NewMWSRNoC(cfg Config) (*MWSRNoC, error) {
 // SourceElectricalUW is the QD LED driver power for one s→d flit: the
 // destination's tap absorbs everything, so only waveguide transmission
 // and the coupler separate the LED from Pmin.
-func (m *MWSRNoC) SourceElectricalUW(s, d int) float64 {
+func (m *MWSRNoC) SourceElectricalUW(s, d int) phys.MicroWatts {
 	p := m.Cfg.Splitter
-	optical := p.PminUW / p.Layout.PathTransmission(s, d) * phys.DBToLinear(p.CouplerLossDB)
+	optical := p.PminUW.Over(p.Layout.PathTransmission(s, d)).Scale(p.CouplerLossDB.Linear())
 	return m.Cfg.QDLED.ElectricalPower(optical)
 }
 
@@ -47,22 +47,22 @@ func (m *MWSRNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error)
 	if cycles <= 0 {
 		return Breakdown{}, fmt.Errorf("power: window of %g cycles", cycles)
 	}
-	oe := m.Cfg.PD.OEPowerUW()
+	oe := float64(m.Cfg.PD.OEPowerUW())
 	var srcSum, oeSum, flits float64
 	for s, row := range mtx.Counts {
 		for d, v := range row {
 			if v == 0 || d == s {
 				continue
 			}
-			srcSum += v * m.SourceElectricalUW(s, d)
+			srcSum += v * float64(m.SourceElectricalUW(s, d))
 			oeSum += v * oe // exactly one receiver listens
 			flits += v
 		}
 	}
 	elecPJ := flits * (2*m.Cfg.Elec.BufferPJPerFlit + m.TokenPJPerFlit)
 	return Breakdown{
-		SourceUW:     srcSum / cycles,
-		OEUW:         oeSum / cycles,
+		SourceUW:     phys.MicroWatts(srcSum / cycles),
+		OEUW:         phys.MicroWatts(oeSum / cycles),
 		ElectricalUW: pjOverCyclesToUW(elecPJ, cycles),
 	}, nil
 }

@@ -51,8 +51,8 @@ func DefaultConfig(n int) Config {
 
 // WithMIOP returns a copy of the config with the photodetector mIOP
 // changed and the splitter Pmin re-derived (used by the Fig. 2 sweep).
-func (c Config) WithMIOP(miopUW float64) Config {
-	c.PD.MIOPUW = miopUW
+func (c Config) WithMIOP(miop phys.MicroWatts) Config {
+	c.PD.MIOPUW = miop
 	c.Splitter = splitter.ParamsFromDevices(c.Splitter.Layout, c.PD,
 		device.DefaultChromophore(), 1.0, 0.2)
 	return c
@@ -78,22 +78,24 @@ func (c Config) Validate() error {
 	return c.Elec.Validate()
 }
 
-// Breakdown is the Figure 10 component split, in µW.
+// Breakdown is the Figure 10 component split, in µW. (Scale can turn
+// it into an energy split — see EnergyUJ — but the canonical unit of
+// the fields is power.)
 type Breakdown struct {
-	SourceUW     float64 // QD LED (mNoC) or laser-fed modulation is under LaserUW for rNoC
-	OEUW         float64 // O/E and E/O conversion
-	ElectricalUW float64 // buffers, electrical routers and links
-	RingTrimUW   float64 // ring thermal trimming (rNoC only)
-	LaserUW      float64 // off-chip laser (rNoC only)
+	SourceUW     phys.MicroWatts // QD LED (mNoC) or laser-fed modulation is under LaserUW for rNoC
+	OEUW         phys.MicroWatts // O/E and E/O conversion
+	ElectricalUW phys.MicroWatts // buffers, electrical routers and links
+	RingTrimUW   phys.MicroWatts // ring thermal trimming (rNoC only)
+	LaserUW      phys.MicroWatts // off-chip laser (rNoC only)
 }
 
 // TotalUW sums all components.
-func (b Breakdown) TotalUW() float64 {
+func (b Breakdown) TotalUW() phys.MicroWatts {
 	return b.SourceUW + b.OEUW + b.ElectricalUW + b.RingTrimUW + b.LaserUW
 }
 
 // TotalWatts is TotalUW in watts.
-func (b Breakdown) TotalWatts() float64 { return b.TotalUW() / phys.Watt }
+func (b Breakdown) TotalWatts() float64 { return b.TotalUW().Watts() }
 
 // Add returns the component-wise sum.
 func (b Breakdown) Add(o Breakdown) Breakdown {
@@ -109,11 +111,11 @@ func (b Breakdown) Add(o Breakdown) Breakdown {
 // Scale returns the breakdown scaled by f (used for energy = power·time).
 func (b Breakdown) Scale(f float64) Breakdown {
 	return Breakdown{
-		SourceUW:     b.SourceUW * f,
-		OEUW:         b.OEUW * f,
-		ElectricalUW: b.ElectricalUW * f,
-		RingTrimUW:   b.RingTrimUW * f,
-		LaserUW:      b.LaserUW * f,
+		SourceUW:     b.SourceUW.Scale(f),
+		OEUW:         b.OEUW.Scale(f),
+		ElectricalUW: b.ElectricalUW.Scale(f),
+		RingTrimUW:   b.RingTrimUW.Scale(f),
+		LaserUW:      b.LaserUW.Scale(f),
 	}
 }
 
@@ -301,9 +303,69 @@ func (m *MNoC) Resolve(alive []bool) (*MNoC, error) {
 	return out, nil
 }
 
-// SourceElectricalUW is the QD LED driver power (µW) while src transmits
+// LossModel selects how waveguide insertion loss is charged when a
+// design is priced. The paper's accounting (and this package's
+// default) charges each destination its own path transmission; the
+// optical-crossbar comparison literature instead budgets every
+// destination at the source's longest-path loss (Li et al.,
+// arXiv:1512.07492), which is pessimistic but topology-comparable.
+type LossModel string
+
+const (
+	// LossAverage is the per-destination path-loss accounting the
+	// splitter solver optimises for (Appendix A).
+	LossAverage LossModel = "average"
+	// LossWorst charges every destination the longest-path insertion
+	// loss of its source's serpentine.
+	LossWorst LossModel = "worst"
+)
+
+// ParseLossModel maps a wire/flag spelling onto a LossModel. The empty
+// string means LossAverage.
+func ParseLossModel(s string) (LossModel, error) {
+	switch s {
+	case "", string(LossAverage):
+		return LossAverage, nil
+	case string(LossWorst):
+		return LossWorst, nil
+	}
+	return "", fmt.Errorf("power: unknown loss model %q (want %q or %q)", s, LossAverage, LossWorst)
+}
+
+// WithLossModel returns the network re-priced under the given loss
+// accounting. LossAverage returns the receiver unchanged; LossWorst
+// returns a view sharing the topology and fabricated splitter chains
+// but with every source's mode powers re-derived at its longest-path
+// transmission. The view carries no metric sink — it is an accounting
+// overlay, not a new design.
+func (m *MNoC) WithLossModel(model LossModel) (*MNoC, error) {
+	switch model {
+	case "", LossAverage:
+		return m, nil
+	case LossWorst:
+	default:
+		return nil, fmt.Errorf("power: unknown loss model %q", model)
+	}
+	out := &MNoC{
+		Cfg:       m.Cfg,
+		Topology:  m.Topology,
+		Designs:   make([]*splitter.Design, len(m.Designs)),
+		modeReach: m.modeReach,
+		weighting: m.weighting,
+	}
+	for src, d := range m.Designs {
+		wc, err := splitter.WorstCaseDesign(m.Cfg.Splitter, d, m.Topology.ModeOf[src])
+		if err != nil {
+			return nil, fmt.Errorf("power: worst-case repricing source %d: %w", src, err)
+		}
+		out.Designs[src] = wc
+	}
+	return out, nil
+}
+
+// SourceElectricalUW is the QD LED driver power while src transmits
 // in the given mode.
-func (m *MNoC) SourceElectricalUW(src, mode int) float64 {
+func (m *MNoC) SourceElectricalUW(src, mode int) phys.MicroWatts {
 	return m.Cfg.QDLED.ElectricalPower(m.Designs[src].ModePowerUW[mode])
 }
 
@@ -317,7 +379,7 @@ func (m *MNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
 	if cycles <= 0 {
 		return Breakdown{}, fmt.Errorf("power: window of %g cycles", cycles)
 	}
-	oePerReceiver := m.Cfg.PD.OEPowerUW()
+	oePerReceiver := float64(m.Cfg.PD.OEPowerUW())
 	var srcSum, oeSum, flits float64
 	var modeSrc []float64
 	if m.tel != nil {
@@ -331,7 +393,7 @@ func (m *MNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
 				continue
 			}
 			mode := m.Topology.ModeOf[s][d]
-			src := v * m.Cfg.QDLED.ElectricalPower(des.ModePowerUW[mode])
+			src := v * float64(m.Cfg.QDLED.ElectricalPower(des.ModePowerUW[mode]))
 			srcSum += src
 			if modeSrc != nil {
 				modeSrc[mode] += src
@@ -343,8 +405,8 @@ func (m *MNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
 	// Electrical buffering at the two endpoints of every flit.
 	elecPJ := flits * 2 * m.Cfg.Elec.BufferPJPerFlit
 	b := Breakdown{
-		SourceUW:     srcSum / cycles,
-		OEUW:         oeSum / cycles,
+		SourceUW:     phys.MicroWatts(srcSum / cycles),
+		OEUW:         phys.MicroWatts(oeSum / cycles),
 		ElectricalUW: pjOverCyclesToUW(elecPJ, cycles),
 	}
 	if m.tel != nil {
@@ -362,7 +424,7 @@ func (m *MNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
 // pjOverCyclesToUW converts a total energy in pJ spent during a window
 // of `cycles` 5 GHz clock cycles into average power in µW
 // (1 pJ/ns = 1 mW = 1000 µW; one cycle is 1/ClockGHz ns).
-func pjOverCyclesToUW(pj, cycles float64) float64 {
+func pjOverCyclesToUW(pj, cycles float64) phys.MicroWatts {
 	windowNS := cycles / phys.ClockGHz
-	return pj / windowNS * 1000
+	return phys.MicroWatts(pj / windowNS * 1000)
 }

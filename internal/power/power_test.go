@@ -69,7 +69,7 @@ func TestEvaluateLinearInTraffic(t *testing.T) {
 	m2 := uniformMatrix(32, 15)
 	b1, _ := m.Evaluate(m1, 1000)
 	b2, _ := m.Evaluate(m2, 1000)
-	if math.Abs(b2.TotalUW()-3*b1.TotalUW()) > 1e-6*b2.TotalUW() {
+	if math.Abs(float64(b2.TotalUW()-3*b1.TotalUW())) > 1e-6*float64(b2.TotalUW()) {
 		t.Errorf("power not linear in traffic: %v vs 3×%v", b2.TotalUW(), b1.TotalUW())
 	}
 }
@@ -80,7 +80,7 @@ func TestEvaluateLinearInTraffic(t *testing.T) {
 func TestFig2Anchors(t *testing.T) {
 	mtx := uniformMatrix(256, 1)
 	share := func(miop float64) (qd, oe float64) {
-		cfg := DefaultConfig(256).WithMIOP(miop)
+		cfg := DefaultConfig(256).WithMIOP(phys.MicroWatts(miop))
 		m, err := NewBaseMNoC(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -90,7 +90,7 @@ func TestFig2Anchors(t *testing.T) {
 			t.Fatal(err)
 		}
 		tot := b.TotalUW()
-		return b.SourceUW / tot, b.OEUW / tot
+		return float64(b.SourceUW / tot), float64(b.OEUW / tot)
 	}
 	qd10, oe10 := share(10)
 	if qd10 < 0.72 || qd10 > 0.88 {
@@ -391,7 +391,7 @@ func TestEnergyUJ(t *testing.T) {
 	b := Breakdown{SourceUW: 1e6} // 1 W
 	// 5e9 cycles at 5 GHz = 1 s → 1 J = 1e6 µJ.
 	e := EnergyUJ(b, 5e9)
-	if math.Abs(e.SourceUW-1e6) > 1e-3 {
+	if math.Abs(float64(e.SourceUW-1e6)) > 1e-3 {
 		t.Errorf("energy = %v µJ, want 1e6", e.SourceUW)
 	}
 	// E[µJ] = P[µW] · t[s] with no extra factor: 4 µW over 2.5e9
@@ -399,7 +399,7 @@ func TestEnergyUJ(t *testing.T) {
 	// same way.
 	b2 := Breakdown{SourceUW: 4, OEUW: 8}
 	e2 := EnergyUJ(b2, 2.5e9)
-	if math.Abs(e2.SourceUW-2) > 1e-12 || math.Abs(e2.OEUW-4) > 1e-12 {
+	if math.Abs(float64(e2.SourceUW-2)) > 1e-12 || math.Abs(float64(e2.OEUW-4)) > 1e-12 {
 		t.Errorf("energy = %+v, want SourceUW=2 OEUW=4", e2)
 	}
 }
@@ -522,5 +522,76 @@ func TestMWSRRejections(t *testing.T) {
 	bad.QDLED.Efficiency = 0
 	if _, err := NewMWSRNoC(bad); err == nil {
 		t.Error("invalid config accepted")
+	}
+}
+
+func TestParseLossModel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want LossModel
+		ok   bool
+	}{
+		{"", LossAverage, true},
+		{"average", LossAverage, true},
+		{"worst", LossWorst, true},
+		{"median", "", false},
+		{"WORST", "", false},
+	} {
+		got, err := ParseLossModel(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseLossModel(%q) = %q, %v; want %q, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestWithLossModel pins the worst-case accounting overlay: the average
+// model is the identity (same pointer, no copy), while the worst model
+// raises source power on every design without touching the receiver
+// side — O/E and electrical power depend only on topology and traffic.
+func TestWithLossModel(t *testing.T) {
+	n := 32
+	cfg := DefaultConfig(n)
+	tp, err := topo.DistanceBased(n, []int{16, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMNoC(cfg, tp, UniformWeighting(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same, err := m.WithLossModel(LossAverage); err != nil || same != m {
+		t.Fatalf("LossAverage overlay: %v, %v; want the receiver back", same, err)
+	}
+	if same, err := m.WithLossModel(""); err != nil || same != m {
+		t.Fatalf("empty-model overlay: %v, %v; want the receiver back", same, err)
+	}
+	if _, err := m.WithLossModel("median"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	wc, err := m.WithLossModel(LossWorst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < n; src++ {
+		for mode := 0; mode < tp.Modes; mode++ {
+			if wc.SourceElectricalUW(src, mode) <= m.SourceElectricalUW(src, mode) {
+				t.Fatalf("src %d mode %d: worst-case drive not above average", src, mode)
+			}
+		}
+	}
+	mtx := uniformMatrix(n, 10)
+	avgB, err := m.Evaluate(mtx, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcB, err := wc.Evaluate(mtx, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wcB.SourceUW <= avgB.SourceUW {
+		t.Errorf("worst-case source power %v <= average %v", wcB.SourceUW, avgB.SourceUW)
+	}
+	if wcB.OEUW != avgB.OEUW || wcB.ElectricalUW != avgB.ElectricalUW {
+		t.Errorf("receiver-side power moved under repricing: %+v vs %+v", wcB, avgB)
 	}
 }

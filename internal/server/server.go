@@ -213,14 +213,31 @@ type SolveRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
+// BreakdownDTO is the wire form of a power.Breakdown's per-component
+// split, shared by every response that reports one (solve and
+// adapt-evaluate). Embedding keeps the JSON field order of the
+// embedding response unchanged: encoding/json inlines the fields at
+// the embed position.
+type BreakdownDTO struct {
+	SourceUW float64 `json:"source_uw"`
+	OEUW     float64 `json:"oe_uw"`
+	ElecUW   float64 `json:"electrical_uw"`
+}
+
+func breakdownDTO(b power.Breakdown) BreakdownDTO {
+	return BreakdownDTO{
+		SourceUW: float64(b.SourceUW),
+		OEUW:     float64(b.OEUW),
+		ElecUW:   float64(b.ElectricalUW),
+	}
+}
+
 // SolveResponse is the priced design.
 type SolveResponse struct {
-	Bench      string  `json:"bench"`
-	Kind       string  `json:"kind"`
-	QAP        bool    `json:"qap"`
-	SourceUW   float64 `json:"source_uw"`
-	OEUW       float64 `json:"oe_uw"`
-	ElecUW     float64 `json:"electrical_uw"`
+	Bench string `json:"bench"`
+	Kind  string `json:"kind"`
+	QAP   bool   `json:"qap"`
+	BreakdownDTO
 	TotalWatts float64 `json:"total_watts"`
 	BaseWatts  float64 `json:"base_watts"`
 	// Normalized is TotalWatts / BaseWatts — the figures' y-axis.
@@ -251,15 +268,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 func solveResponse(req SolveRequest, b power.Breakdown, baseW float64) *SolveResponse {
 	return &SolveResponse{
-		Bench:      req.Bench,
-		Kind:       req.Kind,
-		QAP:        req.QAP,
-		SourceUW:   b.SourceUW,
-		OEUW:       b.OEUW,
-		ElecUW:     b.ElectricalUW,
-		TotalWatts: b.TotalWatts(),
-		BaseWatts:  baseW,
-		Normalized: b.TotalWatts() / baseW,
+		Bench:        req.Bench,
+		Kind:         req.Kind,
+		QAP:          req.QAP,
+		BreakdownDTO: breakdownDTO(b),
+		TotalWatts:   b.TotalWatts(),
+		BaseWatts:    baseW,
+		Normalized:   b.TotalWatts() / baseW,
 	}
 }
 
@@ -272,16 +287,23 @@ type EvaluateRequest struct {
 	QAP    bool   `json:"qap,omitempty"`
 	// Scale multiplies the workload's traffic volume (default 1).
 	// Power is linear in traffic, so the scaled wattage is exact.
-	Scale     float64 `json:"scale,omitempty"`
-	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	// LossModel picks the insertion-loss accounting: "average" (the
+	// default, the paper's per-destination path loss) or "worst"
+	// (longest-path loss for every destination, Li et al.).
+	LossModel string `json:"loss_model,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
 // EvaluateResponse joins power and latency for one operating point.
 type EvaluateResponse struct {
-	Bench      string  `json:"bench"`
-	Policy     string  `json:"policy"`
-	QAP        bool    `json:"qap"`
-	Scale      float64 `json:"scale"`
+	Bench  string  `json:"bench"`
+	Policy string  `json:"policy"`
+	QAP    bool    `json:"qap"`
+	Scale  float64 `json:"scale"`
+	// LossModel echoes the non-default loss accounting; omitted for
+	// the average model so existing clients see byte-identical bodies.
+	LossModel  string  `json:"loss_model,omitempty"`
 	TotalWatts float64 `json:"total_watts"`
 	BaseWatts  float64 `json:"base_watts"`
 	MNoCCycles uint64  `json:"mnoc_cycles"`
@@ -309,10 +331,22 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("server: negative traffic scale %g", req.Scale))
 		return
 	}
+	model, err := power.ParseLossModel(req.LossModel)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	key := fmt.Sprintf("evaluate|%s|%s|%t|%g", req.Bench, req.Policy, req.QAP, req.Scale)
+	echo := ""
+	if model != power.LossAverage {
+		// Default-model requests keep their historical flight key, so
+		// cached/coalesced entries stay shared with older clients.
+		key += "|loss=" + string(model)
+		echo = string(model)
+	}
 	s.serve(w, r, req.TimeoutMS, key, func(ctx context.Context) (any, error) {
 		c := s.r.Context()
-		b, baseW, err := c.EvaluateDesign(ctx, req.Policy, req.Bench, req.QAP)
+		b, baseW, err := c.EvaluateDesignLoss(ctx, req.Policy, req.Bench, req.QAP, model)
 		if err != nil {
 			return nil, err
 		}
@@ -325,6 +359,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			Policy:     req.Policy,
 			QAP:        req.QAP,
 			Scale:      req.Scale,
+			LossModel:  echo,
 			TotalWatts: b.TotalWatts() * req.Scale,
 			BaseWatts:  baseW * req.Scale,
 			MNoCCycles: mc,
@@ -404,9 +439,7 @@ type AdaptEvaluateResponse struct {
 	Bench      string  `json:"bench"`
 	Generation uint64  `json:"generation"`
 	TotalWatts float64 `json:"total_watts"`
-	SourceUW   float64 `json:"source_uw"`
-	OEUW       float64 `json:"oe_uw"`
-	ElecUW     float64 `json:"electrical_uw"`
+	BreakdownDTO
 }
 
 // adaptEvalCycles is the probe horizon /v1/adapt/evaluate prices over.
@@ -435,12 +468,10 @@ func (s *Server) handleAdaptEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, &AdaptEvaluateResponse{
-		Bench:      req.Bench,
-		Generation: d.Gen,
-		TotalWatts: b.TotalWatts(),
-		SourceUW:   b.SourceUW,
-		OEUW:       b.OEUW,
-		ElecUW:     b.ElectricalUW,
+		Bench:        req.Bench,
+		Generation:   d.Gen,
+		TotalWatts:   b.TotalWatts(),
+		BreakdownDTO: breakdownDTO(b),
 	})
 }
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"mnoc/internal/phys"
 	"mnoc/internal/splitter"
 )
 
@@ -29,40 +30,40 @@ const QMin = 7.0
 // Link describes one receiver's detection setup.
 type Link struct {
 	// MIOPUW is the photodetector's minimum input optical power.
-	MIOPUW float64
+	MIOPUW phys.MicroWatts
 	// QAtMIOP is the Q-factor delivered at exactly mIOP (default QMin).
 	QAtMIOP float64
 }
 
 // NewLink builds a link model for the given mIOP.
-func NewLink(miopUW float64) (Link, error) {
-	if miopUW <= 0 || math.IsNaN(miopUW) {
-		return Link{}, fmt.Errorf("signal: mIOP = %g", miopUW)
+func NewLink(miop phys.MicroWatts) (Link, error) {
+	if miop <= 0 || math.IsNaN(float64(miop)) {
+		return Link{}, fmt.Errorf("signal: mIOP = %g", float64(miop))
 	}
-	return Link{MIOPUW: miopUW, QAtMIOP: QMin}, nil
+	return Link{MIOPUW: miop, QAtMIOP: QMin}, nil
 }
 
-// Q returns the decision Q-factor for a received optical power (µW).
-func (l Link) Q(receivedUW float64) float64 {
-	if receivedUW <= 0 {
+// Q returns the decision Q-factor for a received optical power.
+func (l Link) Q(received phys.MicroWatts) float64 {
+	if received <= 0 {
 		return 0
 	}
-	return l.QAtMIOP * receivedUW / l.MIOPUW
+	return l.QAtMIOP * float64(received) / float64(l.MIOPUW)
 }
 
 // BER returns the bit error rate for a received optical power:
 // ½·erfc(Q/√2). At mIOP this is ≈1.3e-12; well below mIOP it
 // approaches ½ (pure noise).
-func (l Link) BER(receivedUW float64) float64 {
-	q := l.Q(receivedUW)
+func (l Link) BER(received phys.MicroWatts) float64 {
+	q := l.Q(received)
 	return 0.5 * math.Erfc(q/math.Sqrt2)
 }
 
 // Detectable reports whether the threshold circuit accepts the signal:
 // at or above mIOP it is data; below, the paper says "the input should
 // be treated as noise".
-func (l Link) Detectable(receivedUW float64) bool {
-	return receivedUW >= l.MIOPUW*(1-1e-9)
+func (l Link) Detectable(received phys.MicroWatts) bool {
+	return received >= l.MIOPUW.Scale(1-1e-9)
 }
 
 // Report summarises the signal integrity of one source's splitter
@@ -95,7 +96,7 @@ func Audit(d *splitter.Design, modeOf []int, l Link, maxBER float64) (Report, er
 	modes := len(d.ModePowerUW)
 	rep := Report{WorstBERPerMode: make([]float64, modes), Compliant: true}
 	for m := 0; m < modes; m++ {
-		inGuide := d.InGuideMode0UW / d.Alphas[m]
+		inGuide := d.InGuideMode0UW.Div(d.Alphas[m])
 		recv := d.Chain.Received(inGuide)
 		for j := 0; j < n; j++ {
 			if j == d.Chain.Source {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"mnoc/internal/phys"
 	"mnoc/internal/splitter"
 )
 
@@ -11,7 +12,7 @@ func TestNewLinkRejections(t *testing.T) {
 	if _, err := NewLink(0); err == nil {
 		t.Error("zero mIOP accepted")
 	}
-	if _, err := NewLink(math.NaN()); err == nil {
+	if _, err := NewLink(phys.MicroWatts(math.NaN())); err == nil {
 		t.Error("NaN mIOP accepted")
 	}
 }
@@ -43,7 +44,7 @@ func TestBERMonotoneDecreasing(t *testing.T) {
 	l, _ := NewLink(10)
 	prev := 1.0
 	for p := 0.5; p <= 30; p += 0.5 {
-		ber := l.BER(p)
+		ber := l.BER(phys.MicroWatts(p))
 		if ber > prev {
 			t.Fatalf("BER not monotone at %v µW: %v > %v", p, ber, prev)
 		}

@@ -20,13 +20,13 @@ func ExampleSolve() {
 		fmt.Println(err)
 		return
 	}
-	ratio := d.ModePowerUW[1] / d.ModePowerUW[0]
+	ratio := float64(d.ModePowerUW[1] / d.ModePowerUW[0])
 	fmt.Printf("modes: %d\n", len(d.ModePowerUW))
 	fmt.Printf("Pmode1/Pmode0 == 1/alpha1: %v\n", aboutEqual(ratio, 1/d.Alphas[1]))
 
 	recv := d.Chain.Received(d.InGuideMode0UW)
-	fmt.Printf("low-mode neighbour gets Pmin: %v\n", aboutEqual(recv[2], p.PminUW))
-	fmt.Printf("high-mode node gets alpha1*Pmin: %v\n", aboutEqual(recv[0], d.Alphas[1]*p.PminUW))
+	fmt.Printf("low-mode neighbour gets Pmin: %v\n", aboutEqual(float64(recv[2]), float64(p.PminUW)))
+	fmt.Printf("high-mode node gets alpha1*Pmin: %v\n", aboutEqual(float64(recv[0]), float64(p.PminUW.Scale(d.Alphas[1]))))
 	// Output:
 	// modes: 2
 	// Pmode1/Pmode0 == 1/alpha1: true

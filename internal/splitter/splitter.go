@@ -34,15 +34,15 @@ import (
 type Params struct {
 	Layout waveguide.Layout
 
-	// PminUW is the effective minimum power (µW) a destination's tap
-	// must divert: photodetector mIOP plus chromophore loss, scaled by
-	// the receiver-side splitter insertion loss.
-	PminUW float64
+	// PminUW is the effective minimum power a destination's tap must
+	// divert: photodetector mIOP plus chromophore loss, scaled by the
+	// receiver-side splitter insertion loss.
+	PminUW phys.MicroWatts
 
 	// CouplerLossDB is the source-side coupler loss between the QD LED
 	// and the waveguide (Table 3: 1 dB). It scales the LED output
 	// relative to the power present in the guide.
-	CouplerLossDB float64
+	CouplerLossDB phys.Decibels
 }
 
 // DefaultParams assembles Params from the Table 3 device models for an
@@ -55,8 +55,8 @@ func DefaultParams(n int) Params {
 // ParamsFromDevices folds receiver-side device losses into Pmin:
 // Pmin = (mIOP + chromophore loss) · splitterInsertion.
 func ParamsFromDevices(l waveguide.Layout, pd device.Photodetector, ch device.Chromophore,
-	couplerLossDB, splitterLossDB float64) Params {
-	pmin := (pd.MIOPUW + ch.LossUW(pd.MIOPUW)) * phys.DBToLinear(splitterLossDB+pd.InsertionLossDB)
+	couplerLossDB, splitterLossDB phys.Decibels) Params {
+	pmin := (pd.MIOPUW + ch.LossUW(pd.MIOPUW)).Scale(splitterLossDB.Plus(pd.InsertionLossDB).Linear())
 	return Params{Layout: l, PminUW: pmin, CouplerLossDB: couplerLossDB}
 }
 
@@ -82,37 +82,37 @@ type Design struct {
 	Alphas []float64
 	// ModePowerUW[m] is the optical power the QD LED must emit for mode
 	// m (includes the source coupler loss).
-	ModePowerUW []float64
+	ModePowerUW []phys.MicroWatts
 	// InGuideMode0UW is the mode-0 power present in the waveguide
 	// (before the coupler loss is applied), i.e. Pmode_0 of Appendix A.
-	InGuideMode0UW float64
+	InGuideMode0UW phys.MicroWatts
 }
 
 // WeightedPowerUW evaluates Equation 1 for the design under the given
 // per-mode communication weights (which need not be the weights the
 // design was optimised for).
-func (d *Design) WeightedPowerUW(weights []float64) (float64, error) {
+func (d *Design) WeightedPowerUW(weights []float64) (phys.MicroWatts, error) {
 	if len(weights) != len(d.ModePowerUW) {
 		return 0, fmt.Errorf("splitter: %d weights for %d modes", len(weights), len(d.ModePowerUW))
 	}
 	sum := 0.0
 	for m, w := range weights {
-		sum += w * d.ModePowerUW[m]
+		sum += w * float64(d.ModePowerUW[m])
 	}
-	return sum, nil
+	return phys.MicroWatts(sum), nil
 }
 
 // ModeCosts returns A_m = Σ_{j : mode(j)=m} Pmin/T(src,j) for each mode:
 // the in-guide power mode m's members would require at full strength.
 // modeOf[j] gives destination j's mode index, and must be -1 exactly at
 // j == src. Modes must be in [0, M).
-func ModeCosts(p Params, src int, modeOf []int, modes int) ([]float64, error) {
+func ModeCosts(p Params, src int, modeOf []int, modes int) ([]phys.MicroWatts, error) {
 	return maskedModeCosts(p, src, modeOf, modes, nil)
 }
 
 // maskedModeCosts is ModeCosts with an optional exclusion mask:
 // excluded destinations contribute nothing (their taps will be zero).
-func maskedModeCosts(p Params, src int, modeOf []int, modes int, excluded []bool) ([]float64, error) {
+func maskedModeCosts(p Params, src int, modeOf []int, modes int, excluded []bool) ([]phys.MicroWatts, error) {
 	if len(modeOf) != p.Layout.N {
 		return nil, fmt.Errorf("splitter: %d mode entries for %d nodes", len(modeOf), p.Layout.N)
 	}
@@ -122,7 +122,7 @@ func maskedModeCosts(p Params, src int, modeOf []int, modes int, excluded []bool
 	if excluded != nil && len(excluded) != p.Layout.N {
 		return nil, fmt.Errorf("splitter: %d exclusion entries for %d nodes", len(excluded), p.Layout.N)
 	}
-	a := make([]float64, modes)
+	a := make([]phys.MicroWatts, modes)
 	for j, m := range modeOf {
 		if j == src {
 			if m != -1 {
@@ -136,30 +136,30 @@ func maskedModeCosts(p Params, src int, modeOf []int, modes int, excluded []bool
 		if excluded != nil && excluded[j] {
 			continue
 		}
-		a[m] += p.PminUW / p.Layout.PathTransmission(src, j)
+		a[m] += p.PminUW.Over(p.Layout.PathTransmission(src, j))
 	}
 	return a, nil
 }
 
 // WeightedPowerForAlphas evaluates Σ_m w_m·(Σ_l α_l·A_l)/α_m, the
 // objective of the α search, without building a full design.
-func WeightedPowerForAlphas(modeCosts, alphas, weights []float64) float64 {
+func WeightedPowerForAlphas(modeCosts []phys.MicroWatts, alphas, weights []float64) phys.MicroWatts {
 	p0 := 0.0
 	for m, a := range alphas {
-		p0 += a * modeCosts[m]
+		p0 += a * float64(modeCosts[m])
 	}
 	sum := 0.0
 	for m, w := range weights {
 		sum += w * p0 / alphas[m]
 	}
-	return sum
+	return phys.MicroWatts(sum)
 }
 
 // OptimalAlphasTwoMode returns the exact minimiser for a 2-mode design:
 // α1 = sqrt(w1·A0 / (w0·A1)), clamped into (0,1]. Degenerate inputs
 // (empty mode, zero weight) fall back to α1 = 1.
-func OptimalAlphasTwoMode(modeCosts, weights []float64) []float64 {
-	a0, a1 := modeCosts[0], modeCosts[1]
+func OptimalAlphasTwoMode(modeCosts []phys.MicroWatts, weights []float64) []float64 {
+	a0, a1 := float64(modeCosts[0]), float64(modeCosts[1])
 	w0, w1 := weights[0], weights[1]
 	alpha := 1.0
 	if a1 > 0 && w0 > 0 {
@@ -183,7 +183,7 @@ const minAlpha = 0.01
 // runs the paper's grid search (0.1 steps) followed by two refinement
 // passes (0.01 then 0.001 steps) of per-coordinate descent, then clamps
 // to the decreasing order the topology nesting requires.
-func OptimalAlphas(modeCosts, weights []float64) []float64 {
+func OptimalAlphas(modeCosts []phys.MicroWatts, weights []float64) []float64 {
 	m := len(modeCosts)
 	alphas := make([]float64, m)
 	for i := range alphas {
@@ -311,14 +311,14 @@ func checkWeights(w []float64) error {
 // forward again, the tap ratios.
 func buildDesign(p Params, src int, modeOf []int, alphas []float64, excluded []bool) (*Design, error) {
 	n := p.Layout.N
-	t := p.Layout.SegmentTransmission()
+	t := float64(p.Layout.SegmentTransmission())
 
 	req := make([]float64, n) // β_j·Pmin at each destination
 	for j, m := range modeOf {
 		if j == src || (excluded != nil && excluded[j]) {
 			continue
 		}
-		req[j] = alphas[m] * p.PminUW
+		req[j] = alphas[m] * float64(p.PminUW)
 	}
 
 	// Backward recurrence toward the source on each side. incident[j]
@@ -368,17 +368,67 @@ func buildDesign(p Params, src int, modeOf []int, alphas []float64, excluded []b
 		return nil, err
 	}
 
-	coupler := phys.DBToLinear(p.CouplerLossDB)
-	modePower := make([]float64, len(alphas))
+	coupler := p.CouplerLossDB.Linear()
+	modePower := make([]phys.MicroWatts, len(alphas))
 	for m, a := range alphas {
-		modePower[m] = inGuide / a * coupler
+		modePower[m] = phys.MicroWatts(inGuide / a * coupler)
 	}
 	return &Design{
 		Chain:          chain,
 		Alphas:         append([]float64(nil), alphas...),
 		ModePowerUW:    modePower,
-		InGuideMode0UW: inGuide,
+		InGuideMode0UW: phys.MicroWatts(inGuide),
 	}, nil
+}
+
+// WorstCaseDesign re-prices a solved design under the worst-case
+// (longest-path) insertion-loss accounting used by the optical-crossbar
+// comparison literature (Li et al., "Optical Crossbars on Chip",
+// arXiv:1512.07492): instead of charging each destination its own path
+// transmission T(src,j), every destination is budgeted as if it sat at
+// the far end of the serpentine, so
+//
+//	Pmode_0^wc = Σ_j α_{mode(j)}·Pmin / T_wc(src)
+//
+// with T_wc the transmission of the longest path from src. The
+// fabricated artefacts — taps, direction split, α vector — are exactly
+// those of the input design; only the power accounting moves, which is
+// what makes worst-vs-average a per-topology Pareto comparison rather
+// than a different design.
+func WorstCaseDesign(p Params, d *Design, modeOf []int) (*Design, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	src := d.Chain.Source
+	if len(modeOf) != p.Layout.N {
+		return nil, fmt.Errorf("splitter: %d mode entries for %d nodes", len(modeOf), p.Layout.N)
+	}
+	tWC := float64(p.Layout.WorstPathTransmission(src))
+	inGuide := 0.0
+	for j, m := range modeOf {
+		if j == src {
+			if m != -1 {
+				return nil, fmt.Errorf("splitter: source %d assigned mode %d, want -1", src, m)
+			}
+			continue
+		}
+		if m < 0 || m >= len(d.Alphas) {
+			return nil, fmt.Errorf("splitter: destination %d mode %d out of [0,%d)", j, m, len(d.Alphas))
+		}
+		inGuide += d.Alphas[m] * float64(p.PminUW) / tWC
+	}
+	if inGuide <= 0 {
+		return nil, fmt.Errorf("splitter: source %d has no reachable destinations", src)
+	}
+	coupler := p.CouplerLossDB.Linear()
+	out := *d
+	out.Alphas = append([]float64(nil), d.Alphas...)
+	out.ModePowerUW = make([]phys.MicroWatts, len(d.Alphas))
+	for m, a := range d.Alphas {
+		out.ModePowerUW[m] = phys.MicroWatts(inGuide / a * coupler)
+	}
+	out.InGuideMode0UW = phys.MicroWatts(inGuide)
+	return &out, nil
 }
 
 // BroadcastDesign is the single-mode (broadcast-only) special case used
@@ -392,16 +442,16 @@ func BroadcastDesign(p Params, src int) (*Design, error) {
 // ReachPower returns the in-guide power needed for src to deliver Pmin
 // to exactly the destination set reach (a single-mode topology over a
 // subset). Used by the Figure 3 broadcast-distance sweep.
-func ReachPower(p Params, src int, reach []int) (float64, error) {
+func ReachPower(p Params, src int, reach []int) (phys.MicroWatts, error) {
 	if len(reach) == 0 {
 		return 0, fmt.Errorf("splitter: empty reach set")
 	}
-	sum := 0.0
+	var sum phys.MicroWatts
 	for _, j := range reach {
 		if j == src || j < 0 || j >= p.Layout.N {
 			return 0, fmt.Errorf("splitter: bad destination %d", j)
 		}
-		sum += p.PminUW / p.Layout.PathTransmission(src, j)
+		sum += p.PminUW.Over(p.Layout.PathTransmission(src, j))
 	}
 	return sum, nil
 }

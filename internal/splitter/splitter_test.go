@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"mnoc/internal/phys"
 	"mnoc/internal/waveguide"
 )
 
@@ -26,7 +27,7 @@ func TestDefaultParamsPmin(t *testing.T) {
 	p := DefaultParams(256)
 	// Pmin = (10 + 5) µW × 10^(0.2/10) ≈ 15.70 µW.
 	want := 15.0 * math.Pow(10, 0.02)
-	if math.Abs(p.PminUW-want) > 1e-9 {
+	if math.Abs(float64(p.PminUW)-want) > 1e-9 {
 		t.Errorf("PminUW = %v, want %v", p.PminUW, want)
 	}
 	if p.CouplerLossDB != 1.0 {
@@ -51,8 +52,8 @@ func TestDesignDeliversExactlyRequestedPower(t *testing.T) {
 			if j == src {
 				continue
 			}
-			want := alphas[modeOf[j]] * p.PminUW
-			if math.Abs(recv[j]-want) > 1e-6*want {
+			want := p.PminUW.Scale(alphas[modeOf[j]])
+			if math.Abs(float64(recv[j]-want)) > 1e-6*float64(want) {
 				t.Fatalf("src %d node %d: received %v, want %v", src, j, recv[j], want)
 			}
 		}
@@ -71,13 +72,13 @@ func TestModeNestingInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 	for m := 0; m < 3; m++ {
-		inGuide := d.InGuideMode0UW / d.Alphas[m]
+		inGuide := d.InGuideMode0UW.Div(d.Alphas[m])
 		recv := d.Chain.Received(inGuide)
 		for j := 0; j < 64; j++ {
 			if j == src || modeOf[j] > m {
 				continue
 			}
-			if recv[j] < p.PminUW*(1-1e-9) {
+			if recv[j] < p.PminUW.Scale(1-1e-9) {
 				t.Fatalf("mode %d: node %d (mode %d) receives %v < Pmin %v",
 					m, j, modeOf[j], recv[j], p.PminUW)
 			}
@@ -105,8 +106,8 @@ func TestModePowersOrderedAndScaled(t *testing.T) {
 		t.Errorf("mode powers not increasing: %v", d.ModePowerUW)
 	}
 	// Pmode_m = Pmode_0 / α_m.
-	want := d.ModePowerUW[0] / d.Alphas[1]
-	if math.Abs(d.ModePowerUW[1]-want) > 1e-9*want {
+	want := d.ModePowerUW[0].Div(d.Alphas[1])
+	if math.Abs(float64(d.ModePowerUW[1]-want)) > 1e-9*float64(want) {
 		t.Errorf("Pmode_1 = %v, want Pmode_0/α1 = %v", d.ModePowerUW[1], want)
 	}
 }
@@ -118,14 +119,14 @@ func TestBroadcastPowerMatchesClosedForm(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sum := 0.0
+		sum := phys.MicroWatts(0)
 		for j := 0; j < 256; j++ {
 			if j == src {
 				continue
 			}
-			sum += p.PminUW / p.Layout.PathTransmission(src, j)
+			sum += p.PminUW.Over(p.Layout.PathTransmission(src, j))
 		}
-		if math.Abs(d.InGuideMode0UW-sum) > 1e-6*sum {
+		if math.Abs(float64(d.InGuideMode0UW-sum)) > 1e-6*float64(sum) {
 			t.Errorf("src %d: in-guide %v, closed form %v", src, d.InGuideMode0UW, sum)
 		}
 	}
@@ -148,8 +149,8 @@ func TestReachPowerExponentialInDistance(t *testing.T) {
 	// distance. Check the incremental cost of each further node grows.
 	p := DefaultParams(256)
 	src := 0
-	prevInc := 0.0
-	prevTotal := 0.0
+	prevInc := phys.MicroWatts(0)
+	prevTotal := phys.MicroWatts(0)
 	for d := 1; d <= 255; d++ {
 		reach := make([]int, d)
 		for i := range reach {
@@ -168,7 +169,7 @@ func TestReachPowerExponentialInDistance(t *testing.T) {
 }
 
 func TestOptimalAlphasTwoModeStationaryPoint(t *testing.T) {
-	costs := []float64{1000, 5000}
+	costs := []phys.MicroWatts{1000, 5000}
 	weights := []float64{0.8, 0.2}
 	alphas := OptimalAlphasTwoMode(costs, weights)
 	base := WeightedPowerForAlphas(costs, alphas, weights)
@@ -188,13 +189,13 @@ func TestOptimalAlphasTwoModeStationaryPoint(t *testing.T) {
 func TestOptimalAlphasGridAgreesWithClosedForm(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 20; trial++ {
-		costs := []float64{rng.Float64()*9000 + 1000, rng.Float64()*9000 + 1000}
+		costs := []phys.MicroWatts{phys.MicroWatts(rng.Float64()*9000 + 1000), phys.MicroWatts(rng.Float64()*9000 + 1000)}
 		w0 := 0.1 + 0.8*rng.Float64()
 		weights := []float64{w0, 1 - w0}
 		exact := OptimalAlphasTwoMode(costs, weights)
 		vExact := WeightedPowerForAlphas(costs, exact, weights)
 		// Brute force on a fine grid.
-		bestV := math.Inf(1)
+		bestV := phys.MicroWatts(math.Inf(1))
 		for a := 0.001; a <= 1; a += 0.001 {
 			v := WeightedPowerForAlphas(costs, []float64{1, a}, weights)
 			if v < bestV {
@@ -208,7 +209,7 @@ func TestOptimalAlphasGridAgreesWithClosedForm(t *testing.T) {
 }
 
 func TestOptimalAlphasFourModeBeatsUniform(t *testing.T) {
-	costs := []float64{500, 1500, 4000, 12000}
+	costs := []phys.MicroWatts{500, 1500, 4000, 12000}
 	weights := []float64{0.55, 0.25, 0.15, 0.05}
 	alphas := OptimalAlphas(costs, weights)
 	opt := WeightedPowerForAlphas(costs, alphas, weights)
@@ -266,8 +267,8 @@ func TestWeightedPowerUW(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := 0.5*d.ModePowerUW[0] + 0.5*d.ModePowerUW[1]
-	if math.Abs(got-want) > 1e-9 {
+	want := d.ModePowerUW[0].Scale(0.5) + d.ModePowerUW[1].Scale(0.5)
+	if math.Abs(float64(got-want)) > 1e-9 {
 		t.Errorf("WeightedPowerUW = %v, want %v", got, want)
 	}
 	if _, err := d.WeightedPowerUW([]float64{1}); err == nil {
@@ -367,5 +368,100 @@ func TestParamsValidate(t *testing.T) {
 	p = Params{Layout: waveguide.Layout{N: 1, LengthCM: 18, LossDBPerCM: 1}, PminUW: 10}
 	if err := p.Validate(); err == nil {
 		t.Error("bad layout accepted")
+	}
+}
+
+// TestWorstCaseDesignRepricing checks the longest-path accounting:
+// the repriced design keeps the fabricated artefacts (taps, direction
+// split, α vector) and scales every mode power by the same factor —
+// the ratio of worst-path to average required in-guide power.
+func TestWorstCaseDesignRepricing(t *testing.T) {
+	p := DefaultParams(64)
+	for _, src := range []int{0, 17, 31, 63} {
+		modeOf := modeAssignment(64, src, func(j int) int { return j % 3 })
+		d, err := Solve(p, src, modeOf, []float64{0.6, 0.3, 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wc, err := WorstCaseDesign(p, d, modeOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fabrication unchanged.
+		for j, tap := range d.Chain.Taps {
+			if wc.Chain.Taps[j] != tap {
+				t.Fatalf("src %d: tap[%d] changed %g -> %g", src, j, tap, wc.Chain.Taps[j])
+			}
+		}
+		if wc.Chain.DirLow != d.Chain.DirLow {
+			t.Fatalf("src %d: DirLow changed", src)
+		}
+		for m, a := range d.Alphas {
+			if wc.Alphas[m] != a {
+				t.Fatalf("src %d: alpha[%d] changed", src, m)
+			}
+		}
+		// Worst-path pricing strictly dominates (the serpentine has
+		// destinations nearer than the farthest one).
+		if wc.InGuideMode0UW <= d.InGuideMode0UW {
+			t.Fatalf("src %d: worst-case in-guide %v <= average %v",
+				src, wc.InGuideMode0UW, d.InGuideMode0UW)
+		}
+		// Closed form: P0_wc = Σ_j α_{mode(j)}·Pmin / T_wc(src).
+		tWC := float64(p.Layout.WorstPathTransmission(src))
+		want := 0.0
+		for j, m := range modeOf {
+			if j == src {
+				continue
+			}
+			want += d.Alphas[m] * float64(p.PminUW) / tWC
+		}
+		if got := float64(wc.InGuideMode0UW); math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("src %d: worst-case in-guide %g, want %g", src, got, want)
+		}
+		// All mode powers scale by the same in-guide ratio.
+		ratio := float64(wc.InGuideMode0UW) / float64(d.InGuideMode0UW)
+		for m := range d.ModePowerUW {
+			got := float64(wc.ModePowerUW[m]) / float64(d.ModePowerUW[m])
+			if math.Abs(got-ratio) > 1e-9*ratio {
+				t.Fatalf("src %d mode %d: power ratio %g, want %g", src, m, got, ratio)
+			}
+		}
+	}
+}
+
+// TestWorstCaseDesignTwoNodes: with a single destination the only path
+// is the longest path, so both accountings agree exactly.
+func TestWorstCaseDesignTwoNodes(t *testing.T) {
+	p := DefaultParams(2)
+	d, err := BroadcastDesign(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := WorstCaseDesign(p, d, []int{-1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.InGuideMode0UW != d.InGuideMode0UW {
+		t.Fatalf("single-path worst %v != average %v", wc.InGuideMode0UW, d.InGuideMode0UW)
+	}
+	if wc.ModePowerUW[0] != d.ModePowerUW[0] {
+		t.Fatalf("single-path mode power %v != %v", wc.ModePowerUW[0], d.ModePowerUW[0])
+	}
+}
+
+func TestWorstCaseDesignRejections(t *testing.T) {
+	p := DefaultParams(8)
+	modeOf := modeAssignment(8, 3, func(j int) int { return 0 })
+	d, err := Solve(p, 3, modeOf, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WorstCaseDesign(p, d, modeOf[:4]); err == nil {
+		t.Error("short modeOf accepted")
+	}
+	bad := modeAssignment(8, 3, func(j int) int { return 1 }) // out of range for 1 mode
+	if _, err := WorstCaseDesign(p, d, bad); err == nil {
+		t.Error("out-of-range mode accepted")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"io"
 	"sort"
 
+	"mnoc/internal/phys"
 	"mnoc/internal/splitter"
 	"mnoc/internal/trace"
 )
@@ -234,26 +235,26 @@ func CommAware2Mode(m *trace.Matrix, p splitter.Params, name string) (*Topology,
 	t := New(n, 2, name)
 	for s := 0; s < n; s++ {
 		order := byBenefit(m, p, s)
-		bestCut, bestPower := -1, 0.0
+		bestCut, bestPower := -1, phys.MicroWatts(0)
 
 		// Incremental sweep: moving the cut right moves one more
 		// destination from the high mode into the low mode.
-		lowCost, highCost := 0.0, 0.0
+		var lowCost, highCost phys.MicroWatts
 		lowTraffic, highTraffic := 0.0, 0.0
 		for _, d := range order {
-			highCost += p.PminUW / p.Layout.PathTransmission(s, d)
+			highCost += p.PminUW.Over(p.Layout.PathTransmission(s, d))
 			highTraffic += m.Counts[s][d]
 		}
 		for cut := 1; cut <= n-2; cut++ {
 			d := order[cut-1]
-			c := p.PminUW / p.Layout.PathTransmission(s, d)
+			c := p.PminUW.Over(p.Layout.PathTransmission(s, d))
 			lowCost += c
 			highCost -= c
 			lowTraffic += m.Counts[s][d]
 			highTraffic -= m.Counts[s][d]
 
 			weights := partitionWeights(lowTraffic, highTraffic)
-			costs := []float64{lowCost, highCost}
+			costs := []phys.MicroWatts{lowCost, highCost}
 			alphas := splitter.OptimalAlphasTwoMode(costs, weights)
 			power := splitter.WeightedPowerForAlphas(costs, alphas, weights)
 			if bestCut == -1 || power < bestPower {
@@ -393,13 +394,13 @@ func BestScoredPartition(m *trace.Matrix, p splitter.Params, candidates [][]int,
 		return nil, fmt.Errorf("topo: no candidate partitions")
 	}
 	var best *Topology
-	bestPower := 0.0
+	bestPower := phys.MicroWatts(0)
 	for _, part := range candidates {
 		t, err := CommAwareScored(m, p, part, name)
 		if err != nil {
 			return nil, err
 		}
-		total := 0.0
+		var total phys.MicroWatts
 		for s := 0; s < m.N; s++ {
 			w, err := t.TrafficModeWeights(m, s)
 			if err != nil {
@@ -437,7 +438,7 @@ func byBenefit(m *trace.Matrix, p splitter.Params, s int) []int {
 		}
 		// A small frequency floor keeps the uniform-profile limit
 		// exactly distance-ordered instead of tie-broken arbitrarily.
-		score[d] = (freq + 1e-9) * p.Layout.PathTransmission(s, d)
+		score[d] = (freq + 1e-9) * float64(p.Layout.PathTransmission(s, d))
 	}
 	order := make([]int, 0, n-1)
 	for d := 0; d < n; d++ {

@@ -251,7 +251,7 @@ func TestCommAware2ModeBeatsDistanceOnShuffledTraffic(t *testing.T) {
 				t.Fatal(err)
 			}
 			alphas := splitter.OptimalAlphas(costs, w)
-			sum += splitter.WeightedPowerForAlphas(costs, alphas, w)
+			sum += float64(splitter.WeightedPowerForAlphas(costs, alphas, w))
 		}
 		return sum
 	}
@@ -479,7 +479,7 @@ func TestBestScoredPartitionPicksLowestPower(t *testing.T) {
 				t.Fatal(err)
 			}
 			alphas := splitter.OptimalAlphas(costs, w)
-			total += splitter.WeightedPowerForAlphas(costs, alphas, w)
+			total += float64(splitter.WeightedPowerForAlphas(costs, alphas, w))
 		}
 		return total
 	}

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"mnoc/internal/phys"
 	"mnoc/internal/splitter"
 	"mnoc/internal/waveguide"
 )
@@ -66,17 +67,17 @@ type Result struct {
 	FailFraction float64
 	// MeanWorstShortfallDB is the mean (over trials) of the worst
 	// receiver's power shortfall in dB (0 when nothing fell short).
-	MeanWorstShortfallDB float64
+	MeanWorstShortfallDB phys.Decibels
 	// GuardBandDB is the uniform extra source power (dB, applied to
 	// every mode) that brings the TargetYield fraction of trials back
 	// into compliance.
-	GuardBandDB float64
+	GuardBandDB phys.Decibels
 }
 
 // MonteCarlo perturbs the design's tap ratios Trials times and measures
 // receiver-power compliance. pminUW is the per-tap required power the
 // design was solved for (splitter.Params.PminUW).
-func MonteCarlo(d *splitter.Design, modeOf []int, pminUW float64, p Params) (Result, error) {
+func MonteCarlo(d *splitter.Design, modeOf []int, pmin phys.MicroWatts, p Params) (Result, error) {
 	if err := p.fill(); err != nil {
 		return Result{}, err
 	}
@@ -84,8 +85,8 @@ func MonteCarlo(d *splitter.Design, modeOf []int, pminUW float64, p Params) (Res
 	if len(modeOf) != n {
 		return Result{}, fmt.Errorf("variation: %d mode entries for %d nodes", len(modeOf), n)
 	}
-	if pminUW <= 0 {
-		return Result{}, fmt.Errorf("variation: pmin = %g", pminUW)
+	if pmin <= 0 {
+		return Result{}, fmt.Errorf("variation: pmin = %g", float64(pmin))
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	modes := len(d.ModePowerUW)
@@ -113,12 +114,12 @@ func MonteCarlo(d *splitter.Design, modeOf []int, pminUW float64, p Params) (Res
 		// Worst in-mode received/required ratio across all modes.
 		worst := math.Inf(1)
 		for m := 0; m < modes; m++ {
-			recv := perturbed.Received(d.InGuideMode0UW / d.Alphas[m])
+			recv := perturbed.Received(d.InGuideMode0UW.Div(d.Alphas[m]))
 			for j := 0; j < n; j++ {
 				if j == d.Chain.Source || modeOf[j] > m {
 					continue
 				}
-				if ratio := recv[j] / pminUW; ratio < worst {
+				if ratio := float64(recv[j]) / float64(pmin); ratio < worst {
 					worst = ratio
 				}
 			}
@@ -132,7 +133,7 @@ func MonteCarlo(d *splitter.Design, modeOf []int, pminUW float64, p Params) (Res
 
 	res := Result{FailFraction: float64(fails) / float64(p.Trials)}
 	if fails > 0 {
-		res.MeanWorstShortfallDB = shortfallSum / float64(fails)
+		res.MeanWorstShortfallDB = phys.Decibels(shortfallSum / float64(fails))
 	}
 	// Guard band: the uplift that fixes the (1−yield) quantile's worst
 	// ratio. Sorting ascending, the ratio we must rescue is at index
@@ -143,17 +144,17 @@ func MonteCarlo(d *splitter.Design, modeOf []int, pminUW float64, p Params) (Res
 		idx = len(worstRatios) - 1
 	}
 	if r := worstRatios[idx]; r < 1-complianceTol && r > 0 {
-		res.GuardBandDB = -10 * math.Log10(r)
+		res.GuardBandDB = phys.Decibels(-10 * math.Log10(r))
 	}
 	return res, nil
 }
 
 // Sweep runs MonteCarlo across several sigma values (a Table-style
 // robustness curve).
-func Sweep(d *splitter.Design, modeOf []int, pminUW float64, sigmas []float64, trials int, seed int64) ([]Result, error) {
+func Sweep(d *splitter.Design, modeOf []int, pmin phys.MicroWatts, sigmas []float64, trials int, seed int64) ([]Result, error) {
 	out := make([]Result, 0, len(sigmas))
 	for i, s := range sigmas {
-		r, err := MonteCarlo(d, modeOf, pminUW, Params{
+		r, err := MonteCarlo(d, modeOf, pmin, Params{
 			SigmaFrac: s, Trials: trials, Seed: seed + int64(i)*17,
 		})
 		if err != nil {

@@ -4,10 +4,11 @@ import (
 	"math"
 	"testing"
 
+	"mnoc/internal/phys"
 	"mnoc/internal/splitter"
 )
 
-func solvedDesign(t *testing.T, n int) (*splitter.Design, []int, float64) {
+func solvedDesign(t *testing.T, n int) (*splitter.Design, []int, phys.MicroWatts) {
 	t.Helper()
 	p := splitter.DefaultParams(n)
 	src := n / 3
@@ -80,7 +81,7 @@ func TestGuardBandRestoresYield(t *testing.T) {
 	// Re-run with the guard band applied as extra drive power: the fail
 	// fraction must drop to (roughly) the target.
 	boosted := *d
-	boosted.InGuideMode0UW = d.InGuideMode0UW * math.Pow(10, res.GuardBandDB/10)
+	boosted.InGuideMode0UW = d.InGuideMode0UW.Scale(math.Pow(10, float64(res.GuardBandDB)/10))
 	res2, err := MonteCarlo(&boosted, modeOf, pmin, p)
 	if err != nil {
 		t.Fatal(err)
@@ -151,7 +152,7 @@ func TestTargetYieldOne(t *testing.T) {
 		t.Errorf("yield-1.0 guard (%g dB) below yield-0.9 guard (%g dB)", res.GuardBandDB, lax.GuardBandDB)
 	}
 	boosted := *d
-	boosted.InGuideMode0UW = d.InGuideMode0UW * math.Pow(10, res.GuardBandDB/10)
+	boosted.InGuideMode0UW = d.InGuideMode0UW.Scale(math.Pow(10, float64(res.GuardBandDB)/10))
 	res2, err := MonteCarlo(&boosted, modeOf, pmin, p)
 	if err != nil {
 		t.Fatal(err)
@@ -169,7 +170,7 @@ func TestSigmaJustUnderOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.IsNaN(res.FailFraction) || math.IsNaN(res.GuardBandDB) || math.IsNaN(res.MeanWorstShortfallDB) {
+	if math.IsNaN(res.FailFraction) || math.IsNaN(float64(res.GuardBandDB)) || math.IsNaN(float64(res.MeanWorstShortfallDB)) {
 		t.Fatalf("NaN in result: %+v", res)
 	}
 	if res.FailFraction < 0.5 {
@@ -191,7 +192,7 @@ func TestDesignBelowPminAtNominal(t *testing.T) {
 	d, modeOf, pmin := solvedDesign(t, 32)
 	const sagDB = 1.0
 	sagged := *d
-	sagged.InGuideMode0UW = d.InGuideMode0UW * math.Pow(10, -sagDB/10)
+	sagged.InGuideMode0UW = d.InGuideMode0UW.Scale(math.Pow(10, -sagDB/10))
 	res, err := MonteCarlo(&sagged, modeOf, pmin, Params{SigmaFrac: 0, Trials: 20, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -199,10 +200,10 @@ func TestDesignBelowPminAtNominal(t *testing.T) {
 	if res.FailFraction != 1 {
 		t.Fatalf("sagged design failed only %.0f%% of trials", 100*res.FailFraction)
 	}
-	if math.Abs(res.GuardBandDB-sagDB) > 0.01 {
+	if math.Abs(float64(res.GuardBandDB)-sagDB) > 0.01 {
 		t.Errorf("guard band %g dB, want ~%g (the sag itself)", res.GuardBandDB, sagDB)
 	}
-	if math.Abs(res.MeanWorstShortfallDB-sagDB) > 0.01 {
+	if math.Abs(float64(res.MeanWorstShortfallDB)-sagDB) > 0.01 {
 		t.Errorf("mean worst shortfall %g dB, want ~%g", res.MeanWorstShortfallDB, sagDB)
 	}
 }

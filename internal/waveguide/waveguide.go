@@ -24,9 +24,10 @@ type Layout struct {
 	N int
 	// LengthCM is the end-to-end waveguide length in cm.
 	LengthCM float64
-	// LossDBPerCM is the waveguide transmission loss (Table 3: 1 dB/cm;
-	// scalability discussion also considers 2 dB/cm).
-	LossDBPerCM float64
+	// LossDBPerCM is the waveguide transmission loss per centimetre
+	// (Table 3: 1 dB/cm; scalability discussion also considers
+	// 2 dB/cm).
+	LossDBPerCM phys.Decibels
 }
 
 // NewSerpentine returns the paper's layout for an n-node crossbar:
@@ -60,14 +61,32 @@ func (l Layout) DistanceCM(i, j int) float64 {
 }
 
 // SegmentTransmission is the fraction of power surviving one segment.
-func (l Layout) SegmentTransmission() float64 {
-	return phys.LossToTransmission(l.LossDBPerCM * l.SegmentCM())
+func (l Layout) SegmentTransmission() phys.Transmission {
+	return l.LossDBPerCM.Scale(l.SegmentCM()).Transmission()
 }
 
 // PathTransmission is the waveguide-only transmission (no splitters)
 // between nodes i and j: the L^{|j−i|} term of Equation 2.
-func (l Layout) PathTransmission(i, j int) float64 {
-	return phys.LossToTransmission(l.LossDBPerCM * l.DistanceCM(i, j))
+func (l Layout) PathTransmission(i, j int) phys.Transmission {
+	return l.LossDBPerCM.Scale(l.DistanceCM(i, j)).Transmission()
+}
+
+// MaxPathLossDB is the worst-case (longest-path) waveguide insertion
+// loss from src: the loss to whichever end of the serpentine lies
+// farthest, the L_max term of the worst-case crossbar loss models
+// (Li et al., "Optical Crossbars on Chip", PAPERS.md).
+func (l Layout) MaxPathLossDB(src int) phys.Decibels {
+	far := 0
+	if src < l.N-1-src {
+		far = l.N - 1
+	}
+	return l.LossDBPerCM.Scale(l.DistanceCM(src, far))
+}
+
+// WorstPathTransmission is the transmission of the longest path from
+// src — the denominator of worst-case power sizing.
+func (l Layout) WorstPathTransmission(src int) phys.Transmission {
+	return l.MaxPathLossDB(src).Transmission()
 }
 
 // LatencyCycles is the optical propagation latency between nodes i and j
@@ -129,47 +148,47 @@ func (c *Chain) Validate() error {
 	return nil
 }
 
-// Received returns the optical power (µW) arriving at every node's
-// receiver tap when the source injects injectedUW into the guide. The
+// Received returns the optical power arriving at every node's
+// receiver tap when the source injects `injected` into the guide. The
 // entry for the source itself is 0.
-func (c *Chain) Received(injectedUW float64) []float64 {
-	out := make([]float64, c.Layout.N)
+func (c *Chain) Received(injected phys.MicroWatts) []phys.MicroWatts {
+	out := make([]phys.MicroWatts, c.Layout.N)
 	t := c.Layout.SegmentTransmission()
 
 	// Walk toward lower indices.
-	p := injectedUW * c.DirLow
+	p := injected.Scale(c.DirLow)
 	for j := c.Source - 1; j >= 0; j-- {
-		p *= t // segment from previous node
-		out[j] = p * c.Taps[j]
-		p *= 1 - c.Taps[j]
+		p = p.Times(t) // segment from previous node
+		out[j] = p.Scale(c.Taps[j])
+		p = p.Scale(1 - c.Taps[j])
 	}
 	// Walk toward higher indices.
-	p = injectedUW * (1 - c.DirLow)
+	p = injected.Scale(1 - c.DirLow)
 	for j := c.Source + 1; j < c.Layout.N; j++ {
-		p *= t
-		out[j] = p * c.Taps[j]
-		p *= 1 - c.Taps[j]
+		p = p.Times(t)
+		out[j] = p.Scale(c.Taps[j])
+		p = p.Scale(1 - c.Taps[j])
 	}
 	return out
 }
 
-// ReceivedAt returns only node j's received power for injectedUW.
-func (c *Chain) ReceivedAt(injectedUW float64, j int) float64 {
+// ReceivedAt returns only node j's received power for `injected`.
+func (c *Chain) ReceivedAt(injected phys.MicroWatts, j int) phys.MicroWatts {
 	if j == c.Source || j < 0 || j >= c.Layout.N {
 		return 0
 	}
 	t := c.Layout.SegmentTransmission()
-	var p float64
+	var p phys.MicroWatts
 	if j < c.Source {
-		p = injectedUW * c.DirLow
+		p = injected.Scale(c.DirLow)
 		for k := c.Source - 1; k > j; k-- {
-			p *= t * (1 - c.Taps[k])
+			p = p.Scale(float64(t) * (1 - c.Taps[k]))
 		}
 	} else {
-		p = injectedUW * (1 - c.DirLow)
+		p = injected.Scale(1 - c.DirLow)
 		for k := c.Source + 1; k < j; k++ {
-			p *= t * (1 - c.Taps[k])
+			p = p.Scale(float64(t) * (1 - c.Taps[k]))
 		}
 	}
-	return p * t * c.Taps[j]
+	return p.Times(t).Scale(c.Taps[j])
 }

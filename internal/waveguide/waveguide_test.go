@@ -51,7 +51,7 @@ func TestPathTransmissionEndToEnd(t *testing.T) {
 	// 18 cm at 1 dB/cm = 18 dB loss.
 	got := l.PathTransmission(0, 255)
 	want := phys.LossToTransmission(18)
-	if math.Abs(got-want) > 1e-12 {
+	if math.Abs(float64(got)-want) > 1e-12 {
 		t.Errorf("PathTransmission(0,255) = %v, want %v", got, want)
 	}
 }
@@ -63,7 +63,7 @@ func TestPathTransmissionComposes(t *testing.T) {
 		if !(a <= b && b <= c) {
 			return true
 		}
-		return math.Abs(l.PathTransmission(a, c)-l.PathTransmission(a, b)*l.PathTransmission(b, c)) < 1e-12
+		return math.Abs(float64(l.PathTransmission(a, c)-l.PathTransmission(a, b)*l.PathTransmission(b, c))) < 1e-12
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -106,7 +106,7 @@ func TestChainEnergyConservation(t *testing.T) {
 	recv := c.Received(1000)
 	sum := 0.0
 	for _, r := range recv {
-		sum += r
+		sum += float64(r)
 	}
 	if sum > 1000 {
 		t.Fatalf("received %v µW from 1000 µW injected", sum)
@@ -121,7 +121,7 @@ func TestChainLinearInInjectedPower(t *testing.T) {
 	a := c.Received(100)
 	b := c.Received(300)
 	for j := range a {
-		if math.Abs(b[j]-3*a[j]) > 1e-9*math.Max(1, b[j]) {
+		if math.Abs(float64(b[j]-3*a[j])) > 1e-9*math.Max(1, float64(b[j])) {
 			t.Fatalf("node %d not linear: %v vs 3*%v", j, b[j], a[j])
 		}
 	}
@@ -138,7 +138,7 @@ func TestChainReceivedAtMatchesReceived(t *testing.T) {
 	all := c.Received(500)
 	for j := 0; j < 48; j++ {
 		got := c.ReceivedAt(500, j)
-		if math.Abs(got-all[j]) > 1e-9*math.Max(1, all[j]) {
+		if math.Abs(float64(got-all[j])) > 1e-9*math.Max(1, float64(all[j])) {
 			t.Fatalf("node %d: ReceivedAt=%v Received=%v", j, got, all[j])
 		}
 	}
