@@ -4,7 +4,8 @@
 GO ?= go
 
 .PHONY: check vet lint build test race fuzz golden golden-check \
-	compare-golden compare-check metrics-golden metrics-check
+	compare-golden compare-check metrics-golden metrics-check \
+	bench bench-check bench-baseline
 
 # The tier-1 gate: everything below must pass before merging.
 check: vet lint build test race
@@ -83,11 +84,48 @@ metrics-check:
 		> /tmp/mnoc_adapt_metrics_names.txt
 	diff -u testdata/golden/metrics_names_adapt.txt /tmp/mnoc_adapt_metrics_names.txt
 
-# Short seeded fuzz passes over the text-format parsers and the
-# telemetry exporters.
+# Short seeded fuzz passes over the text-format parsers, the telemetry
+# exporters, and the artisanal serve-path JSON encoders (byte-identity
+# against encoding/json).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDBLinearRoundTrip -fuzztime=10s ./internal/phys
 	$(GO) test -run=^$$ -fuzz=FuzzLossTransmissionRoundTrip -fuzztime=10s ./internal/phys
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/fault
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=10s ./internal/drivetable
 	$(GO) test -run=^$$ -fuzz=FuzzExporters -fuzztime=10s ./internal/telemetry
+	$(GO) test -run=^$$ -fuzz=FuzzArtisanalEncode -fuzztime=10s ./internal/server
+
+# ---- Performance baseline (docs/BENCH.md) ----------------------------
+
+# The curated hot-path benchmark set tracked in BENCH_baseline.json:
+# splitter solve/recurrence, QAP mapping, multicore-sim inner loop,
+# power evaluation, trace replay, and the serve-path JSON
+# encode/decode pairs.
+BENCH_PATTERN = ^(BenchmarkSplitterDesign|BenchmarkQAPTaboo|BenchmarkPowerEvaluate|BenchmarkNoCReplay|BenchmarkMulticoreSim|BenchmarkSplitterRecurrenceTyped|BenchmarkSplitterRecurrenceRaw|BenchmarkPowerEvalTyped|BenchmarkPowerEvalRaw|BenchmarkJSONPackageEncoding|BenchmarkJSONArtisinalEncoding|BenchmarkWriteJSON|BenchmarkRequestDecode)$$
+BENCH_PKGS = . ./internal/phys ./internal/server
+BENCH_DATE ?= $(shell date -u +%Y-%m-%d)
+BENCH_FILE ?= BENCH_$(BENCH_DATE).json
+BENCH_SCALE ?= quick
+BENCHTIME ?= 1s
+
+# Measure the curated set and emit the machine-readable BENCH_<date>.json
+# (schema: internal/benchjson, docs/BENCH.md).
+bench:
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem \
+		-benchtime=$(BENCHTIME) $(BENCH_PKGS) | tee /tmp/mnoc_bench_raw.txt
+	$(GO) run ./cmd/benchjson emit -in /tmp/mnoc_bench_raw.txt \
+		-out $(BENCH_FILE) -scale $(BENCH_SCALE) -date $(BENCH_DATE)
+
+# Compare the freshly measured BENCH_<date>.json against the committed
+# baseline: exits non-zero on >15% ns/op growth, any allocs/op growth,
+# or a baseline benchmark that disappeared. Run `make bench` first (CI
+# runs `make bench bench-check`).
+bench-check:
+	$(GO) run ./cmd/benchjson check \
+		-baseline BENCH_baseline.json -current $(BENCH_FILE)
+
+# Refresh the committed baseline after an intentional perf change and
+# commit the diff (the review then shows exactly what got slower or
+# faster, per benchmark).
+bench-baseline: bench
+	cp $(BENCH_FILE) BENCH_baseline.json

@@ -1,0 +1,130 @@
+// Command benchjson is the performance-baseline tool (docs/BENCH.md):
+//
+//	benchjson emit  -in raw.txt -out BENCH_2026-08-08.json -scale quick
+//	benchjson check -baseline BENCH_baseline.json -current BENCH_2026-08-08.json
+//
+// emit parses `go test -bench -benchmem` output (stdin or -in) into the
+// machine-readable BENCH_*.json schema; check compares a current file
+// against the committed baseline and exits 1 on a regression — >15%
+// ns/op growth (tunable) or any allocs/op growth — or on a baseline
+// benchmark that was silently dropped. `make bench` and `make
+// bench-check` wire the two together.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"mnoc/internal/benchjson"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "emit":
+		emit(os.Args[2:])
+	case "check":
+		check(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  benchjson emit  [-in raw.txt] -out BENCH_<date>.json [-scale quick] [-date YYYY-MM-DD]
+  benchjson check -baseline BENCH_baseline.json -current BENCH_<date>.json [-ns-threshold 0.15] [-allocs-extra 0]`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func emit(args []string) {
+	fs := flag.NewFlagSet("emit", flag.ExitOnError)
+	in := fs.String("in", "", "go test -bench output to parse (default stdin)")
+	out := fs.String("out", "", "BENCH_*.json to write (default stdout)")
+	scale := fs.String("scale", "quick", "experiment scale the curated set ran at")
+	date := fs.String("date", "", "measurement date, YYYY-MM-DD (default today, UTC)")
+	goVersion := fs.String("go-version", runtime.Version(), "go toolchain version recorded in meta")
+	fs.Parse(args)
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, meta, err := benchjson.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	meta.Scale = *scale
+	meta.GoVersion = *goVersion
+	meta.Date = *date
+	if meta.Date == "" {
+		meta.Date = time.Now().UTC().Format("2006-01-02")
+	}
+	if meta.GOOS == "" {
+		meta.GOOS = runtime.GOOS
+	}
+	if meta.GOARCH == "" {
+		meta.GOARCH = runtime.GOARCH
+	}
+	f, err := benchjson.New(meta, results)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		if err := f.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := f.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(f.Results), *out)
+}
+
+func check(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	basePath := fs.String("baseline", "BENCH_baseline.json", "committed baseline file")
+	curPath := fs.String("current", "", "freshly measured file (required)")
+	nsFrac := fs.Float64("ns-threshold", benchjson.DefaultThresholds().NsFrac,
+		"allowed fractional ns/op growth (0.15 = +15%)")
+	allocsExtra := fs.Int64("allocs-extra", benchjson.DefaultThresholds().AllocsExtra,
+		"allowed absolute allocs/op growth (0 fails on any increase)")
+	fs.Parse(args)
+	if *curPath == "" {
+		usage()
+	}
+	base, err := benchjson.ReadFile(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := benchjson.ReadFile(*curPath)
+	if err != nil {
+		fatal(err)
+	}
+	rep := benchjson.Compare(base, cur, benchjson.Thresholds{NsFrac: *nsFrac, AllocsExtra: *allocsExtra})
+	if err := rep.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if !rep.OK() {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s), %d removed benchmark(s) vs %s\n",
+			len(rep.Regressions), len(rep.Removed), *basePath)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,129 @@
+// The baseline comparator: BENCH_baseline.json vs a fresh measurement.
+// Time regressions are judged against a fractional threshold (wall-time
+// benchmarks are noisy); allocation regressions are exact, because
+// allocs/op is deterministic for a given binary — any increase means a
+// hot path started allocating and the gate should say so.
+package benchjson
+
+import (
+	"fmt"
+	"io"
+)
+
+// Thresholds configures the comparator gates.
+type Thresholds struct {
+	// NsFrac is the allowed fractional ns/op growth (0.15 = +15%).
+	NsFrac float64
+	// AllocsExtra is the allowed absolute allocs/op growth. The default
+	// 0 fails on any increase.
+	AllocsExtra int64
+}
+
+// DefaultThresholds is the gate CI enforces (docs/BENCH.md).
+func DefaultThresholds() Thresholds { return Thresholds{NsFrac: 0.15, AllocsExtra: 0} }
+
+// Delta is one benchmark's baseline-to-current movement.
+type Delta struct {
+	Name string `json:"name"`
+	// Base and Cur are the two measurements.
+	Base Result `json:"base"`
+	Cur  Result `json:"cur"`
+	// NsRatio is Cur/Base ns/op (1.0 = unchanged; 0 when base is 0).
+	NsRatio float64 `json:"ns_ratio"`
+	// Reason states which gate tripped, for regressions.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Report is a full comparison. Regressions and Removed fail the gate;
+// Improvements and Added are informational (Added names mean the
+// baseline wants a refresh via `make bench-baseline`).
+type Report struct {
+	Regressions  []Delta  `json:"regressions"`
+	Improvements []Delta  `json:"improvements"`
+	Added        []string `json:"added"`
+	Removed      []string `json:"removed"`
+	Unchanged    int      `json:"unchanged"`
+	// CPUMismatch flags that base and current were measured on
+	// different hardware, which makes ns/op verdicts unreliable.
+	CPUMismatch bool `json:"cpu_mismatch,omitempty"`
+}
+
+// OK reports whether the gate passes.
+func (r *Report) OK() bool { return len(r.Regressions) == 0 && len(r.Removed) == 0 }
+
+// Compare diffs current against base under the thresholds. Both files
+// must carry the comparator's schema (ReadFile enforces it).
+func Compare(base, cur *File, th Thresholds) *Report {
+	rep := &Report{
+		CPUMismatch: base.Meta.CPU != "" && cur.Meta.CPU != "" && base.Meta.CPU != cur.Meta.CPU,
+	}
+	for _, b := range base.Results {
+		c, ok := cur.Lookup(b.Name)
+		if !ok {
+			rep.Removed = append(rep.Removed, b.Name)
+			continue
+		}
+		d := Delta{Name: b.Name, Base: b, Cur: c}
+		if b.NsPerOp > 0 {
+			d.NsRatio = c.NsPerOp / b.NsPerOp
+		}
+		switch {
+		case c.AllocsPerOp > b.AllocsPerOp+th.AllocsExtra:
+			d.Reason = fmt.Sprintf("allocs/op %d -> %d (allowed +%d)",
+				b.AllocsPerOp, c.AllocsPerOp, th.AllocsExtra)
+			rep.Regressions = append(rep.Regressions, d)
+		case b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+th.NsFrac):
+			d.Reason = fmt.Sprintf("ns/op %.4g -> %.4g (%.2fx, allowed %.2fx)",
+				b.NsPerOp, c.NsPerOp, d.NsRatio, 1+th.NsFrac)
+			rep.Regressions = append(rep.Regressions, d)
+		case c.AllocsPerOp < b.AllocsPerOp || (b.NsPerOp > 0 && c.NsPerOp < b.NsPerOp*(1-th.NsFrac)):
+			rep.Improvements = append(rep.Improvements, d)
+		default:
+			rep.Unchanged++
+		}
+	}
+	for _, c := range cur.Results {
+		if _, ok := base.Lookup(c.Name); !ok {
+			rep.Added = append(rep.Added, c.Name)
+		}
+	}
+	return rep
+}
+
+// WriteText renders the report for humans (the CI log).
+func (r *Report) WriteText(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if r.CPUMismatch {
+		if err := p("warning: baseline and current were measured on different CPUs; ns/op verdicts are unreliable\n"); err != nil {
+			return fmt.Errorf("benchjson: writing report: %w", err)
+		}
+	}
+	for _, d := range r.Regressions {
+		if err := p("REGRESSION %s: %s\n", d.Name, d.Reason); err != nil {
+			return fmt.Errorf("benchjson: writing report: %w", err)
+		}
+	}
+	for _, name := range r.Removed {
+		if err := p("REMOVED %s: in baseline but not measured (renamed or dropped?)\n", name); err != nil {
+			return fmt.Errorf("benchjson: writing report: %w", err)
+		}
+	}
+	for _, d := range r.Improvements {
+		if err := p("improved %s: ns/op %.4g -> %.4g, allocs/op %d -> %d (refresh with make bench-baseline)\n",
+			d.Name, d.Base.NsPerOp, d.Cur.NsPerOp, d.Base.AllocsPerOp, d.Cur.AllocsPerOp); err != nil {
+			return fmt.Errorf("benchjson: writing report: %w", err)
+		}
+	}
+	for _, name := range r.Added {
+		if err := p("added %s: not in baseline (refresh with make bench-baseline)\n", name); err != nil {
+			return fmt.Errorf("benchjson: writing report: %w", err)
+		}
+	}
+	if err := p("%d benchmark(s) within thresholds\n", r.Unchanged); err != nil {
+		return fmt.Errorf("benchjson: writing report: %w", err)
+	}
+	return nil
+}

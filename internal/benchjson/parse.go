@@ -1,0 +1,125 @@
+// Parsing of `go test -bench -benchmem` text output into Results. The
+// format is the one the testing package has printed for a decade:
+//
+//	goos: linux
+//	goarch: amd64
+//	pkg: mnoc/internal/phys
+//	cpu: AMD EPYC 7B13
+//	BenchmarkPowerEvalTyped-8   1592734   753.1 ns/op   0 B/op   0 allocs/op
+//	PASS
+//	ok  	mnoc/internal/phys	2.051s
+//
+// Benchmark names are qualified with the pkg: header in force when the
+// line appears (several packages may share one stream), and the
+// -GOMAXPROCS suffix is stripped so the same machine with a different
+// core count still matches the baseline by name.
+package benchjson
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads go test benchmark output and returns the measurements
+// plus the goos/goarch/cpu headers it saw (empty when absent). Lines
+// that are not benchmark measurements or headers are ignored, so the
+// full `go test` stream can be piped in unfiltered.
+func Parse(r io.Reader) ([]Result, Meta, error) {
+	var meta Meta
+	var out []Result
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			meta.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			meta.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			meta.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok, err := parseBenchLine(line, pkg)
+			if err != nil {
+				return nil, Meta{}, err
+			}
+			if ok {
+				out = append(out, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, Meta{}, fmt.Errorf("benchjson: reading bench output: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, Meta{}, fmt.Errorf("benchjson: no benchmark lines found")
+	}
+	return out, meta, nil
+}
+
+// parseBenchLine parses one measurement line. ok is false for lines
+// that start with "Benchmark" but are not measurements (e.g. the bare
+// benchmark name go test prints while a run is in progress).
+func parseBenchLine(line, pkg string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false, nil
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, nil
+	}
+	res := Result{Name: qualify(pkg, trimProcs(fields[0])), Runs: runs}
+	sawNs := false
+	// Measurements come in value/unit pairs after the run count.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+			// Other units (MB/s, custom ReportMetric units) are ignored:
+			// the baseline tracks time and allocation only.
+		}
+	}
+	if !sawNs {
+		return Result{}, false, fmt.Errorf("benchjson: no ns/op in benchmark line %q", line)
+	}
+	return res, true, nil
+}
+
+// trimProcs strips the -GOMAXPROCS suffix ("BenchmarkFoo/n=10-8" →
+// "BenchmarkFoo/n=10"). go test omits the suffix entirely at
+// GOMAXPROCS=1, so a name without one passes through unchanged.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+func qualify(pkg, name string) string {
+	if pkg == "" {
+		return name
+	}
+	return pkg + "." + name
+}

@@ -66,7 +66,11 @@ func (c *Context) Performance(ctx context.Context, bench string) (mnocCycles, rn
 				if err != nil {
 					return 0, err
 				}
-				return res.RuntimeCycles, nil
+				cycles := res.RuntimeCycles
+				// Only the runtime is kept; hand the packet buffer back
+				// for the next simulation.
+				res.Recycle()
+				return cycles, nil
 			}
 			mn, err := noc.NewMNoC(c.Opt.N)
 			if err != nil {

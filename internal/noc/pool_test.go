@@ -1,0 +1,108 @@
+// Concurrency test for ReplayObserved's pooled latency scratch (run
+// under -race by `make check`): many replays share the pool, and every
+// replay's percentiles must match a reference computed before the pool
+// existed in any warmed state.
+package noc
+
+import (
+	"sync"
+	"testing"
+
+	"mnoc/internal/trace"
+)
+
+func replayFixture(t *testing.T, n, packets int) *trace.Trace {
+	t.Helper()
+	tr := &trace.Trace{N: n, Cycles: uint64(packets + 100)}
+	for i := 0; i < packets; i++ {
+		src := i % n
+		dst := (i*7 + 1) % n
+		if dst == src {
+			dst = (dst + 1) % n
+		}
+		tr.Packets = append(tr.Packets, trace.Packet{
+			Cycle: uint64(i), Src: int32(src), Dst: int32(dst), Flits: int32(1 + i%4),
+		})
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestReplayLatsPoolConcurrent(t *testing.T) {
+	const n = 16
+	traces := []*trace.Trace{
+		replayFixture(t, n, 50),
+		replayFixture(t, n, 500),
+		replayFixture(t, n, 2000),
+	}
+	wants := make([]ReplayStats, len(traces))
+	for i, tr := range traces {
+		net, err := NewMNoC(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i], err = Replay(net, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 8
+	const iters = 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		net, err := NewMNoC(n) // networks are per-goroutine; only the pool is shared
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr, want := traces[w%len(traces)], wants[w%len(traces)]
+			for i := 0; i < iters; i++ {
+				got, err := Replay(net, tr)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if got != want {
+					t.Errorf("worker %d run %d: stats drifted:\n got: %+v\nwant: %+v", w, i, got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestReplayErrorReturnsScratch forces a Send failure mid-replay and
+// then replays a clean trace: a scratch leaked (or double-put) on the
+// error path would surface as corrupt percentiles here or as a race.
+func TestReplayErrorReturnsScratch(t *testing.T) {
+	net, err := NewMNoC(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &trace.Trace{N: 8, Cycles: 10, Packets: []trace.Packet{
+		{Cycle: 0, Src: 0, Dst: 1, Flits: 1},
+		{Cycle: 1, Src: 2, Dst: 2, Flits: 1}, // self-send: Send rejects it
+	}}
+	if _, err := Replay(net, bad); err == nil {
+		t.Fatal("replay of a self-send trace succeeded")
+	}
+	good := replayFixture(t, 8, 100)
+	want, err := Replay(net, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Replay(net, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != again {
+		t.Fatalf("stats drifted after error-path recycle:\n got: %+v\nwant: %+v", again, want)
+	}
+}

@@ -20,6 +20,8 @@ package power
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"mnoc/internal/device"
 	"mnoc/internal/phys"
@@ -171,15 +173,56 @@ type MNoC struct {
 	// can be re-solved (Resolve) after endpoint failures.
 	weighting Weighting
 	// tel is the optional metric sink (Instrument): Evaluate then
-	// reports total and per-mode power draw.
-	tel *telemetry.Registry
+	// reports total and per-mode power draw. telh caches the resolved
+	// metric handles (built lazily on the first instrumented Evaluate,
+	// matching the registration timing Instrument documents) so the hot
+	// Evaluate path skips the registry's name lookups.
+	tel  *telemetry.Registry
+	telh atomic.Pointer[telHandles]
+}
+
+// telHandles are the pre-resolved metric handles and the per-Evaluate
+// mode scratch of one instrumented network. Evaluate may run
+// concurrently (the serve path), so the scratch lives in a pool rather
+// than on the struct.
+type telHandles struct {
+	evals   *telemetry.Counter
+	watts   *telemetry.Histogram
+	mode    []*telemetry.Histogram
+	scratch sync.Pool // *[]float64, len == Topology.Modes
 }
 
 // Instrument attaches a metric registry: every Evaluate observes the
 // power.watts histogram, bumps power.evaluations, and records the
 // per-mode source draw in the power.mode<k>.source_uw histograms. A
 // nil registry detaches. Not safe to call concurrently with Evaluate.
-func (m *MNoC) Instrument(reg *telemetry.Registry) { m.tel = reg }
+func (m *MNoC) Instrument(reg *telemetry.Registry) {
+	m.tel = reg
+	m.telh.Store(nil)
+}
+
+// telHandles returns the cached metric handles, resolving them on the
+// first instrumented Evaluate. Handle resolution is idempotent (the
+// registry returns the same handle per name), so a race between two
+// first Evaluates at worst builds the struct twice.
+func (m *MNoC) telHandles() *telHandles {
+	if h := m.telh.Load(); h != nil {
+		return h
+	}
+	modes := m.Topology.Modes
+	h := &telHandles{
+		evals: m.tel.Counter("power.evaluations"),
+		watts: m.tel.Histogram("power.watts", PowerWattsBuckets...),
+		mode:  make([]*telemetry.Histogram, modes),
+	}
+	h.scratch.New = func() any { s := make([]float64, modes); return &s }
+	for mode := range h.mode {
+		//mnoclint:allow metricnames mode count is bounded by the topology (at most a handful per design) and the resulting names are pinned by testdata/golden/metrics_names.txt
+		h.mode[mode] = m.tel.Histogram(fmt.Sprintf("power.mode%d.source_uw", mode))
+	}
+	m.telh.CompareAndSwap(nil, h)
+	return m.telh.Load()
+}
 
 // PowerWattsBuckets are the bucket bounds (watts) of power.watts.
 var PowerWattsBuckets = []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32, 64}
@@ -381,9 +424,16 @@ func (m *MNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
 	}
 	oePerReceiver := float64(m.Cfg.PD.OEPowerUW())
 	var srcSum, oeSum, flits float64
+	var th *telHandles
 	var modeSrc []float64
+	var scratchp *[]float64
 	if m.tel != nil {
-		modeSrc = make([]float64, m.Topology.Modes)
+		th = m.telHandles()
+		scratchp = th.scratch.Get().(*[]float64)
+		modeSrc = *scratchp
+		for i := range modeSrc {
+			modeSrc[i] = 0
+		}
 	}
 	for s, row := range mtx.Counts {
 		des := m.Designs[s]
@@ -409,14 +459,13 @@ func (m *MNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
 		OEUW:         phys.MicroWatts(oeSum / cycles),
 		ElectricalUW: pjOverCyclesToUW(elecPJ, cycles),
 	}
-	if m.tel != nil {
-		m.tel.Counter("power.evaluations").Inc()
-		m.tel.Histogram("power.watts", PowerWattsBuckets...).Observe(b.TotalWatts())
+	if th != nil {
+		th.evals.Inc()
+		th.watts.Observe(b.TotalWatts())
 		for mode, uw := range modeSrc {
-			//mnoclint:allow metricnames mode count is bounded by the topology (at most a handful per design) and the resulting names are pinned by testdata/golden/metrics_names.txt
-			m.tel.Histogram(fmt.Sprintf("power.mode%d.source_uw", mode)).
-				Observe(uw / cycles)
+			th.mode[mode].Observe(uw / cycles)
 		}
+		th.scratch.Put(scratchp)
 	}
 	return b, nil
 }

@@ -1,0 +1,194 @@
+// Hand-rolled ("artisanal", after go-batsd) JSON encoders for the two
+// hottest response bodies, /v1/solve and /v1/evaluate. writeJSON's
+// generic path reflects over the struct and allocates on every request;
+// these append the exact same bytes — the indented two-space form the
+// json.Encoder has always produced here, proven byte-identical by
+// TestArtisanalEncodeMatchesPackage and FuzzArtisanalEncode — into a
+// pooled buffer instead. The equivalence tests are the contract: any
+// field added to these responses must be added here or the tests fail.
+package server
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+)
+
+// appendJSONer marks a response with a hand-rolled encoder. appendJSON
+// appends the value's indented-JSON encoding (json.MarshalIndent with a
+// two-space indent, no trailing newline) to dst. It returns an error
+// exactly when encoding/json would (unencodable floats); writeJSON then
+// falls back to the package encoder so behaviour stays identical.
+type appendJSONer interface {
+	appendJSON(dst []byte) ([]byte, error)
+}
+
+// responseBufPool recycles response encode buffers across requests.
+var responseBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+func (r *SolveResponse) appendJSON(b []byte) ([]byte, error) {
+	b = append(b, "{\n  \"bench\": "...)
+	b = appendJSONString(b, r.Bench)
+	b = append(b, ",\n  \"kind\": "...)
+	b = appendJSONString(b, r.Kind)
+	b = append(b, ",\n  \"qap\": "...)
+	b = strconv.AppendBool(b, r.QAP)
+	b, err := r.BreakdownDTO.appendFields(b)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, ",\n  \"total_watts\": "...)
+	if b, err = appendJSONFloat(b, r.TotalWatts); err != nil {
+		return nil, err
+	}
+	b = append(b, ",\n  \"base_watts\": "...)
+	if b, err = appendJSONFloat(b, r.BaseWatts); err != nil {
+		return nil, err
+	}
+	b = append(b, ",\n  \"normalized\": "...)
+	if b, err = appendJSONFloat(b, r.Normalized); err != nil {
+		return nil, err
+	}
+	return append(b, "\n}"...), nil
+}
+
+func (r *EvaluateResponse) appendJSON(b []byte) ([]byte, error) {
+	b = append(b, "{\n  \"bench\": "...)
+	b = appendJSONString(b, r.Bench)
+	b = append(b, ",\n  \"policy\": "...)
+	b = appendJSONString(b, r.Policy)
+	b = append(b, ",\n  \"qap\": "...)
+	b = strconv.AppendBool(b, r.QAP)
+	b = append(b, ",\n  \"scale\": "...)
+	b, err := appendJSONFloat(b, r.Scale)
+	if err != nil {
+		return nil, err
+	}
+	if r.LossModel != "" { // omitempty, like the struct tag
+		b = append(b, ",\n  \"loss_model\": "...)
+		b = appendJSONString(b, r.LossModel)
+	}
+	b = append(b, ",\n  \"total_watts\": "...)
+	if b, err = appendJSONFloat(b, r.TotalWatts); err != nil {
+		return nil, err
+	}
+	b = append(b, ",\n  \"base_watts\": "...)
+	if b, err = appendJSONFloat(b, r.BaseWatts); err != nil {
+		return nil, err
+	}
+	b = append(b, ",\n  \"mnoc_cycles\": "...)
+	b = strconv.AppendUint(b, r.MNoCCycles, 10)
+	b = append(b, ",\n  \"rnoc_cycles\": "...)
+	b = strconv.AppendUint(b, r.RNoCCycles, 10)
+	b = append(b, ",\n  \"speedup\": "...)
+	if b, err = appendJSONFloat(b, r.Speedup); err != nil {
+		return nil, err
+	}
+	return append(b, "\n}"...), nil
+}
+
+// appendFields appends the embedded breakdown's three fields (leading
+// comma included), matching their inlined position in the wire format.
+func (d BreakdownDTO) appendFields(b []byte) ([]byte, error) {
+	b = append(b, ",\n  \"source_uw\": "...)
+	b, err := appendJSONFloat(b, d.SourceUW)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, ",\n  \"oe_uw\": "...)
+	if b, err = appendJSONFloat(b, d.OEUW); err != nil {
+		return nil, err
+	}
+	b = append(b, ",\n  \"electrical_uw\": "...)
+	return appendJSONFloat(b, d.ElecUW)
+}
+
+// appendJSONFloat appends a float64 exactly as encoding/json does:
+// shortest representation, 'f' form inside [1e-6, 1e21), 'e' form with
+// a minimal exponent outside it, and an error for NaN/Inf.
+func appendJSONFloat(b []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return nil, fmt.Errorf("server: unsupported float value %g", f)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json trims "e-09" to "e-9".
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, nil
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string with encoding/json's
+// default escaping: control characters, '"' and '\\' always; '<', '>'
+// and '&' for HTML safety; U+2028/U+2029 for JS safety; invalid UTF-8
+// as the replacement character.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if jsonSafe(c) {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// jsonSafe reports whether an ASCII byte passes through unescaped under
+// encoding/json's default (HTML-escaping) encoder.
+func jsonSafe(c byte) bool {
+	return c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&'
+}

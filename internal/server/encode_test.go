@@ -1,0 +1,184 @@
+// Byte-identity contract for the artisanal encoders (encode.go): every
+// hand-rolled response encoding must match encoding/json exactly — the
+// go-batsd discipline. The fixtures exercise the float forms
+// encoding/json special-cases ('f' vs 'e', exponent trimming), string
+// escaping (HTML, control characters, invalid UTF-8, U+2028/29) and
+// the loss_model omitempty branch; the fuzz target extends the same
+// assertion to arbitrary inputs.
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// indentJSON renders v exactly as writeJSON's package-encoder path
+// does: MarshalIndent two-space plus the Encoder's trailing newline.
+func indentJSON(t testing.TB, v any) []byte {
+	t.Helper()
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("package encoder failed: %v", err)
+	}
+	return append(blob, '\n')
+}
+
+func encodeFixtures() map[string]appendJSONer {
+	return map[string]appendJSONer{
+		"solve": &SolveResponse{
+			Bench: "fft", Kind: "dist4", QAP: true,
+			BreakdownDTO: BreakdownDTO{SourceUW: 123456.789, OEUW: 0.25, ElecUW: 3},
+			TotalWatts:   1.23456789, BaseWatts: 5, Normalized: 0.2469,
+		},
+		"solve-zero": &SolveResponse{},
+		"solve-extreme-floats": &SolveResponse{
+			Bench: "radix", Kind: "base",
+			BreakdownDTO: BreakdownDTO{SourceUW: 1e21, OEUW: 9.999e-7, ElecUW: -1e-9},
+			TotalWatts:   math.MaxFloat64, BaseWatts: math.SmallestNonzeroFloat64,
+			Normalized: -0,
+		},
+		"solve-escaped-strings": &SolveResponse{
+			Bench: `sp<la&sh>"2"`, Kind: "a\tb\nc\x01d e f",
+		},
+		"solve-invalid-utf8": &SolveResponse{
+			Bench: "bad\xffutf8\xc3(", Kind: "héllo🜚",
+		},
+		"evaluate": &EvaluateResponse{
+			Bench: "water_s", Policy: "comm4", QAP: true, Scale: 2.5,
+			TotalWatts: 4.25, BaseWatts: 17, MNoCCycles: 123456, RNoCCycles: 789012,
+			Speedup: 6.391,
+		},
+		"evaluate-default-scale": &EvaluateResponse{
+			Bench: "fft", Policy: "base", Scale: 1,
+			TotalWatts: 4, BaseWatts: 5, MNoCCycles: 6, RNoCCycles: 7, Speedup: 8,
+		},
+		"evaluate-worst": &EvaluateResponse{
+			Bench: "fft", Policy: "base", Scale: 1, LossModel: "worst",
+			TotalWatts: 4, BaseWatts: 5, MNoCCycles: 6, RNoCCycles: 7, Speedup: 8,
+		},
+		"evaluate-max-cycles": &EvaluateResponse{
+			Bench: "lu_c", Policy: "dist4", Scale: 1e20,
+			MNoCCycles: math.MaxUint64, RNoCCycles: math.MaxUint64 - 1, Speedup: 1.0000001,
+		},
+	}
+}
+
+func TestArtisanalEncodeMatchesPackage(t *testing.T) {
+	for name, v := range encodeFixtures() {
+		got, err := v.appendJSON(nil)
+		if err != nil {
+			t.Errorf("%s: artisanal encoder errored: %v", name, err)
+			continue
+		}
+		want := indentJSON(t, v)
+		if string(got)+"\n" != string(want) {
+			t.Errorf("%s: artisanal bytes differ from encoding/json:\n got: %q\nwant: %q", name, got, want)
+		}
+	}
+}
+
+// TestArtisanalEncodeRejectsBadFloats pins the error contract: the
+// artisanal encoder must refuse exactly the values encoding/json
+// refuses, so the writeJSON fallback stays behaviour-identical.
+func TestArtisanalEncodeRejectsBadFloats(t *testing.T) {
+	for name, f := range map[string]float64{"nan": math.NaN(), "+inf": math.Inf(1), "-inf": math.Inf(-1)} {
+		v := &SolveResponse{Bench: "fft", TotalWatts: f}
+		if _, err := v.appendJSON(nil); err == nil {
+			t.Errorf("%s: artisanal encoder accepted %g", name, f)
+		}
+		if _, err := json.Marshal(v); err == nil {
+			t.Errorf("%s: encoding/json accepted %g — drop the artisanal guard", name, f)
+		}
+	}
+}
+
+// TestWriteJSONFastPath drives the full writeJSON path for a fast-path
+// response and a generic one and checks status, content type and body
+// bytes against the package encoder.
+func TestWriteJSONFastPath(t *testing.T) {
+	fast := &EvaluateResponse{Bench: "fft", Policy: "comm4", Scale: 1,
+		TotalWatts: 1.5, BaseWatts: 3, MNoCCycles: 10, RNoCCycles: 25, Speedup: 2.5}
+	generic := map[string]string{"status": "ok"}
+	for name, v := range map[string]any{"fast": fast, "generic": generic} {
+		rec := httptest.NewRecorder()
+		writeJSON(rec, 200, v)
+		if rec.Code != 200 {
+			t.Errorf("%s: status %d", name, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: content type %q", name, ct)
+		}
+		if got, want := rec.Body.String(), string(indentJSON(t, v)); got != want {
+			t.Errorf("%s: body drifted:\n got: %q\nwant: %q", name, got, want)
+		}
+	}
+	// Repeat the fast path to exercise pooled-buffer reuse.
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		writeJSON(rec, 200, fast)
+		if got, want := rec.Body.String(), string(indentJSON(t, fast)); got != want {
+			t.Fatalf("pooled reuse %d: body drifted:\n got: %q\nwant: %q", i, got, want)
+		}
+	}
+}
+
+// TestAppendJSONStringEscaping pins the string escaper against
+// encoding/json over a corpus of nasty strings on its own (the full
+// responses above cover it only embedded in a struct).
+func TestAppendJSONStringEscaping(t *testing.T) {
+	cases := []string{
+		"", "plain", `quote"back\slash`, "<script>&amp;</script>",
+		"tab\tnl\nret\rnull\x00bell\x07", "\x1f\x20\x7f",
+		" line para", "héllo wörld", "🜚🜛",
+		"bad\xff", "\xc3\x28", "trailing\xc3", strings.Repeat("a&b", 100),
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if got := appendJSONString(nil, s); string(got) != string(want) {
+			t.Errorf("escaping %q drifted:\n got: %s\nwant: %s", s, got, want)
+		}
+	}
+}
+
+// FuzzArtisanalEncode asserts byte-identity between the artisanal and
+// package encoders on randomly generated responses (wired into `make
+// fuzz`). Floats arrive as raw bits so the corpus reaches subnormals,
+// extremes and the NaN/Inf rejection branch.
+func FuzzArtisanalEncode(f *testing.F) {
+	f.Add("fft", "comm4", true, uint64(0x3ff0000000000000), uint64(0), uint64(42), "")
+	f.Add(`we"ird<&>`, "bad\xffutf8", false, uint64(0x7fefffffffffffff), uint64(1), uint64(math.MaxUint64), "worst")
+	f.Add(" ", "\x00\x01", true, uint64(0x0010000000000000), uint64(0x8000000000000000), uint64(7), "average")
+	f.Fuzz(func(t *testing.T, bench, kind string, qap bool, aBits, bBits uint64, cycles uint64, lossModel string) {
+		a, b := math.Float64frombits(aBits), math.Float64frombits(bBits)
+		for name, v := range map[string]appendJSONer{
+			"solve": &SolveResponse{
+				Bench: bench, Kind: kind, QAP: qap,
+				BreakdownDTO: BreakdownDTO{SourceUW: a, OEUW: b, ElecUW: a * b},
+				TotalWatts:   a, BaseWatts: b, Normalized: a + b,
+			},
+			"evaluate": &EvaluateResponse{
+				Bench: bench, Policy: kind, QAP: qap, Scale: b, LossModel: lossModel,
+				TotalWatts: a, BaseWatts: b, MNoCCycles: cycles, RNoCCycles: cycles / 2,
+				Speedup: a / b,
+			},
+		} {
+			want, wantErr := json.MarshalIndent(v, "", "  ")
+			got, gotErr := v.appendJSON(nil)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s: error mismatch: package %v, artisanal %v", name, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if string(got) != string(want) {
+				t.Fatalf("%s: bytes differ:\n got: %q\nwant: %q", name, got, want)
+			}
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"mnoc/internal/cache"
 	"mnoc/internal/coherence"
@@ -94,6 +95,14 @@ type Access struct {
 	Addr  uint64
 }
 
+// packetBufPool recycles packet-trace buffers between simulations. A
+// benchmark sweep runs thousands of simulations whose traces are read
+// once and dropped; Result.Recycle hands the backing array back so the
+// next Run starts with a warmed buffer instead of regrowing one.
+var packetBufPool = sync.Pool{
+	New: func() any { b := make([]trace.Packet, 0, 4096); return &b },
+}
+
 // Result summarises a simulation.
 type Result struct {
 	RuntimeCycles uint64
@@ -115,6 +124,22 @@ type Result struct {
 	LostPackets uint64
 	// Trace is the packet log of every network message.
 	Trace *trace.Trace
+}
+
+// Recycle returns the result's packet buffer to the shared pool and
+// detaches the trace. Call it only when the trace is no longer needed
+// — the caller must not touch r.Trace (or any slice derived from its
+// Packets) afterwards. Recycling is optional; an un-recycled trace is
+// simply garbage-collected.
+func (r *Result) Recycle() {
+	if r == nil || r.Trace == nil {
+		return
+	}
+	pkts := r.Trace.Packets[:0]
+	r.Trace = nil
+	if cap(pkts) > 0 {
+		packetBufPool.Put(&pkts)
+	}
 }
 
 type core struct {
@@ -153,6 +178,10 @@ type Machine struct {
 	cores []*core
 	// packets accumulates the communication trace.
 	packets []trace.Packet
+	// heapScratch and groupScratch are per-Run reusable buffers (the
+	// event heap and playTransaction's per-stage coalesce-group set).
+	heapScratch  coreHeap
+	groupScratch []int
 	// Reliability counters for the current run (see Result).
 	sends, retries, nacks, lost uint64
 	// Optional telemetry sinks (SetTelemetry); nil-safe handles make
@@ -208,10 +237,13 @@ func (m *Machine) Run(streams [][]Access) (*Result, error) {
 	defer m.tracer.StartSpan("sim", "run."+m.net.Name()).
 		Attr("cores", strconv.Itoa(m.cfg.Cores)).End()
 	m.net.Reset()
+	if m.packets == nil {
+		m.packets = *packetBufPool.Get().(*[]trace.Packet)
+	}
 	m.packets = m.packets[:0]
 	m.sends, m.retries, m.nacks, m.lost = 0, 0, 0, 0
 
-	h := make(coreHeap, 0, m.cfg.Cores)
+	h := m.heapScratch[:0]
 	for i, c := range m.cores {
 		c.time, c.next, c.stream = 0, 0, streams[i]
 		if len(c.stream) > 0 {
@@ -283,7 +315,8 @@ func (m *Machine) Run(streams [][]Access) (*Result, error) {
 	if err := res.Trace.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: generated an invalid trace: %w", err)
 	}
-	m.packets = nil // ownership moves to the result
+	m.packets = nil // ownership moves to the result (see Result.Recycle)
+	m.heapScratch = h[:0]
 	return res, nil
 }
 
@@ -363,16 +396,19 @@ func (m *Machine) playTransaction(start uint64, tx coherence.Transaction) (uint6
 	}
 	for stage := 0; stage <= maxStage; stage++ {
 		stageEnd := stageStart
-		sentGroups := map[int]bool{}
+		// The coalesce-group set is a reusable slice with linear lookup:
+		// a stage has at most a handful of broadcast groups, and the
+		// scratch keeps this inner loop allocation-free.
+		m.groupScratch = m.groupScratch[:0]
 		for _, msg := range tx.Msgs {
 			if msg.Stage != stage {
 				continue
 			}
 			if msg.Coalesce != 0 {
-				if sentGroups[msg.Coalesce] {
+				if containsInt(m.groupScratch, msg.Coalesce) {
 					continue // delivered by the group's broadcast
 				}
-				sentGroups[msg.Coalesce] = true
+				m.groupScratch = append(m.groupScratch, msg.Coalesce)
 				msg = coalescedRepresentative(tx.Msgs, stage, msg.Coalesce)
 			}
 			send := stageStart
@@ -430,6 +466,15 @@ func (m *Machine) netSend(at uint64, src, dst, flits int) (uint64, error) {
 		})
 		return arr, nil
 	}
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // coalescedRepresentative picks the farthest destination of a broadcast

@@ -1,0 +1,44 @@
+// Allocation bound for the splitter recurrence (the allocation
+// campaign): buildDesign now runs its backward recurrence in one
+// consolidated scratch array, so a full Solve is pinned to a small
+// constant number of allocations — a design sweep over 256 sources
+// must not regress into per-node garbage.
+package splitter
+
+import (
+	"testing"
+)
+
+func TestSolveAllocationBound(t *testing.T) {
+	n := 64
+	p := DefaultParams(n)
+	src := n / 2
+	// Two-mode distance topology for one source: the 16 nearest
+	// neighbours in mode 0, everything farther in mode 1 (package topo
+	// builds the same shape, but importing it here would cycle).
+	modeOf := make([]int, n)
+	for j := range modeOf {
+		switch d := j - src; {
+		case j == src:
+			modeOf[j] = -1
+		case d >= -8 && d <= 8:
+			modeOf[j] = 0
+		default:
+			modeOf[j] = 1
+		}
+	}
+	weights := []float64{0.5, 0.5}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := Solve(p, src, modeOf, weights); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Expected steady state: recurrence scratch, taps, α vector (search
+	// + copy), mode costs, mode powers, and the Design itself — all
+	// O(1) in count, O(n) in bytes. The bound leaves slack for compiler
+	// variation but fails if the recurrence regresses to per-node or
+	// per-iteration allocation.
+	if allocs > 10 {
+		t.Errorf("Solve allocates %.1f times per call, want ≤ 10", allocs)
+	}
+}

@@ -313,7 +313,12 @@ func buildDesign(p Params, src int, modeOf []int, alphas []float64, excluded []b
 	n := p.Layout.N
 	t := float64(p.Layout.SegmentTransmission())
 
-	req := make([]float64, n) // β_j·Pmin at each destination
+	// req and incident are recurrence scratch, dead once the taps are
+	// derived; one backing array halves the transient allocations of a
+	// design sweep (the taps slice stays separate — it outlives the
+	// call inside the returned Chain).
+	scratch := make([]float64, 2*n)
+	req := scratch[:n] // β_j·Pmin at each destination
 	for j, m := range modeOf {
 		if j == src || (excluded != nil && excluded[j]) {
 			continue
@@ -323,7 +328,7 @@ func buildDesign(p Params, src int, modeOf []int, alphas []float64, excluded []b
 
 	// Backward recurrence toward the source on each side. incident[j]
 	// is the power that must arrive at node j (tap input).
-	incident := make([]float64, n)
+	incident := scratch[n:]
 	needLow, needHigh := 0.0, 0.0
 	if src > 0 {
 		// Walk from the far end (index 0) toward the source.
