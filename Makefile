@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: check vet lint build test race fuzz golden golden-check \
 	compare-golden compare-check metrics-golden metrics-check \
-	bench bench-check bench-baseline
+	sweep-check bench bench-check bench-baseline
 
 # The tier-1 gate: everything below must pass before merging.
 check: vet lint build test race
@@ -42,6 +42,15 @@ golden:
 golden-check:
 	$(GO) run ./cmd/mnoc bench -scale quick > /tmp/bench_quick.txt
 	diff -u testdata/golden/bench_quick.txt /tmp/bench_quick.txt
+
+# Diff the sharded sweep coordinator's merged stdout against the bench
+# golden (minus its two header lines): pins the byte-identity contract
+# — `mnoc sweep -workers 4` over the work-stealing pool must reproduce
+# the single-process `mnoc bench` tables exactly — without booting a
+# fleet. The CI fleet-smoke job re-checks this against live backends.
+sweep-check:
+	$(GO) run ./cmd/mnoc sweep -scale quick -workers 4 > /tmp/sweep_quick.txt
+	tail -n +3 testdata/golden/bench_quick.txt | diff -u - /tmp/sweep_quick.txt
 
 # Regenerate the golden worst-vs-average loss comparison table.
 compare-golden:

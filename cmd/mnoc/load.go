@@ -2,8 +2,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -21,6 +23,7 @@ func loadCmd(args []string) {
 	fs := flag.NewFlagSet("mnoc load", flag.ExitOnError)
 	var (
 		url         = fs.String("url", "http://localhost:8080", "base URL of the running server")
+		addrList    = fs.String("addr", "", "comma-separated base URLs; workers round-robin across them (wins over -url)")
 		requests    = fs.Int("requests", 1000, "total request count")
 		concurrency = fs.Int("concurrency", 32, "in-flight requests")
 		bench       = fs.String("bench", "", "single-benchmark mix: send only this workload (default: the built-in three-way mix)")
@@ -40,12 +43,26 @@ func loadCmd(args []string) {
 		Retries:     *retries,
 		RetrySeed:   *retrySeed,
 	}
+	if *addrList != "" {
+		opts.BaseURLs = splitList(*addrList)
+	}
 	if *bench != "" {
 		opts.Mix = []server.SolveRequest{{Bench: *bench, Kind: *kind, QAP: *qap}}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// Identify each target before firing: /version says whether it is a
+	// single replica or a fleet proxy (and how wide its ring is), so a
+	// load report is attributable to the thing it actually hit.
+	targets := opts.BaseURLs
+	if len(targets) == 0 {
+		targets = []string{opts.BaseURL}
+	}
+	for _, base := range targets {
+		fmt.Println("mnoc load:", describeTarget(ctx, base))
+	}
 	res, err := server.RunLoad(ctx, opts)
 	if err != nil {
 		fail("load", err)
@@ -69,4 +86,29 @@ func loadCmd(args []string) {
 	if res.Failures > 0 {
 		fail("load", fmt.Errorf("%d of %d requests failed", res.Failures, res.Requests))
 	}
+}
+
+// describeTarget probes one base URL's /version. Unreachable or
+// role-less (older) servers degrade to a plain line rather than
+// failing the run — the load itself is the real check.
+func describeTarget(ctx context.Context, base string) string {
+	reqCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, base+"/version", nil)
+	if err != nil {
+		return fmt.Sprintf("target %s", base)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Sprintf("target %s (unreachable: %v)", base, err)
+	}
+	defer resp.Body.Close()
+	var ver struct {
+		Role string `json:"role"`
+		Ring int    `json:"ring"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ver); err != nil || ver.Role == "" {
+		return fmt.Sprintf("target %s", base)
+	}
+	return fmt.Sprintf("target %s role=%s ring=%d", base, ver.Role, ver.Ring)
 }

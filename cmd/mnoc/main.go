@@ -23,8 +23,15 @@
 //	           [-max-timeout-ms N] [-drain-ms N] [-fail-fast]
 //	           [-adapt -adapt-trace f.trace [-adapt-window N] [-adapt-speed cps]
 //	            [-adapt-guard-db dB] [-adapt-faults sched.txt]]
-//	mnoc load  [-url http://localhost:8080] [-requests N] [-concurrency N]
-//	           [-bench b [-kind k] [-qap]] [-timeout-ms N] [-retries N] [-retry-seed N]
+//	           [-artifact-serve] [-artifact-store url]
+//	mnoc proxy -backends url1,url2[,...] [-addr :8090] [-replicas N]
+//	           [-health-interval-ms N] [-failovers N] [-drain-ms N]
+//	mnoc sweep [-exp all|ext|everything|<id>] [-scale paper|quick] [-seed N]
+//	           [-workers N] [-cache-dir dir] [-addr url1,url2] [-artifact-store url]
+//	           [-fault-scales 0,1,2 [-fault-bench b] [-fault-n N]] [-timeout-ms N]
+//	mnoc load  [-url http://localhost:8080] [-addr url1,url2] [-requests N]
+//	           [-concurrency N] [-bench b [-kind k] [-qap]] [-timeout-ms N]
+//	           [-retries N] [-retry-seed N]
 //	mnoc replay -trace f.trace [-window N] [-seed N] [-faults sched.txt] [-speed cps]
 //	            [-log out.txt] | -gen [-out f.trace] [-n 16] [-phases b:cyc:flits,...]
 //
@@ -35,6 +42,13 @@
 // its companion load generator. With -adapt, serve also runs the
 // online adaptation loop (docs/ADAPT.md) and exposes GET /v1/adapt and
 // POST /v1/adapt/evaluate; replay is its offline twin.
+//
+// The fleet trio (docs/FLEET.md): proxy consistent-hashes flight keys
+// across replicas so identical requests coalesce at one backend;
+// serve -artifact-serve exposes the artifact store over HTTP so
+// replicas (-artifact-store) share one warm cache; sweep shards a
+// design-space sweep over a work-stealing pool — locally or against
+// live backends — and merges byte-identically to a single-process run.
 //
 // The observability trio (docs/TELEMETRY.md): -metrics-out writes the
 // end-of-run counters/gauges/histograms as JSON, -trace-out writes the
@@ -64,6 +78,8 @@ var commands = []struct {
 	{"sim", "run the trace-driven multicore simulation", simCmd},
 	{"fault", "sweep fault intensity and report the degradation curve", faultCmd},
 	{"serve", "run the HTTP/JSON evaluation service", serveCmd},
+	{"proxy", "front a fleet of replicas with flight-key-affine routing", proxyCmd},
+	{"sweep", "shard a design-space sweep over workers and merge deterministically", sweepCmd},
 	{"load", "load-test a running server and report latency percentiles", loadCmd},
 	{"replay", "replay a recorded trace through the online adaptation loop (or -gen one)", replayCmd},
 }

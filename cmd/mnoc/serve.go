@@ -10,6 +10,7 @@ import (
 
 	"mnoc/internal/adapt"
 	"mnoc/internal/fault"
+	"mnoc/internal/fleet"
 	"mnoc/internal/phys"
 	"mnoc/internal/server"
 	"mnoc/internal/telemetry"
@@ -38,6 +39,8 @@ func serveCmd(args []string) {
 		maxTO      = fs.Int64("max-timeout-ms", 300_000, "ceiling on client-requested deadlines")
 		drainMS    = fs.Int64("drain-ms", 10_000, "how long shutdown waits for in-flight requests")
 		failFast   = fs.Bool("fail-fast", true, "cancel a /v1/bench run on its first entry error")
+		artServe   = fs.Bool("artifact-serve", false, "expose the artifact store on GET/HEAD/PUT /artifacts/<key> so fleet replicas can share it (docs/FLEET.md)")
+		artStore   = fs.String("artifact-store", "", "remote artifact store base URL (a replica running -artifact-serve); wins over -cache-dir")
 
 		adaptOn    = fs.Bool("adapt", false, "run the online adaptation loop (docs/ADAPT.md); exposes /v1/adapt")
 		adaptTrace = fs.String("adapt-trace", "", "traffic trace the adaptation loop replays (mnoc-adapt-trace v1; required with -adapt)")
@@ -66,6 +69,12 @@ func serveCmd(args []string) {
 			cfg.CacheDir = *cacheDir
 		}
 	})
+	var remoteStore *fleet.Remote
+	if *artStore != "" {
+		remoteStore = fleet.NewRemote(*artStore)
+		warnIfUnreachable("serve", remoteStore)
+		cfg.Store = remoteStore
+	}
 
 	var ctrl *adapt.Controller
 	var adaptTr *trace.Trace
@@ -87,9 +96,15 @@ func serveCmd(args []string) {
 		MaxTimeout:     time.Duration(*maxTO) * time.Millisecond,
 		Version:        version,
 		Adapt:          ctrl,
+		ArtifactServe:  *artServe,
 	})
 	if err != nil {
 		fail("serve", err)
+	}
+	if remoteStore != nil {
+		// The remote store publishes into the server's registry so the
+		// fleet.store.* family shows up on /metrics next to artifact.*.
+		remoteStore.Instrument(s.Runner().Telemetry())
 	}
 	if ctrl != nil {
 		// The adaptation loop publishes into the server's registry so

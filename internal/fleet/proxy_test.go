@@ -1,0 +1,323 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mnoc/internal/server"
+	"mnoc/internal/telemetry"
+)
+
+// stubBackend is a recording fake replica: it answers every request
+// with its own name and remembers which paths+bodies it saw.
+type stubBackend struct {
+	name string
+	mu   sync.Mutex
+	hits int
+}
+
+func newStubBackend(t *testing.T, name string) (*stubBackend, *httptest.Server) {
+	t.Helper()
+	b := &stubBackend{name: name}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b.mu.Lock()
+		b.hits++
+		b.mu.Unlock()
+		io.Copy(io.Discard, r.Body)
+		fmt.Fprint(w, name)
+	}))
+	t.Cleanup(ts.Close)
+	return b, ts
+}
+
+func (b *stubBackend) count() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits
+}
+
+func newTestProxy(t *testing.T, cfg ProxyConfig) (*Proxy, *httptest.Server) {
+	t.Helper()
+	if cfg.HealthInterval == 0 {
+		// Keep the prober quiet during short tests; passive marking
+		// still runs on every forward.
+		cfg.HealthInterval = time.Hour
+	}
+	p, err := NewProxy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p.Handler())
+	t.Cleanup(ts.Close)
+	return p, ts
+}
+
+func postJSON(t *testing.T, url string, v any) (*http.Response, []byte) {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestProxyRoutesByFlightKey pins placement determinism: every repeat
+// of one request lands on one backend, and distinct keys spread across
+// the ring.
+func TestProxyRoutesByFlightKey(t *testing.T) {
+	a, tsA := newStubBackend(t, "A")
+	b, tsB := newStubBackend(t, "B")
+	_, proxy := newTestProxy(t, ProxyConfig{Backends: []string{tsA.URL, tsB.URL}})
+
+	req := server.SolveRequest{Bench: "fft", Kind: "dist4", QAP: true}
+	var owner string
+	for i := 0; i < 10; i++ {
+		resp, body := postJSON(t, proxy.URL+"/v1/solve", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if owner == "" {
+			owner = string(body)
+		} else if string(body) != owner {
+			t.Fatalf("request moved from %s to %s across repeats", owner, body)
+		}
+	}
+	if a.count()+b.count() != 10 {
+		t.Fatalf("backends saw %d+%d requests, want 10", a.count(), b.count())
+	}
+
+	// Defaulting-equivalence: Kind unset and Kind "comm4" are the same
+	// computation, so they must route identically.
+	_, ownerDefault := postJSON(t, proxy.URL+"/v1/solve", server.SolveRequest{Bench: "lu"})
+	_, ownerExplicit := postJSON(t, proxy.URL+"/v1/solve", server.SolveRequest{Bench: "lu", Kind: "comm4"})
+	if string(ownerDefault) != string(ownerExplicit) {
+		t.Fatalf("defaulted and explicit comm4 routed to different backends (%s vs %s)",
+			ownerDefault, ownerExplicit)
+	}
+
+	// Many distinct keys must touch both backends.
+	a0, b0 := a.count(), b.count()
+	for i := 0; i < 40; i++ {
+		postJSON(t, proxy.URL+"/v1/solve", server.SolveRequest{Bench: fmt.Sprintf("syn_%d", i)})
+	}
+	if a.count() == a0 || b.count() == b0 {
+		t.Fatalf("40 distinct keys did not spread: A+%d B+%d", a.count()-a0, b.count()-b0)
+	}
+}
+
+// TestProxyFailover kills a backend and checks the proxy retries the
+// next ring node with the request body intact, evicting the dead node.
+func TestProxyFailover(t *testing.T) {
+	_, tsA := newStubBackend(t, "A")
+	_, tsB := newStubBackend(t, "B")
+	p, proxy := newTestProxy(t, ProxyConfig{Backends: []string{tsA.URL, tsB.URL}})
+
+	// Find a request owned by A, then kill A.
+	req := func(i int) server.SolveRequest { return server.SolveRequest{Bench: fmt.Sprintf("bench_%d", i)} }
+	ownedByA := -1
+	for i := 0; i < 100; i++ {
+		if p.Ring().Owner(req(i).FlightKey()) == tsA.URL {
+			ownedByA = i
+			break
+		}
+	}
+	if ownedByA < 0 {
+		t.Fatal("no sampled key owned by backend A")
+	}
+	tsA.CloseClientConnections()
+	tsA.Close()
+
+	resp, body := postJSON(t, proxy.URL+"/v1/solve", req(ownedByA))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover request: status %d (%s)", resp.StatusCode, body)
+	}
+	if string(body) != "B" {
+		t.Fatalf("failover landed on %q, want B", body)
+	}
+	snap := p.Telemetry().Snapshot()
+	if snap.Counters[MetricProxyFailovers] == 0 {
+		t.Error("failover not counted")
+	}
+	if snap.Counters[MetricProxyEvictions] == 0 {
+		t.Error("eviction not counted")
+	}
+}
+
+// TestProxyAllBackendsDown pins the terminal failure shape: a bounded
+// number of attempts, then a 502 naming the flight key.
+func TestProxyAllBackendsDown(t *testing.T) {
+	_, tsA := newStubBackend(t, "A")
+	tsA.Close()
+	_, proxy := newTestProxy(t, ProxyConfig{Backends: []string{tsA.URL}})
+	resp, body := postJSON(t, proxy.URL+"/v1/solve", server.SolveRequest{Bench: "fft"})
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d (%s), want 502", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("solve|fft|comm4|false")) {
+		t.Fatalf("502 body %q does not name the flight key", body)
+	}
+}
+
+// TestProxy429PassThrough pins admission semantics: the owner's 429
+// and its Retry-After reach the client untouched, with no failover —
+// pushback is not a failure.
+func TestProxy429PassThrough(t *testing.T) {
+	busy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"busy"}`)
+	}))
+	t.Cleanup(busy.Close)
+	idle := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "idle")
+	}))
+	t.Cleanup(idle.Close)
+
+	p, proxy := newTestProxy(t, ProxyConfig{Backends: []string{busy.URL, idle.URL}})
+	// Find a key the busy backend owns, so pushback is what we exercise.
+	var req server.SolveRequest
+	for i := 0; ; i++ {
+		req = server.SolveRequest{Bench: fmt.Sprintf("bench_%d", i)}
+		if p.Ring().Owner(req.FlightKey()) == busy.URL {
+			break
+		}
+	}
+	resp, _ := postJSON(t, proxy.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After %q, want 7 (pass-through)", got)
+	}
+	if n := p.Telemetry().Snapshot().Counters[MetricProxyFailovers]; n != 0 {
+		t.Fatalf("429 triggered %d failovers; pushback must stay with the owner", n)
+	}
+}
+
+// TestProxyVersionAndMetrics pins the proxy's own surface: /version
+// reports role and ring size, and /metrics exposes exactly the
+// fleet.* name set the golden file records.
+func TestProxyVersionAndMetrics(t *testing.T) {
+	_, tsA := newStubBackend(t, "A")
+	_, tsB := newStubBackend(t, "B")
+	_, proxy := newTestProxy(t, ProxyConfig{Backends: []string{tsA.URL, tsB.URL}, Version: "test"})
+
+	resp, err := http.Get(proxy.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ver struct {
+		Role    string `json:"role"`
+		Ring    int    `json:"ring"`
+		Healthy int    `json:"healthy"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ver); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ver.Role != "proxy" || ver.Ring != 2 || ver.Healthy != 2 {
+		t.Fatalf("version %+v, want role=proxy ring=2 healthy=2", ver)
+	}
+
+	resp, err = http.Get(proxy.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep telemetry.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	golden, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", "metrics_names_fleet.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSpace(string(golden))
+	got := strings.Join(rep.Metrics.Names(), "\n")
+	if got != want {
+		t.Fatalf("fleet metric names diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Prometheus format works too.
+	resp, err = http.Get(proxy.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(prom, []byte("fleet_proxy_requests")) {
+		t.Fatalf("prom exposition missing fleet_proxy_requests:\n%s", prom)
+	}
+}
+
+// TestHealthProbeEvictsAndReadmits runs the active prober against a
+// flappable backend.
+func TestHealthProbeEvictsAndReadmits(t *testing.T) {
+	var downMu sync.Mutex
+	down := false
+	flappy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		downMu.Lock()
+		d := down
+		downMu.Unlock()
+		if d {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}))
+	t.Cleanup(flappy.Close)
+
+	reg := telemetry.NewRegistry()
+	h := newHealth([]string{flappy.URL}, 10*time.Millisecond,
+		reg.Counter(MetricProxyEvictions), reg.Counter(MetricProxyReadmissions))
+
+	probeOnce := func() {
+		if h.probe(context.Background(), flappy.URL) {
+			h.markUp(flappy.URL)
+		} else {
+			h.markDown(flappy.URL)
+		}
+	}
+	probeOnce()
+	if !h.isUp(flappy.URL) {
+		t.Fatal("healthy backend marked down")
+	}
+	downMu.Lock()
+	down = true
+	downMu.Unlock()
+	probeOnce()
+	if h.isUp(flappy.URL) {
+		t.Fatal("draining backend still up after probe")
+	}
+	downMu.Lock()
+	down = false
+	downMu.Unlock()
+	probeOnce()
+	if !h.isUp(flappy.URL) {
+		t.Fatal("recovered backend not re-admitted")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[MetricProxyEvictions] != 1 || snap.Counters[MetricProxyReadmissions] != 1 {
+		t.Fatalf("transition counters %v, want 1 eviction + 1 readmission", snap.Counters)
+	}
+}

@@ -47,6 +47,15 @@ type Store interface {
 	Stats() Stats
 }
 
+// Locator is implemented by stores that live somewhere nameable — a
+// cache directory, a remote base URL — so run summaries can say where
+// the artifacts went without type-asserting every concrete store.
+type Locator interface {
+	// Location describes the store's backing, e.g. "/tmp/cache" for a
+	// disk store or "remote http://host:port" for the fleet store.
+	Location() string
+}
+
 // counters is the shared atomic Stats backing.
 type counters struct {
 	hits, misses, puts, corrupt atomic.Uint64
@@ -137,6 +146,9 @@ func NewDisk(dir string) (*Disk, error) {
 // Dir returns the store's root directory.
 func (s *Disk) Dir() string { return s.dir }
 
+// Location implements Locator.
+func (s *Disk) Location() string { return s.dir }
+
 func (s *Disk) path(key Key) (string, error) {
 	if len(key) < 4 {
 		return "", fmt.Errorf("artifact: malformed key %q", key)
@@ -161,7 +173,7 @@ func (s *Disk) Get(key Key) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("artifact: reading %s: %w", key, err)
 	}
-	if err := checkEnvelope(blob); err != nil {
+	if err := CheckEnvelope(blob); err != nil {
 		s.quarantine(p)
 		s.c.corrupt.Add(1)
 		s.c.misses.Add(1)

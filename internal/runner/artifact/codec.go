@@ -20,12 +20,14 @@ const (
 	KindTrace      = "trace"      // trace.Trace (packet trace)
 	KindNetwork    = "network"    // power.MNoC (solved splitter design)
 	KindPerf       = "perf"       // multicore-simulation runtimes
+	KindSweep      = "sweep"      // merged design-space sweep output (mnoc sweep)
 
 	VersionMatrix     = 1
 	VersionAssignment = 1
 	VersionTrace      = 1
 	VersionNetwork    = 1
 	VersionPerf       = 1
+	VersionSweep      = 1
 )
 
 // magic opens every artifact blob.
@@ -41,12 +43,13 @@ func Envelope(kind string, version int, payload []byte) []byte {
 	return append(buf, payload...)
 }
 
-// checkEnvelope validates a blob's framing — magic, kind length, kind
+// CheckEnvelope validates a blob's framing — magic, kind length, kind
 // bytes, version — without caring which kind it is. Disk.Get uses it to
 // spot truncated or bit-rotted cache files (a crash mid-write predating
 // the temp+rename scheme, a failing disk) before handing them to a
-// decoder.
-func checkEnvelope(blob []byte) error {
+// decoder, and the fleet's remote store validates every blob that
+// crosses the wire the same way before treating it as a hit.
+func CheckEnvelope(blob []byte) error {
 	if len(blob) < len(magic) || !bytes.Equal(blob[:len(magic)], magic) {
 		return fmt.Errorf("artifact: bad magic")
 	}
@@ -197,6 +200,19 @@ func DecodeNetwork(cfg power.Config, blob []byte) (*power.MNoC, error) {
 		return nil, err
 	}
 	return power.DecodePayload(cfg, payload)
+}
+
+// EncodeSweep wraps a merged design-space sweep output (the
+// byte-identical table stream `mnoc sweep` assembles from its workers)
+// in the artifact envelope, so a whole sweep is one content-addressed
+// blob.
+func EncodeSweep(merged []byte) []byte {
+	return Envelope(KindSweep, VersionSweep, merged)
+}
+
+// DecodeSweep reverses EncodeSweep.
+func DecodeSweep(blob []byte) ([]byte, error) {
+	return Open(blob, KindSweep, VersionSweep)
 }
 
 // EncodePerf serialises a pair of simulation runtimes (mNoC and rNoC

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"mnoc/internal/exp"
+	"mnoc/internal/runner/artifact"
 )
 
 // Config is the full configuration of a runner invocation. The zero
@@ -33,6 +34,11 @@ type Config struct {
 	// CacheDir, when non-empty, backs the artifact store with a
 	// persistent on-disk cache shared across runs.
 	CacheDir string `json:"cache_dir,omitempty"`
+	// Store, when non-nil, is used as the artifact store directly and
+	// wins over CacheDir. It is programmatic-only (not expressible in a
+	// config file): the fleet wires its HTTP remote store through here
+	// so replicas share one warm cache (docs/FLEET.md).
+	Store artifact.Store `json:"-"`
 	// JSON emits tables as a JSON array instead of aligned text.
 	JSON bool `json:"json,omitempty"`
 	// CSVDir, when non-empty, additionally writes each table as

@@ -49,9 +49,12 @@ func New(cfg Config) (*Runner, error) {
 	tel := telemetry.NewRegistry()
 	registerRunMetrics(tel)
 	tracer := telemetry.NewTracer(telemetry.DefaultTraceCapacity)
-	store, err := NewStore(cfg.CacheDir)
-	if err != nil {
-		return nil, err
+	store := cfg.Store
+	if store == nil {
+		store, err = NewStore(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
 	}
 	store = artifact.Instrument(store, tel)
 	ctx, err := exp.NewContextWithStore(opt, store)
@@ -288,8 +291,8 @@ func writeCSV(dir string, t *exp.Table) error {
 // shows misses=0 and all solve counts zero.
 func (r *Runner) Summary() string {
 	where := "memory"
-	if d, ok := artifact.Unwrap(r.store).(*artifact.Disk); ok {
-		where = d.Dir()
+	if loc, ok := artifact.Unwrap(r.store).(artifact.Locator); ok {
+		where = loc.Location()
 	}
 	return fmt.Sprintf(
 		"cache [%s]: %d hits, %d misses, %d writes | solves: shapes=%d qap=%d networks=%d sims=%d",

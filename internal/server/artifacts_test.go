@@ -1,0 +1,137 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mnoc/internal/runner/artifact"
+)
+
+// artifactURL builds the /artifacts/<key> URL for a test server.
+func artifactURL(base string, key artifact.Key) string {
+	return base + "/artifacts/" + string(key)
+}
+
+func doArtifact(t *testing.T, method, url string, body []byte) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestArtifactServeRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.ArtifactServe = true
+	_, ts := newTestServer(t, cfg)
+
+	key := artifact.NewKey(artifact.KindSweep, artifact.VersionSweep).
+		Str("test", "artifacts-round-trip").Sum()
+	blob := artifact.EncodeSweep([]byte("merged table bytes\n"))
+
+	// Miss before the PUT: GET and HEAD both 404.
+	for _, method := range []string{http.MethodGet, http.MethodHead} {
+		resp := doArtifact(t, method, artifactURL(ts.URL, key), nil)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s before put: status %d, want 404", method, resp.StatusCode)
+		}
+	}
+
+	resp := doArtifact(t, http.MethodPut, artifactURL(ts.URL, key), blob)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("put: status %d, want 204", resp.StatusCode)
+	}
+
+	resp = doArtifact(t, http.MethodGet, artifactURL(ts.URL, key), nil)
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get after put: status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("round trip mangled blob: put %d bytes, got %d", len(blob), len(got))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// HEAD advertises the length without a body.
+	resp = doArtifact(t, http.MethodHead, artifactURL(ts.URL, key), nil)
+	head, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("head after put: status %d", resp.StatusCode)
+	}
+	if len(head) != 0 {
+		t.Fatalf("head returned %d body bytes", len(head))
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != fmt.Sprintf("%d", len(blob)) {
+		t.Fatalf("head content-length %q, want %d", cl, len(blob))
+	}
+}
+
+func TestArtifactServeRejectsCorruptAndBadRequests(t *testing.T) {
+	cfg := testConfig()
+	cfg.ArtifactServe = true
+	_, ts := newTestServer(t, cfg)
+
+	key := artifact.NewKey(artifact.KindSweep, artifact.VersionSweep).
+		Str("test", "corrupt-put").Sum()
+
+	// A blob that is not a MART envelope must not enter the shared cache.
+	resp := doArtifact(t, http.MethodPut, artifactURL(ts.URL, key), []byte("not an envelope"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt put: status %d, want 400", resp.StatusCode)
+	}
+	resp = doArtifact(t, http.MethodGet, artifactURL(ts.URL, key), nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after rejected put: status %d, want 404", resp.StatusCode)
+	}
+
+	// Unsupported method.
+	resp = doArtifact(t, http.MethodPost, artifactURL(ts.URL, key), []byte("{}"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("post: status %d, want 405", resp.StatusCode)
+	}
+
+	// Malformed keys: empty and path traversal.
+	for _, bad := range []string{"", "ab", "a/b" + strings.Repeat("c", 10)} {
+		resp = doArtifact(t, http.MethodGet, ts.URL+"/artifacts/"+bad, nil)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("key %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestArtifactServeDisabledByDefault pins that the surface is opt-in:
+// a plain server must not expose the store.
+func TestArtifactServeDisabledByDefault(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	resp := doArtifact(t, http.MethodGet, ts.URL+"/artifacts/deadbeef", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("artifacts on plain server: status %d, want 404", resp.StatusCode)
+	}
+}

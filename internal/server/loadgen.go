@@ -21,6 +21,11 @@ import (
 type LoadOptions struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
+	// BaseURLs, when non-empty, wins over BaseURL and round-robins the
+	// load workers across several endpoints (worker w drives
+	// BaseURLs[w%len]): the direct-to-backends baseline to compare
+	// against a single through-proxy run (docs/FLEET.md).
+	BaseURLs []string
 	// Requests is the total request count.
 	Requests int
 	// Concurrency is the number of in-flight requests.
@@ -112,7 +117,10 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
 		}
 		bodies[i] = blob
 	}
-	url := opts.BaseURL + "/v1/solve"
+	bases := opts.BaseURLs
+	if len(bases) == 0 {
+		bases = []string{opts.BaseURL}
+	}
 	client := &http.Client{Timeout: opts.Timeout}
 
 	reg := telemetry.NewRegistry()
@@ -136,6 +144,10 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
 			// Per-worker jitter stream: workers never share a rand source,
 			// so the schedule is reproducible at a given concurrency.
 			rng := rand.New(rand.NewSource(opts.RetrySeed + int64(worker)))
+			// Workers round-robin across the endpoint list, so a
+			// multi-endpoint run spreads load evenly without any
+			// cross-worker coordination.
+			url := bases[worker%len(bases)] + "/v1/solve"
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= opts.Requests || ctx.Err() != nil {

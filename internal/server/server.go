@@ -26,7 +26,6 @@ import (
 	"net"
 	"net/http"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +62,11 @@ type Config struct {
 	// controller is fed by its own replay goroutine; the server only
 	// reads its RCU design pointer and status.
 	Adapt *adapt.Controller
+	// ArtifactServe exposes the runner's artifact store on
+	// GET/HEAD/PUT /artifacts/<key> (`mnoc serve -artifact-serve`), so
+	// fleet replicas configured with a remote store (docs/FLEET.md)
+	// share this process's warm cache.
+	ArtifactServe bool
 }
 
 // RequestMSBuckets are the bucket bounds (milliseconds) of the
@@ -145,6 +149,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/bench", s.handleBench)
 	mux.HandleFunc("/v1/adapt", s.handleAdapt)
 	mux.HandleFunc("/v1/adapt/evaluate", s.handleAdaptEvaluate)
+	if s.cfg.ArtifactServe {
+		mux.HandleFunc("/artifacts/", s.handleArtifacts)
+	}
 	return s.instrument(mux)
 }
 
@@ -175,6 +182,11 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	opt := s.r.Options()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"version": s.cfg.Version,
+		// role distinguishes a backend replica from a fleet proxy
+		// (which reports "proxy" plus its ring size), so `mnoc load`
+		// output identifies what it hit.
+		"role":    "serve",
+		"ring":    1,
 		"radix":   opt.N,
 		"seed":    opt.Seed,
 		"workers": s.cfg.Workers,
@@ -256,7 +268,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	key := fmt.Sprintf("solve|%s|%s|%t", req.Bench, req.Kind, req.QAP)
+	key := req.FlightKey()
 	s.serve(w, r, req.TimeoutMS, key, func(ctx context.Context) (any, error) {
 		b, baseW, err := s.r.Context().EvaluateDesign(ctx, req.Kind, req.Bench, req.QAP)
 		if err != nil {
@@ -336,12 +348,12 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	key := fmt.Sprintf("evaluate|%s|%s|%t|%g", req.Bench, req.Policy, req.QAP, req.Scale)
+	// The canonical key derivation is shared with the fleet proxy
+	// (keys.go); the loss model was validated just above, so the key
+	// cannot fail here.
+	key, _ := req.FlightKey()
 	echo := ""
 	if model != power.LossAverage {
-		// Default-model requests keep their historical flight key, so
-		// cached/coalesced entries stay shared with older clients.
-		key += "|loss=" + string(model)
 		echo = string(model)
 	}
 	s.serve(w, r, req.TimeoutMS, key, func(ctx context.Context) (any, error) {
@@ -402,7 +414,7 @@ func (s *Server) handleBench(w http.ResponseWriter, r *http.Request) {
 		}
 		entries = append(entries, e)
 	}
-	key := "bench|" + strings.Join(ids, ",")
+	key := req.FlightKey()
 	s.serve(w, r, req.TimeoutMS, key, func(ctx context.Context) (any, error) {
 		tables, err := s.r.RunEntries(ctx, entries)
 		if err != nil {
