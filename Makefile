@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race fuzz golden golden-check \
+.PHONY: check vet lint lint-json build test race fuzz golden golden-check \
 	compare-golden compare-check metrics-golden metrics-check \
 	sweep-check bench bench-check bench-baseline
 
@@ -14,10 +14,17 @@ vet:
 	$(GO) vet ./...
 
 # The domain lint suite (cmd/mnoclint, docs/LINT.md): determinism,
-# unit-safety, metric-name cardinality, context threading and error
-# wrapping. Pure stdlib, so it runs offline like everything else here.
+# unit-safety, metric-name cardinality, context threading, error
+# wrapping, sync.Pool discipline, goroutine cancellation, RCU
+# publication and hot-path allocation. Pure stdlib, so it runs offline
+# like everything else here.
 lint:
 	$(GO) run ./cmd/mnoclint ./...
+
+# Machine-readable lint run: every finding plus every in-force allow
+# directive with its reason, as a JSON array (CI archives it).
+lint-json:
+	$(GO) run ./cmd/mnoclint -json ./... > mnoclint.json
 
 build:
 	$(GO) build ./...

@@ -404,6 +404,7 @@ func (c *Controller) startSolve(w uint64) {
 	cfg := c.cfg
 	met := c.met.resolveMS
 	c.pending = job
+	//mnoclint:allow goroleak the solver runs one bounded resolve and exits through the buffered done channel; abandoning a stale solve is the design (see collect)
 	go func() {
 		//mnoclint:allow determinism wall clock only feeds the adapt.resolve_ms telemetry histogram, never the decision log
 		begin := time.Now()

@@ -38,13 +38,17 @@ type Analyzer struct {
 	Run func(pass *Pass) error
 }
 
-// Pass carries one type-checked package through one analyzer.
+// Pass carries one type-checked package through one analyzer. Module
+// is the interprocedural view shared by every pass of the run — the
+// whole-module call graph and cross-package facts (callgraph.go,
+// facts.go); per-package analyzers can ignore it.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Module   *Module
 
 	report func(Diagnostic)
 }
@@ -75,22 +79,23 @@ func (d Diagnostic) String() string {
 // message so output is deterministic regardless of analyzer or package
 // scheduling.
 func sortDiagnostics(ds []Diagnostic) {
-	sort.Slice(ds, func(i, j int) bool {
-		a, b := ds[i], ds[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		if a.Analyzer != b.Analyzer {
-			return a.Analyzer < b.Analyzer
-		}
-		return a.Message < b.Message
-	})
+	sort.Slice(ds, func(i, j int) bool { return diagnosticLess(ds[i], ds[j]) })
+}
+
+func diagnosticLess(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	if a.Analyzer != b.Analyzer {
+		return a.Analyzer < b.Analyzer
+	}
+	return a.Message < b.Message
 }
 
 // --- shared type-level helpers used by several analyzers ---

@@ -54,6 +54,7 @@ func TestRunAcrossPackages(t *testing.T) {
 		{"beta.go", 16, "mnoclint", "missing analyzer name"},
 		{"beta.go", 17, "mnoclint", "unknown analyzer"},
 		{"beta.go", 18, "mnoclint", "has no reason"},
+		{"beta.go", 22, "mnoclint", "suppresses nothing"}, // the well-formed allow above E
 	}
 	if len(diags) != len(want) {
 		for _, d := range diags {

@@ -1,0 +1,11 @@
+// Package other is outside the goroleak scope (server, fleet, adapt):
+// its unstoppable goroutine must produce no finding.
+package other
+
+func Spawn() {
+	go func() {
+		for {
+			_ = struct{}{}
+		}
+	}()
+}

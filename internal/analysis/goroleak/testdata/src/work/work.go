@@ -1,0 +1,29 @@
+// Package work gives the goroleak fixtures cross-package callees: the
+// cancellation check lives here, and the fact must reach the spawn
+// site through the module graph.
+package work
+
+import "context"
+
+// Pump drains ch until the context is cancelled.
+func Pump(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// Relay delegates to Pump; cancel-awareness must propagate through the
+// extra hop.
+func Relay(ctx context.Context, ch chan int) { Pump(ctx, ch) }
+
+// Spin never observes anything.
+func Spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}

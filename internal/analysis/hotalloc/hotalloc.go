@@ -1,0 +1,271 @@
+// Package hotalloc polices allocation on the benchmark-guarded hot
+// paths. Roots are functions carrying //mnoclint:hot in their doc
+// comment — the repository marks exactly the kernels the curated
+// BENCH_baseline.json entries time — and the rule applies to every
+// function reachable from a root through the module call graph, so an
+// allocation introduced three calls below the kernel is still caught
+// before `make bench-check` fails on the allocs/op regression.
+//
+// Four allocation forms are flagged (each names the root it is
+// reachable from):
+//
+//   - fmt.Sprintf: allocates its result and boxes every argument;
+//   - map composite literals and make(map...): per-call map allocation;
+//   - append to a slice declared in-function without capacity: the
+//     growth doubling re-allocates inside the loop;
+//   - implicit interface conversion of a non-pointer-shaped concrete
+//     value (struct, slice, string, numeric): the boxing allocates.
+//     Error-interface targets, untyped nil, and arguments to
+//     fmt.Errorf/errors.New/panic are exempt — error paths are off the
+//     measured path.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mnoc/internal/analysis"
+)
+
+// Analyzer is the hot-path allocation rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "functions reachable from //mnoclint:hot roots (the benchmarked kernels) may not " +
+		"introduce fmt.Sprintf, map literals, uncapped append growth, or interface boxing",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			root := pass.Module.HotRootOf(fn)
+			if root == "" {
+				continue
+			}
+			checkFunc(pass, fd, root)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, root string) {
+	info := pass.Info
+	uncapped := collectUncappedSlices(info, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(),
+						"map allocated on the hot path reachable from %s: hoist it out of the kernel or reuse a cleared map", root)
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, uncapped, root)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, uncapped map[types.Object]bool, root string) {
+	info := pass.Info
+
+	if b, ok := builtinOf(info, call); ok {
+		switch b {
+		case "make":
+			if len(call.Args) >= 1 {
+				if tv, ok := info.Types[call.Args[0]]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(call.Pos(),
+							"map allocated on the hot path reachable from %s: hoist it out of the kernel or reuse a cleared map", root)
+					}
+				}
+			}
+		case "append":
+			if len(call.Args) == 0 {
+				return
+			}
+			obj := analysis.BaseIdentObj(info, call.Args[0])
+			if obj != nil && uncapped[obj] {
+				pass.Reportf(call.Pos(),
+					"append to %s grows an uncapped slice on the hot path reachable from %s: preallocate with make(_, 0, cap) or reuse a pooled buffer", obj.Name(), root)
+			}
+		}
+		return // other builtins (panic, len, cap, ...) never box
+	}
+
+	if analysis.IsPkgFunc(info, call, "fmt", "Sprintf") {
+		pass.Reportf(call.Pos(),
+			"fmt.Sprintf on the hot path reachable from %s: it allocates its result and boxes every argument; format into a reusable buffer or use strconv", root)
+		return
+	}
+	// Error constructors live on failure paths, which the benchmarks
+	// never take; boxing there is fine.
+	if analysis.IsPkgFunc(info, call, "fmt", "Errorf") ||
+		analysis.IsPkgFunc(info, call, "errors", "New") {
+		return
+	}
+
+	sig := signatureOf(info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil {
+			continue
+		}
+		iface, ok := pt.Underlying().(*types.Interface)
+		if !ok || analysis.IsErrorType(pt) {
+			continue
+		}
+		_ = iface
+		tv, ok := info.Types[arg]
+		if !ok || tv.IsNil() {
+			continue
+		}
+		at := tv.Type
+		if _, already := at.Underlying().(*types.Interface); already {
+			continue // interface to interface: no new box
+		}
+		if isPointerShaped(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"%s boxed into an interface on the hot path reachable from %s: the conversion allocates per call; keep the concrete type", types.TypeString(at, types.RelativeTo(pass.Pkg)), root)
+	}
+}
+
+// collectUncappedSlices finds slice variables declared in fd without a
+// capacity: `var x []T`, `x := []T{...}`, `x := make([]T, n)` (no cap).
+func collectUncappedSlices(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	uncapped := map[types.Object]bool{}
+	defObj := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		return info.Defs[id]
+	}
+	uncappedRhs := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CompositeLit:
+			tv, ok := info.Types[e]
+			if !ok {
+				return false
+			}
+			_, isSlice := tv.Type.Underlying().(*types.Slice)
+			return isSlice
+		case *ast.CallExpr:
+			if b, ok := builtinOf(info, e); ok && b == "make" && len(e.Args) == 2 {
+				if tv, ok := info.Types[e.Args[0]]; ok {
+					_, isSlice := tv.Type.Underlying().(*types.Slice)
+					return isSlice
+				}
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if obj := defObj(lhs); obj != nil && uncappedRhs(n.Rhs[i]) {
+					uncapped[obj] = true
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if i < len(vs.Values) {
+						if uncappedRhs(vs.Values[i]) {
+							uncapped[obj] = true
+						}
+						continue
+					}
+					// `var x []T` with no initializer: nil slice, grows
+					// from zero capacity.
+					if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+						uncapped[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return uncapped
+}
+
+// builtinOf resolves call to a builtin name.
+func builtinOf(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name(), true
+	}
+	return "", false
+}
+
+// signatureOf returns the static signature of the called expression —
+// works for dynamic calls too, and nil for conversions and builtins.
+func signatureOf(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType resolves the declared type of argument i, unwrapping the
+// variadic element.
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if sl, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// isPointerShaped reports whether boxing t into an interface stores the
+// word directly, without allocating a copy of the data.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"mnoc/internal/analysis/analysistest"
+	"mnoc/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	// kern holds callees whose findings depend on hot-reachability
+	// crossing the package boundary from hot.Run.
+	analysistest.Run(t, hotalloc.Analyzer, "hot", "kern")
+}

@@ -1,0 +1,70 @@
+// Fixtures for the hotalloc analyzer: a //mnoclint:hot root whose
+// reachable closure (same package and package kern) is held to the
+// no-allocation rules, next to cold siblings that are not.
+package hot
+
+import (
+	"fmt"
+
+	"kern"
+)
+
+type frame struct{ id, lane int }
+
+// Run stands in for a benchmarked kernel.
+//
+//mnoclint:hot
+func Run(xs []float64) string {
+	_ = grow(xs)
+	_ = growCapped(xs)
+	boxes(frame{id: 1})
+	if err := guard(len(xs)); err != nil {
+		return ""
+	}
+	_ = kern.Index(xs)
+	return kern.Step(xs)
+}
+
+func grow(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x) // want `hotalloc: append to out grows an uncapped slice on the hot path reachable from hot\.Run`
+	}
+	return out
+}
+
+// growCapped preallocates: append never re-allocates, no finding.
+func growCapped(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func sinkAny(v any) { _ = v }
+
+func boxes(f frame) {
+	sinkAny(f) // want `hotalloc: frame boxed into an interface on the hot path reachable from hot\.Run`
+	sinkAny(&f)
+}
+
+// guard shows the error-path exemption: fmt.Errorf boxes its argument,
+// but failure paths are off the measured path.
+func guard(n int) error {
+	if n == 0 {
+		return fmt.Errorf("empty input: %d", n)
+	}
+	return nil
+}
+
+// cold mirrors grow but no hot root reaches it.
+func cold(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+var _ = cold

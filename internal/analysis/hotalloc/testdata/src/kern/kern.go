@@ -1,0 +1,29 @@
+// Package kern holds callees reachable from the hot root in package
+// hot: findings here depend on cross-package hot-reachability.
+package kern
+
+import "fmt"
+
+// Step runs under the hot root one package away.
+func Step(xs []float64) string {
+	return fmt.Sprintf("%v", xs) // want `hotalloc: fmt.Sprintf on the hot path reachable from hot\.Run`
+}
+
+// Index allocates a map every call.
+func Index(xs []float64) map[int]float64 {
+	m := make(map[int]float64) // want `hotalloc: map allocated on the hot path reachable from hot\.Run`
+	for i, x := range xs {
+		m[i] = x
+	}
+	return m
+}
+
+// Offline is never reached from a hot root: the same constructs stay
+// clean.
+func Offline(xs []float64) string {
+	m := map[int]float64{}
+	for i, x := range xs {
+		m[i] = x
+	}
+	return fmt.Sprintf("%d", len(m))
+}

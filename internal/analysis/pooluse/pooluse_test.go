@@ -1,0 +1,14 @@
+package pooluse_test
+
+import (
+	"testing"
+
+	"mnoc/internal/analysis/analysistest"
+	"mnoc/internal/analysis/pooluse"
+)
+
+func TestPoolUse(t *testing.T) {
+	// sink is loaded alongside a so the module sees its declarations
+	// and the escape facts propagate across the package boundary.
+	analysistest.Run(t, pooluse.Analyzer, "a", "sink")
+}

@@ -1,0 +1,106 @@
+// Fixtures for the pooluse analyzer: reset-before-Put, use-after-Put
+// with the put-and-bail exemption, and interprocedural escape of a
+// pooled value through a callee that retains its argument.
+package a
+
+import (
+	"sink"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+var scratchPool = sync.Pool{New: func() any { s := make([]float64, 8); return &s }}
+
+func grow(b []byte) []byte { return append(b, 1) }
+
+func consume(s []float64) float64 { return s[0] }
+
+func noReset() {
+	bp := bufPool.Get().(*[]byte)
+	*bp = grow(*bp)
+	bufPool.Put(bp) // want `pooluse: value returned to sync.Pool without a reset`
+}
+
+func truncateReset() {
+	bp := bufPool.Get().(*[]byte)
+	buf := grow(*bp)
+	*bp = buf[:0]
+	bufPool.Put(bp)
+}
+
+func overwriteReset() {
+	sp := scratchPool.Get().(*[]float64)
+	s := *sp
+	for i := range s {
+		s[i] = 0
+	}
+	_ = consume(s)
+	scratchPool.Put(sp)
+}
+
+func useAfterPut() int {
+	bp := bufPool.Get().(*[]byte)
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+	n := len(*bp) // want `pooluse: use of bp after it was returned to the pool`
+	return n
+}
+
+func aliasUseAfterPut() {
+	sp := scratchPool.Get().(*[]float64)
+	s := *sp
+	for i := range s {
+		s[i] = 0
+	}
+	scratchPool.Put(sp)
+	_ = consume(s) // want `pooluse: use of s after it was returned to the pool`
+}
+
+func returnedAfterPut() []byte {
+	bp := bufPool.Get().(*[]byte)
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+	return *bp // want `pooluse: use of bp after it was returned to the pool`
+}
+
+// putAndBail exercises the exemption: the Put on the error path is
+// directly followed by a return that does not touch the buffer, so the
+// later uses of bp on the happy path are not misattributed to it.
+func putAndBail(fail bool) error {
+	bp := bufPool.Get().(*[]byte)
+	if fail {
+		*bp = (*bp)[:0]
+		bufPool.Put(bp)
+		return errFailed
+	}
+	*bp = grow(*bp)
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+	return nil
+}
+
+var errFailed error
+
+func escapesDirect() {
+	bp := bufPool.Get().(*[]byte)
+	sink.Keep(*bp) // want `pooluse: pooled value escapes via Keep`
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
+// escapesTransitive only reaches the retaining store two calls away;
+// the finding depends on the propagated EscapesParam fact.
+func escapesTransitive() {
+	bp := bufPool.Get().(*[]byte)
+	sink.Forward(*bp) // want `pooluse: pooled value escapes via Forward`
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
+func readOnlyCalleeOK() {
+	bp := bufPool.Get().(*[]byte)
+	_ = sink.Use(*bp)
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}

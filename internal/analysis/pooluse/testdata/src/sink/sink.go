@@ -1,0 +1,15 @@
+// Package sink gives the pooluse fixtures a cross-package callee whose
+// escape behaviour only the propagated module facts can see.
+package sink
+
+var kept []byte
+
+// Keep retains its argument in package state — an escape.
+func Keep(b []byte) { kept = b }
+
+// Forward hands its argument to Keep; the escape fact must flow
+// through this hop for the interprocedural rule to fire.
+func Forward(b []byte) { Keep(b) }
+
+// Use only reads its argument.
+func Use(b []byte) int { return len(b) }

@@ -1,0 +1,14 @@
+package rcupublish_test
+
+import (
+	"testing"
+
+	"mnoc/internal/analysis/analysistest"
+	"mnoc/internal/analysis/rcupublish"
+)
+
+func TestRCUPublish(t *testing.T) {
+	// mut supplies the cross-package mutating callees so the
+	// MutatesParam facts must cross the package boundary.
+	analysistest.Run(t, rcupublish.Analyzer, "a", "mut")
+}

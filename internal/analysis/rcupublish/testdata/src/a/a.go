@@ -1,0 +1,69 @@
+// Fixtures for the rcupublish analyzer: mutate-after-Store, read-only
+// Load snapshots, and mutation through cross-package callees.
+package a
+
+import (
+	"sync/atomic"
+
+	"mut"
+)
+
+var active atomic.Pointer[mut.Plan]
+
+func publishThenMutate() {
+	p := &mut.Plan{Gen: 1}
+	active.Store(p)
+	p.Gen = 2 // want `rcupublish: p was published through an atomic.Pointer and is mutated here`
+}
+
+func mutateThenPublishOK() {
+	p := &mut.Plan{Gen: 1}
+	p.Gen = 2
+	active.Store(p)
+}
+
+func publishThenCalleeMutates() {
+	p := &mut.Plan{}
+	active.Store(p)
+	mut.Bump(p) // want `rcupublish: p was published through an atomic.Pointer and Bump mutates its argument`
+}
+
+func publishThenTransitiveMutate() {
+	p := &mut.Plan{}
+	active.Store(p)
+	mut.Touch(p) // want `rcupublish: p was published through an atomic.Pointer and Touch mutates its argument`
+}
+
+func publishThenMethodMutates() {
+	p := &mut.Plan{}
+	active.Store(p)
+	p.Stamp(3) // want `rcupublish: p was published through an atomic.Pointer and Stamp mutates its receiver`
+}
+
+func publishThenReadOK() int {
+	p := &mut.Plan{}
+	active.Store(p)
+	return mut.Read(p)
+}
+
+func loadThenMutate() {
+	p := active.Load()
+	p.Gen++ // want `rcupublish: p was loaded from an atomic.Pointer and is mutated here`
+}
+
+func loadThenReadOK() int {
+	p := active.Load()
+	return p.Gen
+}
+
+func swapOldThenMutate(next *mut.Plan) {
+	old := active.Swap(next)
+	old.Gen = 9 // want `rcupublish: old was loaded from an atomic.Pointer and is mutated here`
+}
+
+func casThenMutate(old *mut.Plan) {
+	p := &mut.Plan{}
+	if active.CompareAndSwap(old, p) {
+		p.Gen = 4 // want `rcupublish: p was published through an atomic.Pointer and is mutated here`
+	}
+}

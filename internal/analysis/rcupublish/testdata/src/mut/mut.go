@@ -1,0 +1,20 @@
+// Package mut gives the rcupublish fixtures cross-package callees
+// whose mutation behaviour only the propagated module facts can see.
+package mut
+
+// Plan is a snapshot type published via atomic.Pointer in fixtures.
+type Plan struct{ Gen int }
+
+// Bump writes through its argument.
+func Bump(p *Plan) { p.Gen++ }
+
+// Touch reaches the write one hop further away; the MutatesParam fact
+// must flow through.
+func Touch(p *Plan) { Bump(p) }
+
+// Read only reads.
+func Read(p *Plan) int { return p.Gen }
+
+// Stamp is a mutating method: the receiver fact (index 0) must be
+// consulted at call sites.
+func (p *Plan) Stamp(gen int) { p.Gen = gen }

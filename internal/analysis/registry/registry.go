@@ -1,4 +1,4 @@
-// Package registry wires the five domain analyzers into the single
+// Package registry wires the nine domain analyzers into the single
 // suite cmd/mnoclint and the self-check test run. Adding an analyzer
 // means adding it here, to docs/LINT.md, and a fixture directory under
 // its package.
@@ -8,7 +8,11 @@ import (
 	"mnoc/internal/analysis"
 	"mnoc/internal/analysis/ctxthread"
 	"mnoc/internal/analysis/determinism"
+	"mnoc/internal/analysis/goroleak"
+	"mnoc/internal/analysis/hotalloc"
 	"mnoc/internal/analysis/metricnames"
+	"mnoc/internal/analysis/pooluse"
+	"mnoc/internal/analysis/rcupublish"
 	"mnoc/internal/analysis/units"
 	"mnoc/internal/analysis/wrapcheck"
 )
@@ -19,7 +23,11 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxthread.Analyzer,
 		determinism.Analyzer,
+		goroleak.Analyzer,
+		hotalloc.Analyzer,
 		metricnames.Analyzer,
+		pooluse.Analyzer,
+		rcupublish.Analyzer,
 		units.Analyzer,
 		wrapcheck.Analyzer,
 	}

@@ -7,38 +7,57 @@ import (
 	"strings"
 )
 
-// DirectivePrefix introduces a suppression comment. The grammar is
+// DirectivePrefix introduces an mnoclint directive. Two verbs exist:
 //
 //	//mnoclint:allow <analyzer> <reason...>
+//	//mnoclint:hot
 //
-// attached either at the end of the offending line or as a standalone
-// comment on the line immediately above it. The analyzer name must be
-// one of the analyzers in the run, and the reason is mandatory: an
-// unexplained suppression is itself a diagnostic, never a silent pass.
+// An allow directive suppresses findings of one analyzer on its own
+// line and the line directly below it. The analyzer name must be one
+// of the analyzers in the run, the reason is mandatory (an unexplained
+// suppression is itself a diagnostic), and an allow that suppresses
+// nothing is reported as stale — suppressions never outlive the
+// finding they excused. A hot directive in a function's doc comment
+// marks it as a hotalloc root (see callgraph.go; a hot directive not
+// attached to a function declaration is a diagnostic).
 const DirectivePrefix = "//mnoclint:"
 
-// directiveAnalyzer is the pseudo-analyzer name malformed-directive
-// diagnostics are reported under. It is reserved: directives cannot
-// suppress it.
+// directiveAnalyzer is the pseudo-analyzer name directive diagnostics
+// are reported under. It is reserved: directives cannot suppress it.
 const directiveAnalyzer = "mnoclint"
 
-// directive is one parsed //mnoclint:allow comment.
-type directive struct {
-	pos      token.Pos
+// allowDirective is one parsed //mnoclint:allow comment. Run marks it
+// used when it suppresses a finding; a directive still unused at the
+// end of a full-suite run is reported as stale.
+type allowDirective struct {
+	pos      token.Position
 	line     int
 	analyzer string
 	reason   string
+	used     bool
 }
 
 // suppressions indexes the well-formed allow directives of one file:
-// line number -> analyzer names allowed on that line and the next.
-type suppressions map[int]map[string]bool
+// line number -> analyzer name -> directive.
+type suppressions map[int]map[string]*allowDirective
+
+// isHotDirective reports whether comment text is a //mnoclint:hot
+// root marker (trailing words are tolerated as commentary).
+func isHotDirective(text string) bool {
+	rest, ok := strings.CutPrefix(text, DirectivePrefix)
+	if !ok {
+		return false
+	}
+	verb, _, _ := strings.Cut(rest, " ")
+	return verb == "hot"
+}
 
 // parseDirectives scans a file's comments for mnoclint directives.
 // Well-formed allow directives are returned as suppressions; malformed
 // ones (unknown verb, missing analyzer, missing reason, analyzer not
 // in the run) are reported as diagnostics under the reserved
-// "mnoclint" analyzer name.
+// "mnoclint" analyzer name. Hot directives are validated against the
+// declarations by BuildModule, not here.
 func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, report func(Diagnostic)) suppressions {
 	sup := suppressions{}
 	bad := func(pos token.Pos, format string, args ...any) {
@@ -55,8 +74,11 @@ func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, re
 				continue
 			}
 			verb, args, _ := strings.Cut(rest, " ")
+			if verb == "hot" {
+				continue
+			}
 			if verb != "allow" {
-				bad(c.Pos(), "unknown directive %q: only %sallow is recognized", DirectivePrefix+verb, DirectivePrefix)
+				bad(c.Pos(), "unknown directive %q: only %sallow and %shot are recognized", DirectivePrefix+verb, DirectivePrefix, DirectivePrefix)
 				continue
 			}
 			name, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
@@ -75,16 +97,42 @@ func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, re
 			}
 			line := fset.Position(c.Pos()).Line
 			if sup[line] == nil {
-				sup[line] = map[string]bool{}
+				sup[line] = map[string]*allowDirective{}
 			}
-			sup[line][name] = true
+			sup[line][name] = &allowDirective{
+				pos:      fset.Position(c.Pos()),
+				line:     line,
+				analyzer: name,
+				reason:   reason,
+			}
 		}
 	}
 	return sup
 }
 
+// match returns the directive covering a diagnostic from analyzer at
+// line — one on the same line or the line directly above — or nil.
+func (s suppressions) match(analyzer string, line int) *allowDirective {
+	if d := s[line][analyzer]; d != nil {
+		return d
+	}
+	return s[line-1][analyzer]
+}
+
 // allows reports whether a diagnostic from analyzer at line is covered
-// by a directive on the same line or the line directly above.
+// by a directive on the same line or the line directly above it.
 func (s suppressions) allows(analyzer string, line int) bool {
-	return s[line][analyzer] || s[line-1][analyzer]
+	return s.match(analyzer, line) != nil
+}
+
+// directives returns every allow directive of the file in position
+// order (for stale-allow reporting).
+func (s suppressions) directives() []*allowDirective {
+	var out []*allowDirective
+	for _, byName := range s {
+		for _, d := range byName {
+			out = append(out, d)
+		}
+	}
+	return out
 }

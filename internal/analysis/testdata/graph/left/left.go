@@ -1,0 +1,10 @@
+// Package left is one arm of the diamond.
+package left
+
+import "base"
+
+// Via forwards the spawn fact up to top.
+func Via(ch chan int) { base.Spawn(ch) }
+
+// Lone is unreachable from the hot root in top.
+func Lone() {}

@@ -1,0 +1,20 @@
+// Package right is the other arm of the diamond, reaching the wall
+// clock only through a method value.
+package right
+
+import "base"
+
+type R struct{}
+
+// M reaches the wall clock.
+func (R) M() { base.Tick() }
+
+// Handle returns r.M as a method value: facts must flow along the
+// reference edge even though there is no call.
+func Handle() func() {
+	var r R
+	return r.M
+}
+
+// Also duplicates left's path to Spawn, closing the diamond.
+func Also(ch chan int) { base.Spawn(ch) }

@@ -16,3 +16,8 @@ func D() int {
 //mnoclint:allow
 //mnoclint:allow unknownanalyzer some reason
 //mnoclint:allow flagret
+
+// E never returns a value; the allow directive below it is stale by
+// design, pinning the unused-allow diagnostic.
+//mnoclint:allow flagret exercises the stale-allow diagnostic
+func E() {}

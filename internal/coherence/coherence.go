@@ -251,8 +251,9 @@ func (d *Directory) Write(core int, addr uint64) (Transaction, error) {
 	// Invalidate every other sharer; acks go to the requestor. (An Inv
 	// whose target is the home itself never touches the network —
 	// appendMsg drops self-sends — but its ack and local drop remain.)
-	var invTargets []int
-	for _, s := range e.sharers.members() {
+	sharers := e.sharers.members()
+	invTargets := make([]int, 0, len(sharers))
+	for _, s := range sharers {
 		if s == core || s == e.owner {
 			continue
 		}
@@ -364,7 +365,14 @@ func (b bitset) empty() bool {
 }
 
 func (b bitset) members() []int {
-	var out []int
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
 	for wi, w := range b {
 		for w != 0 {
 			idx := wi*64 + bits.TrailingZeros64(w)

@@ -292,6 +292,7 @@ func (p *Proxy) Serve(ctx context.Context, addr string, drain time.Duration, rea
 	go p.health.run(ctx, p.ring.Backends())
 	srv := &http.Server{Handler: p.Handler()}
 	errc := make(chan error, 1)
+	//mnoclint:allow goroleak Serve returns when ctx cancellation below closes the listener; the buffered errc never blocks the send
 	go func() { errc <- srv.Serve(l) }()
 	select {
 	case err := <-errc:

@@ -152,6 +152,8 @@ func (o *TabooOptions) fill(n int) {
 
 // Taboo runs Taillard's robust taboo search from the given start
 // assignment (copied, not mutated) and returns the best found.
+//
+//mnoclint:hot
 func (p *Problem) Taboo(start Assignment, opt TabooOptions) Assignment {
 	opt.fill(p.N)
 	rng := rand.New(rand.NewSource(opt.Seed))

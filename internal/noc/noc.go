@@ -14,7 +14,7 @@ package noc
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"mnoc/internal/phys"
@@ -346,6 +346,8 @@ var replayLatsPool = sync.Pool{
 // Replay runs every packet of the trace through the network (packets
 // must be cycle-sorted, as produced by the generators) and reports
 // latency statistics. The network's contention state is reset first.
+//
+//mnoclint:hot
 func Replay(net Network, tr *trace.Trace) (ReplayStats, error) {
 	return ReplayObserved(net, tr, nil)
 }
@@ -390,7 +392,7 @@ func ReplayObserved(net Network, tr *trace.Trace, reg *telemetry.Registry) (Repl
 	}
 	if st.Packets > 0 {
 		st.AvgLatency = latSum / float64(st.Packets)
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		slices.Sort(lats)
 		st.P50Latency = lats[len(lats)/2]
 		st.P99Latency = lats[len(lats)*99/100]
 	}

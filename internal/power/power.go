@@ -217,8 +217,8 @@ func (m *MNoC) telHandles() *telHandles {
 	}
 	h.scratch.New = func() any { s := make([]float64, modes); return &s }
 	for mode := range h.mode {
-		//mnoclint:allow metricnames mode count is bounded by the topology (at most a handful per design) and the resulting names are pinned by testdata/golden/metrics_names.txt
-		h.mode[mode] = m.tel.Histogram(fmt.Sprintf("power.mode%d.source_uw", mode))
+		//mnoclint:allow hotalloc handle construction runs once per MNoC (CAS-published below); every later Evaluate reuses the handles
+		h.mode[mode] = m.tel.Histogram(fmt.Sprintf("power.mode%d.source_uw", mode)) //mnoclint:allow metricnames mode count is bounded by the topology (at most a handful per design) and the resulting names are pinned by testdata/golden/metrics_names.txt
 	}
 	m.telh.CompareAndSwap(nil, h)
 	return m.telh.Load()
@@ -415,6 +415,8 @@ func (m *MNoC) SourceElectricalUW(src, mode int) phys.MicroWatts {
 // Evaluate computes the average power of carrying the traffic matrix mtx
 // (flit counts, core-indexed — apply the thread mapping with
 // Matrix.Permute first) over a window of `cycles` clock cycles.
+//
+//mnoclint:hot
 func (m *MNoC) Evaluate(mtx *trace.Matrix, cycles float64) (Breakdown, error) {
 	if mtx.N != m.Cfg.N {
 		return Breakdown{}, fmt.Errorf("power: matrix for %d nodes, network for %d", mtx.N, m.Cfg.N)

@@ -30,6 +30,9 @@ var responseBufPool = sync.Pool{
 	New: func() any { b := make([]byte, 0, 512); return &b },
 }
 
+// appendJSON hand-encodes the solve response into b.
+//
+//mnoclint:hot
 func (r *SolveResponse) appendJSON(b []byte) ([]byte, error) {
 	b = append(b, "{\n  \"bench\": "...)
 	b = appendJSONString(b, r.Bench)
@@ -56,6 +59,9 @@ func (r *SolveResponse) appendJSON(b []byte) ([]byte, error) {
 	return append(b, "\n}"...), nil
 }
 
+// appendJSON hand-encodes the evaluate response into b.
+//
+//mnoclint:hot
 func (r *EvaluateResponse) appendJSON(b []byte) ([]byte, error) {
 	b = append(b, "{\n  \"bench\": "...)
 	b = appendJSONString(b, r.Bench)

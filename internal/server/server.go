@@ -564,11 +564,14 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
+	//mnoclint:allow hotalloc the error envelope is only built for rejected requests, off the measured decode/encode fast path
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 // decodePost enforces POST + a well-formed JSON body. Unknown fields
 // are rejected so typoed requests fail loudly.
+//
+//mnoclint:hot
 func (s *Server) decodePost(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
 		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("server: %s needs POST", r.URL.Path))
@@ -607,6 +610,8 @@ func slicesContains(list []string, v string) bool {
 // encoder. Both paths emit identical bytes — the two-space-indented
 // form this server has always served — pinned by the equivalence tests
 // in encode_test.go.
+//
+//mnoclint:hot
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	if aj, ok := v.(appendJSONer); ok {
 		bufp := responseBufPool.Get().(*[]byte)
@@ -647,6 +652,7 @@ func (s *Server) Serve(ctx context.Context, addr string, drain time.Duration, re
 	}
 	srv := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
+	//mnoclint:allow goroleak Serve returns when the drain path below closes the listener; the buffered errc never blocks the send
 	go func() { errc <- srv.Serve(l) }()
 	select {
 	case err := <-errc:
